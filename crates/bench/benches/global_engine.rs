@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the explicit-state global engine: successor
+//! generation, simulation throughput, and weak-convergence backward
+//! reachability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_global::{check, RingInstance, Scheduler, Simulator};
+use selfstab_protocols::{agreement, sum_not_two};
+
+fn bench_successors(c: &mut Criterion) {
+    let p = sum_not_two::sum_not_two_solution();
+    let ring = RingInstance::symmetric(&p, 8).unwrap();
+    c.bench_function("successors_full_sweep_3pow8", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for s in ring.space().ids() {
+                count += ring.successors(s).len();
+            }
+            count
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation_convergence");
+    let p = agreement::binary_agreement_one_sided();
+    for k in [8usize, 12, 16] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(BenchmarkId::new("random_daemon", k), &ring, |b, ring| {
+            let mut sim = Simulator::new(ring, 42).with_scheduler(Scheduler::Random);
+            b.iter(|| {
+                let s = sim.random_state();
+                sim.run_from(s, 1_000_000)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_weak_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weak_convergence");
+    g.sample_size(10);
+    let p = agreement::binary_agreement_both();
+    for k in [8usize, 12] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &ring, |b, ring| {
+            b.iter(|| check::weakly_converges(ring))
+        });
+    }
+    g.finish();
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_analysis");
+    g.sample_size(10);
+    let p = sum_not_two::sum_not_two_solution();
+    for k in [5usize, 7] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("worst_case_recovery", k),
+            &ring,
+            |b, ring| b.iter(|| selfstab_global::faults::worst_case_recovery(ring)),
+        );
+        g.bench_with_input(BenchmarkId::new("fault_span_2", k), &ring, |b, ring| {
+            b.iter(|| selfstab_global::faults::fault_span(ring, 2))
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_successors,
+    bench_simulation,
+    bench_weak_convergence,
+    bench_faults
+}
+criterion_main!(benches);

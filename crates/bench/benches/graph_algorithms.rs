@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the graph substrate on RCG-shaped inputs
+//! (ablation A1's components: SCC verdict vs Johnson witness enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::rcg::Rcg;
+use selfstab_graph::{
+    cycles::{simple_cycles, CycleBudget},
+    hitting::minimal_hitting_sets,
+    scc::{strongly_connected_components, vertices_on_cycles},
+    DiGraph,
+};
+use selfstab_protocol::{Domain, Locality, Protocol};
+use selfstab_protocols::matching;
+
+fn rcg_graph(d: usize) -> DiGraph {
+    let p = Protocol::builder("bench", Domain::numeric("x", d), Locality::bidirectional())
+        .legit_all()
+        .build()
+        .unwrap();
+    Rcg::build(&p).graph().clone()
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scc_on_rcg");
+    for d in [3usize, 4, 5] {
+        let graph = rcg_graph(d);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &graph, |b, graph| {
+            b.iter(|| strongly_connected_components(graph));
+        });
+    }
+    g.finish();
+}
+
+fn bench_verdict_vs_witnesses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deadlock_check_components");
+    let p = matching::matching_non_generalizable();
+    let rcg = Rcg::build(&p);
+    let induced = rcg.induced(&p.local_deadlocks());
+    g.bench_function("scc_verdict", |b| b.iter(|| vertices_on_cycles(&induced)));
+    g.bench_function("johnson_witnesses", |b| {
+        b.iter(|| simple_cycles(&induced, CycleBudget::default()))
+    });
+    g.finish();
+}
+
+fn bench_hitting_sets(c: &mut Criterion) {
+    let families: Vec<Vec<usize>> = (0..8)
+        .map(|i| vec![i, (i + 1) % 10, (i + 3) % 10])
+        .collect();
+    c.bench_function("minimal_hitting_sets_8x3", |b| {
+        b.iter(|| minimal_hitting_sets(&families, 1000, 10))
+    });
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_scc, bench_verdict_vs_witnesses, bench_hitting_sets
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Benchmarks of the local-structure builders: RCG and LTG construction
+//! across domain sizes and localities (the structures every local analysis
+//! starts from; their cost is the paper's "local state space" cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::{ltg::Ltg, rcg::Rcg};
+use selfstab_protocol::{Domain, Locality, Protocol};
+use selfstab_protocols::matching;
+
+fn protocol(d: usize, loc: Locality) -> Protocol {
+    Protocol::builder("bench", Domain::numeric("x", d), loc)
+        .legit_all()
+        .build()
+        .unwrap()
+}
+
+fn bench_rcg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcg_build");
+    for d in [2usize, 3, 4, 5] {
+        let p = protocol(d, Locality::bidirectional());
+        g.bench_with_input(BenchmarkId::new("bidirectional", d), &p, |b, p| {
+            b.iter(|| Rcg::build(p));
+        });
+        let p = protocol(d, Locality::unidirectional());
+        g.bench_with_input(BenchmarkId::new("unidirectional", d), &p, |b, p| {
+            b.iter(|| Rcg::build(p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rcg_naive_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcg_naive_vs_grouped");
+    let p = protocol(4, Locality::bidirectional());
+    g.bench_function("grouped", |b| b.iter(|| Rcg::build(&p)));
+    g.bench_function("naive_quadratic", |b| {
+        b.iter(|| {
+            let sp = p.space();
+            let ov = p.locality().overlap();
+            let mut graph = selfstab_graph::DiGraph::new(sp.len());
+            for x in sp.ids() {
+                for y in sp.ids() {
+                    if sp.is_right_continuation(x, y, ov) {
+                        graph.add_arc(x.index(), y.index());
+                    }
+                }
+            }
+            graph
+        })
+    });
+    g.finish();
+}
+
+fn bench_ltg(c: &mut Criterion) {
+    let p = matching::matching_generalizable();
+    c.bench_function("ltg_build_matching", |b| b.iter(|| Ltg::build(&p)));
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_rcg, bench_rcg_naive_comparison, bench_ltg
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment E12 (synthesis): the Section 6 local synthesizer runs once
+//! for all ring sizes; the STSyn-like global baseline pays `d^K` per size
+//! it verifies at.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_protocols::{agreement, coloring, sum_not_two};
+use selfstab_synth::{GlobalSynthesizer, LocalSynthesizer, SynthesisConfig};
+
+fn bench_local_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_local");
+    let cases = [
+        ("agreement", agreement::binary_agreement_empty()),
+        ("sum_not_two", sum_not_two::sum_not_two_empty()),
+        ("three_coloring", coloring::three_coloring_empty()),
+    ];
+    for (name, p) in &cases {
+        g.bench_function(*name, |b| {
+            b.iter(|| LocalSynthesizer::default().synthesize(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_global_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_global_baseline");
+    g.sample_size(10);
+    let p = sum_not_two::sum_not_two_empty();
+    for k in [3usize, 5, 7, 9] {
+        g.bench_with_input(BenchmarkId::new("sum_not_two", k), &k, |b, &k| {
+            b.iter(|| {
+                GlobalSynthesizer::new(k, SynthesisConfig::default())
+                    .synthesize(&p)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_local_synthesis, bench_global_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the oriented-tree extension: the reachability-based
+//! deadlock theorem (constant in tree size) vs explicit checking per shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_protocol::Domain;
+use selfstab_tree::{parent_arrays, TreeDeadlockAnalysis, TreeInstance, TreeProtocol, TreeShape};
+
+fn tree_agreement(d: usize) -> TreeProtocol {
+    TreeProtocol::builder(Domain::numeric("x", d))
+        .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+        .unwrap()
+        .node_legit("x[r] == x[r-1]")
+        .unwrap()
+        .root_silent_and_all_legit()
+        .build()
+        .unwrap()
+}
+
+fn bench_tree_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_deadlock_analysis");
+    for d in [2usize, 3, 4, 5] {
+        let p = tree_agreement(d);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &p, |b, p| {
+            b.iter(|| TreeDeadlockAnalysis::analyze(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_brute_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_brute_force");
+    g.sample_size(10);
+    let p = tree_agreement(2);
+    for n in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("all_shapes", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bad = 0;
+                for shape in parent_arrays(n) {
+                    let inst = TreeInstance::new(&p, &shape);
+                    bad += inst.illegitimate_deadlocks().len();
+                }
+                bad
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("single_path", n), &n, |b, &n| {
+            let shape = TreeShape::path(n);
+            b.iter(|| {
+                let inst = TreeInstance::new(&p, &shape);
+                inst.illegitimate_deadlocks().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_tree_analysis, bench_tree_brute_force
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment E12 (verification): the local method's cost is independent
+//! of the ring size, while explicit-state global checking grows as `d^K`.
+//! This bench regenerates the crossover table of EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::report::StabilizationReport;
+use selfstab_global::{check, RingInstance};
+use selfstab_protocols::{agreement, sum_not_two};
+
+fn bench_local_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_local");
+    let cases = [
+        ("agreement_t01", agreement::binary_agreement_one_sided()),
+        ("sum_not_two", sum_not_two::sum_not_two_solution()),
+        ("max_agreement5", agreement::max_agreement(5)),
+    ];
+    for (name, p) in &cases {
+        g.bench_function(*name, |b| b.iter(|| StabilizationReport::analyze(p)));
+    }
+    g.finish();
+}
+
+fn bench_global_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_global");
+    g.sample_size(10);
+    let p = agreement::binary_agreement_one_sided();
+    for k in [6usize, 10, 14, 18] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(BenchmarkId::new("agreement_t01", k), &ring, |b, ring| {
+            b.iter(|| check::ConvergenceReport::check(ring));
+        });
+    }
+    let p = sum_not_two::sum_not_two_solution();
+    for k in [4usize, 6, 8, 10] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(BenchmarkId::new("sum_not_two", k), &ring, |b, ring| {
+            b.iter(|| check::ConvergenceReport::check(ring));
+        });
+    }
+    g.finish();
+}
+
+fn bench_livelock_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("livelock_detection_global");
+    g.sample_size(10);
+    let p = agreement::binary_agreement_both();
+    for k in [6usize, 10, 14] {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        g.bench_with_input(BenchmarkId::new("agreement_both", k), &ring, |b, ring| {
+            b.iter(|| check::find_livelock(ring));
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_local_verification,
+    bench_global_verification,
+    bench_livelock_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the paper's experiments as console tables.
+//!
+//! ```text
+//! cargo run -p selfstab-bench --bin repro --release            # everything
+//! cargo run -p selfstab-bench --bin repro --release -- e3 e11  # selected
+//! cargo run -p selfstab-bench --bin repro --release -- ablate  # ablations
+//! ```
+
+use selfstab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        experiments::run_all();
+        return;
+    }
+    for a in &args {
+        match a.as_str() {
+            "e1" => experiments::e1(),
+            "e2" => experiments::e2(),
+            "e3" => experiments::e3(),
+            "e4" => experiments::e4(),
+            "e5" => experiments::e5(),
+            "e6" => experiments::e6(),
+            "e7" => experiments::e7(),
+            "e8" => experiments::e8(),
+            "e9" => experiments::e9(),
+            "e10" => experiments::e10(),
+            "e11" => experiments::e11(),
+            "e12" => experiments::e12(),
+            "e13" => experiments::e13(),
+            "x1" => experiments::x1(),
+            "x2" => experiments::x2(),
+            "ablate" => {
+                experiments::ablate_a1();
+                experiments::ablate_a2();
+                experiments::ablate_a3();
+            }
+            "all" => experiments::run_all(),
+            other => eprintln!("unknown experiment `{other}` (e1..e13, x1, x2, ablate, all)"),
+        }
+    }
+}

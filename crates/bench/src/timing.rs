@@ -1,0 +1,50 @@
+//! Minimal wall-clock timing helpers for the reproduction tables.
+
+use std::time::Instant;
+
+/// Times a closure, returning its result and the elapsed microseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Times a closure over `reps` repetitions, returning the mean elapsed
+/// microseconds of one run (the closure's last result is discarded).
+pub fn timed_mean(reps: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps.max(1) as f64
+}
+
+/// Formats microseconds compactly (`12.3us`, `4.5ms`, `6.7s`).
+pub fn fmt_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, us) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_us(12.34), "12.3us");
+        assert_eq!(fmt_us(4_500.0), "4.5ms");
+        assert_eq!(fmt_us(6_700_000.0), "6.70s");
+    }
+}

@@ -1,0 +1,32 @@
+//! Smoke tests for the reproduction harness: the fast experiments must run
+//! without panicking (the heavyweight ones — E12, X1/X2, the ablations —
+//! are exercised by the `repro` binary itself).
+
+use selfstab_bench::experiments;
+
+#[test]
+fn fast_experiments_run() {
+    experiments::e1();
+    experiments::e4();
+    experiments::e5();
+    experiments::e9();
+    experiments::e10();
+}
+
+#[test]
+fn synthesis_experiments_run() {
+    experiments::e8();
+    experiments::e11();
+}
+
+#[test]
+fn deadlock_experiments_run() {
+    experiments::e2();
+    experiments::e3();
+}
+
+#[test]
+fn livelock_experiments_run() {
+    experiments::e6();
+    experiments::e7();
+}

@@ -1,0 +1,148 @@
+//! Tiny flag parser shared by the subcommands (kept dependency-free).
+
+use std::collections::BTreeMap;
+
+/// Parsed positional arguments and `--flag [value]` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, Option<String>>,
+}
+
+/// Flags that take no value, per subcommand vocabulary.
+const BOOLEAN_FLAGS: &[&str] = &["ltg", "first", "all", "quiet", "json"];
+
+impl Args {
+    /// Parses raw arguments. Options may be `--name value` or `--name`;
+    /// `-o` is accepted as an alias for `--out`.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    out.options.insert(name.to_owned(), None);
+                    i += 1;
+                } else {
+                    let value = raw
+                        .get(i + 1)
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    out.options.insert(name.to_owned(), Some(value.clone()));
+                    i += 2;
+                }
+            } else if a == "-o" {
+                let value = raw.get(i + 1).ok_or("option -o needs a value")?;
+                out.options.insert("out".to_owned(), Some(value.clone()));
+                i += 2;
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The required protocol-file positional argument.
+    pub fn file(&self) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| "missing <file.stab> argument".to_owned())
+    }
+
+    /// `true` if a boolean flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// A string-valued option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// A numeric option with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name} expects a number, got `{v}`")),
+        }
+    }
+
+    /// A required numeric option.
+    pub fn require_usize(&self, name: &str) -> Result<usize, String> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))?;
+        v.parse()
+            .map_err(|_| format!("option --{name} expects a number, got `{v}`"))
+    }
+
+    /// A u64 option with a default (for seeds).
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+/// Loads and parses the protocol file named by the first positional arg.
+pub fn load_protocol(
+    args: &Args,
+) -> Result<selfstab_protocol::Protocol, Box<dyn std::error::Error>> {
+    let path = args.file()?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(
+        selfstab_protocol::file::parse_protocol_file(&source)
+            .map_err(|e| format!("{path}: {e}"))?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = Args::parse(&argv(&["f.stab", "--k", "5", "--ltg", "-o", "out.dot"])).unwrap();
+        assert_eq!(a.file().unwrap(), "f.stab");
+        assert_eq!(a.get_usize("k", 0).unwrap(), 5);
+        assert!(a.flag("ltg"));
+        assert_eq!(a.get("out"), Some("out.dot"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["f", "--k"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(&argv(&["f", "--k", "five"])).unwrap();
+        assert!(a.get_usize("k", 0).is_err());
+        assert!(a.require_usize("k").is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&["f"])).unwrap();
+        assert_eq!(a.get_usize("max", 20).unwrap(), 20);
+        assert_eq!(a.get_u64("seed", 42).unwrap(), 42);
+        assert!(!a.flag("ltg"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let a = Args::parse(&argv(&["--k", "3"])).unwrap();
+        assert!(a.file().is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! `selfstab audit <file.stab> [--to K]` — the full battery: local proofs,
+//! global cross-checks at every size up to a bound, and trail
+//! reconstruction when the livelock certificate fails.
+
+use selfstab_core::report::StabilizationReport;
+use selfstab_global::{check, RingInstance};
+use selfstab_synth::diagnose::reconstruct_trail;
+
+use crate::args::{load_protocol, Args};
+
+pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let protocol = load_protocol(&args)?;
+    let to = args.get_usize("to", 6)?;
+
+    println!("{protocol}");
+    println!("== local analysis (all ring sizes) ==");
+    let report = StabilizationReport::analyze(&protocol);
+    println!("{report}");
+
+    // When the certificate fails, try to realize the trail as a livelock.
+    if let Some(trail) = report.livelock.trail() {
+        println!("== trail reconstruction ==");
+        println!("blocking trail: {}", trail.display(&protocol));
+        let rec = reconstruct_trail(&protocol, trail, 2..=to)?;
+        println!("{rec}");
+    }
+
+    println!("== global cross-check (K = 2..={to}) ==");
+    let mut disagreements = 0;
+    for k in 2..=to {
+        let ring = RingInstance::symmetric(&protocol, k)?;
+        let g = check::ConvergenceReport::check(&ring);
+        let status = if g.self_stabilizing() {
+            "self-stabilizing"
+        } else {
+            "FAILS"
+        };
+        println!(
+            "K={k}: {status} (deadlocks¬I {}, livelock {}, closure {})",
+            g.illegitimate_deadlocks.len(),
+            g.livelock.is_some(),
+            g.closure_violation.is_none()
+        );
+        // Soundness audit: a local "proven" verdict must never be
+        // contradicted globally.
+        if report.is_self_stabilizing_for_all_k() && !g.self_stabilizing() {
+            disagreements += 1;
+        }
+    }
+    if disagreements > 0 {
+        return Err(format!(
+            "SOUNDNESS VIOLATION: local proof contradicted at {disagreements} size(s) — please report this"
+        )
+        .into());
+    }
+    println!("== verdict ==");
+    if report.is_self_stabilizing_for_all_k() {
+        println!("PROVEN strongly self-stabilizing for every ring size (local method).");
+    } else {
+        println!(
+            "not established for all K by the local method; global checks up to K={to} shown above."
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `selfstab check <file.stab> --k N [--to M]` — explicit-state global
+//! model checking at fixed ring sizes.
+
+use selfstab_global::{check::ConvergenceReport, RingInstance};
+
+use crate::args::{load_protocol, Args};
+
+pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let protocol = load_protocol(&args)?;
+    let from = args.require_usize("k")?;
+    let to = args.get_usize("to", from)?;
+    if to < from {
+        return Err("--to must be at least --k".into());
+    }
+
+    let mut all_ok = true;
+    let mut json_rows = Vec::new();
+    for k in from..=to {
+        let ring = RingInstance::symmetric(&protocol, k)?;
+        let report = ConvergenceReport::check(&ring);
+        if args.flag("json") {
+            json_rows.push(crate::json::convergence_report(&report));
+            if !report.self_stabilizing() {
+                all_ok = false;
+            }
+            continue;
+        }
+        print!("{report}");
+        if let Some(cycle) = &report.livelock {
+            let rendered: Vec<String> = cycle
+                .iter()
+                .take(12)
+                .map(|&s| {
+                    ring.space()
+                        .decode(s)
+                        .iter()
+                        .map(|&v| protocol.domain().label(v).chars().next().unwrap_or('?'))
+                        .collect()
+                })
+                .collect();
+            println!(
+                "  livelock cycle: {}{}",
+                rendered.join(" -> "),
+                if cycle.len() > 12 { " ..." } else { "" }
+            );
+        }
+        if !report.self_stabilizing() {
+            all_ok = false;
+        }
+    }
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(json_rows))?
+        );
+    } else if all_ok {
+        println!("strongly self-stabilizing at every checked size");
+    }
+    if all_ok {
+        Ok(())
+    } else {
+        Err("some checked size fails".into())
+    }
+}

@@ -1,0 +1,10 @@
+//! Subcommand implementations.
+
+pub mod analyze;
+pub mod audit;
+pub mod check;
+pub mod dot;
+pub mod fmt;
+pub mod simulate;
+pub mod sizes;
+pub mod synthesize;

@@ -1,0 +1,34 @@
+//! `selfstab sizes <file.stab> [--max N]` — exact deadlocked ring sizes.
+
+use selfstab_core::deadlock::DeadlockAnalysis;
+
+use crate::args::{load_protocol, Args};
+
+pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let protocol = load_protocol(&args)?;
+    let max = args.get_usize("max", 20)?;
+
+    let analysis = DeadlockAnalysis::analyze(&protocol);
+    if analysis.is_free_for_all_k() {
+        println!("deadlock-free outside I for every ring size (Theorem 4.2)");
+        return Ok(());
+    }
+    let sizes = analysis.deadlocked_ring_sizes(max);
+    println!("ring sizes 1..={max} with global deadlocks outside I: {sizes:?}");
+    let free: Vec<usize> = (1..=max).filter(|k| !sizes.contains(k)).collect();
+    println!("deadlock-free sizes in that range: {free:?}");
+    for w in analysis.witnesses().iter().take(5) {
+        let states: Vec<String> = w
+            .cycle
+            .iter()
+            .map(|&s| protocol.space().format_compact(s, protocol.domain()))
+            .collect();
+        println!(
+            "  witness cycle (len {}): {}",
+            w.base_ring_size,
+            states.join(" -> ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! JSON rendering of analysis results (the `--json` flag), for piping into
+//! other tooling.
+
+use selfstab_core::livelock::CertificateScope;
+use selfstab_core::report::StabilizationReport;
+use selfstab_global::check::ConvergenceReport;
+use selfstab_protocol::Protocol;
+use serde_json::{json, Value};
+
+/// The local [`StabilizationReport`] as JSON.
+pub fn stabilization_report(protocol: &Protocol, report: &StabilizationReport) -> Value {
+    let witnesses: Vec<Value> = report
+        .deadlock
+        .witnesses()
+        .iter()
+        .map(|w| {
+            json!({
+                "ring_size": w.base_ring_size,
+                "cycle": w.cycle.iter()
+                    .map(|&s| protocol.space().format_compact(s, protocol.domain()))
+                    .collect::<Vec<_>>(),
+                "configuration": w.configuration.iter()
+                    .map(|&v| protocol.domain().label(v))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    json!({
+        "protocol": protocol.name(),
+        "deadlock": {
+            "free_for_all_k": report.deadlock.is_free_for_all_k(),
+            "local_deadlocks": report.deadlock.local_deadlock_count(),
+            "illegitimate_deadlocks": report.deadlock.illegitimate_deadlock_count(),
+            "witnesses": witnesses,
+            "witnesses_truncated": report.deadlock.witnesses_truncated(),
+            "deadlocked_ring_sizes_up_to_20": report.deadlock.deadlocked_ring_sizes(20),
+        },
+        "livelock": {
+            "certified_free": report.livelock.certified_free(),
+            "scope": match report.livelock.scope() {
+                CertificateScope::AllLivelocks => "all_livelocks",
+                CertificateScope::ContiguousLivelocksOnly => "contiguous_livelocks_only",
+            },
+            "self_terminating": report.livelock.self_terminating(),
+            "process_self_disabling": report.livelock.process_self_disabling(),
+            "pseudo_livelock_support": report.livelock.pseudo_livelock_support().len(),
+            "blocking_trail": report.livelock.trail().map(|t| t.display(protocol)),
+        },
+        "closure": match &report.closure {
+            Ok(()) => json!({"closed": true}),
+            Err(v) => json!({"closed": false, "violation": v.to_string()}),
+        },
+        "self_stabilizing_for_all_k": report.is_self_stabilizing_for_all_k(),
+    })
+}
+
+/// A fixed-size global [`ConvergenceReport`] as JSON.
+pub fn convergence_report(report: &ConvergenceReport) -> Value {
+    json!({
+        "ring_size": report.ring_size,
+        "state_count": report.state_count,
+        "legit_count": report.legit_count,
+        "closure_ok": report.closure_violation.is_none(),
+        "illegitimate_deadlocks": report.illegitimate_deadlocks.len(),
+        "livelock_length": report.livelock.as_ref().map(Vec::len),
+        "self_stabilizing": report.self_stabilizing(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_global::RingInstance;
+    use selfstab_protocol::{Domain, Locality};
+
+    fn protocol() -> Protocol {
+        Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stabilization_json_shape() {
+        let p = protocol();
+        let r = StabilizationReport::analyze(&p);
+        let v = stabilization_report(&p, &r);
+        assert_eq!(v["protocol"], "ag");
+        assert_eq!(v["deadlock"]["free_for_all_k"], true);
+        assert_eq!(v["livelock"]["certified_free"], true);
+        assert_eq!(v["self_stabilizing_for_all_k"], true);
+        assert!(v["livelock"]["blocking_trail"].is_null());
+    }
+
+    #[test]
+    fn convergence_json_shape() {
+        let p = protocol();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let r = ConvergenceReport::check(&ring);
+        let v = convergence_report(&r);
+        assert_eq!(v["ring_size"], 4);
+        assert_eq!(v["self_stabilizing"], true);
+        assert!(v["livelock_length"].is_null());
+    }
+}

@@ -1,0 +1,75 @@
+//! `selfstab` — the command-line front end of the selfstab toolkit.
+//!
+//! ```text
+//! selfstab analyze    <file.stab>                  local proofs (Theorems 4.2 / 5.14)
+//! selfstab audit      <file.stab> [--to 6]          proofs + global cross-checks + reconstruction
+//! selfstab check      <file.stab> --k 5 [--to 8]   global model checking at fixed sizes
+//! selfstab synthesize <file.stab> [--first]        Section 6 synthesis methodology
+//! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
+//! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
+//! selfstab dot        <file.stab> [--ltg] [-o F]   Graphviz export of the RCG/LTG
+//! selfstab fmt        <file.stab>                  reprint the canonical .stab form
+//! ```
+
+mod args;
+mod commands;
+mod json;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "analyze" => commands::analyze::run(rest),
+        "audit" => commands::audit::run(rest),
+        "check" => commands::check::run(rest),
+        "synthesize" => commands::synthesize::run(rest),
+        "sizes" => commands::sizes::run(rest),
+        "simulate" => commands::simulate::run(rest),
+        "dot" => commands::dot::run(rest),
+        "fmt" => commands::fmt::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand `{other}`").into())
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "selfstab — self-stabilization of parameterized rings by local reasoning
+
+USAGE:
+    selfstab <SUBCOMMAND> <file.stab> [OPTIONS]
+
+SUBCOMMANDS:
+    analyze     Theorem 4.2 / 5.14 local analysis (all ring sizes at once)
+    audit       local proofs + global cross-checks + trail reconstruction ([--to K])
+    check       explicit-state global check at fixed ring sizes (--k N [--to M])
+    synthesize  add convergence via the Section 6 methodology ([--first])
+    sizes       exact deadlocked ring sizes ([--max N], default 20)
+    simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X])
+    dot         Graphviz export of the RCG ([--ltg] for the LTG, [-o FILE])
+    fmt         reprint the canonical .stab form
+    help        this message"
+    );
+}

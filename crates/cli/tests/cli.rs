@@ -1,0 +1,233 @@
+//! End-to-end tests of the `selfstab` binary against the `.stab` specs in
+//! `specs/`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn spec(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../specs")
+        .join(name)
+}
+
+fn selfstab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_selfstab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn analyze_agreement_proves_stabilization() {
+    let out = selfstab(&["analyze", spec("agreement.stab").to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("FREE for all K"));
+    assert!(text.contains("CERTIFIED"));
+    assert!(text.contains("strongly self-stabilizing for every ring size"));
+}
+
+#[test]
+fn analyze_reports_witnesses_for_non_generalizable_matching() {
+    let out = selfstab(&[
+        "analyze",
+        spec("matching_non_generalizable.stab").to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("NOT free"));
+    assert!(text.contains("deadlock witness (ring size 4)"));
+    assert!(text.contains("deadlocked ring sizes"));
+}
+
+#[test]
+fn check_passes_and_fails_appropriately() {
+    let ok = selfstab(&[
+        "check",
+        spec("agreement.stab").to_str().unwrap(),
+        "--k",
+        "3",
+        "--to",
+        "6",
+    ]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    assert!(stdout(&ok).contains("strongly self-stabilizing at every checked size"));
+
+    let bad = selfstab(&[
+        "check",
+        spec("agreement_both.stab").to_str().unwrap(),
+        "--k",
+        "4",
+    ]);
+    assert!(!bad.status.success());
+    assert!(stdout(&bad).contains("livelock"));
+}
+
+#[test]
+fn synthesize_agreement_emits_two_solutions() {
+    let out = selfstab(&["synthesize", spec("agreement_empty.stab").to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("# solution 1"));
+    assert!(text.contains("# solution 2"));
+    assert!(text.contains("action"));
+    assert!(stderr(&out).contains("2 solution(s)"));
+}
+
+#[test]
+fn synthesize_three_coloring_fails_with_explanation() {
+    let out = selfstab(&["synthesize", spec("three_coloring.stab").to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("synthesis failed"));
+}
+
+#[test]
+fn synthesized_output_is_valid_input() {
+    // Pipe a synthesized solution back through `analyze`.
+    let out = selfstab(&[
+        "synthesize",
+        spec("agreement_empty.stab").to_str().unwrap(),
+        "--first",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let solution: String = text
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let dir = std::env::temp_dir().join("selfstab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("synth.stab");
+    std::fs::write(&path, solution).unwrap();
+    let check = selfstab(&["analyze", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    assert!(stdout(&check).contains("strongly self-stabilizing"));
+}
+
+#[test]
+fn sizes_reports_exact_set() {
+    let out = selfstab(&[
+        "sizes",
+        spec("matching_non_generalizable.stab").to_str().unwrap(),
+        "--max",
+        "10",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("[4, 6, 7, 8, 9, 10]"), "{text}");
+    assert!(text.contains("deadlock-free sizes in that range: [1, 2, 3, 5]"));
+}
+
+#[test]
+fn simulate_reports_statistics() {
+    let out = selfstab(&[
+        "simulate",
+        spec("agreement.stab").to_str().unwrap(),
+        "--k",
+        "8",
+        "--trials",
+        "100",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("converged: 100 (100.0%)"));
+    assert!(text.contains("worst-case (adversarial daemon) recovery bound"));
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let out = selfstab(&["dot", spec("agreement.stab").to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    let out = selfstab(&["dot", spec("agreement.stab").to_str().unwrap(), "--ltg"]);
+    assert!(stdout(&out).contains("label=\"t\""));
+}
+
+#[test]
+fn fmt_roundtrips() {
+    let out = selfstab(&["fmt", spec("sum_not_two.stab").to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("protocol sum-not-two"));
+    assert!(text.contains("domain x { 0 1 2 }"));
+    assert!(text.contains("legit x[r] + x[r-1] != 2"));
+}
+
+#[test]
+fn audit_combines_everything() {
+    let out = selfstab(&[
+        "audit",
+        spec("agreement_both.stab").to_str().unwrap(),
+        "--to",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("blocking trail"));
+    assert!(text.contains("trail reconstructs: livelock"));
+    assert!(text.contains("K=4: FAILS"));
+    assert!(text.contains("not established for all K"));
+
+    let out = selfstab(&[
+        "audit",
+        spec("agreement.stab").to_str().unwrap(),
+        "--to",
+        "5",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("PROVEN strongly self-stabilizing"));
+}
+
+#[test]
+fn json_output_is_valid() {
+    let out = selfstab(&[
+        "analyze",
+        spec("agreement.stab").to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["self_stabilizing_for_all_k"], true);
+    assert_eq!(v["deadlock"]["free_for_all_k"], true);
+
+    let out = selfstab(&[
+        "check",
+        spec("agreement.stab").to_str().unwrap(),
+        "--k",
+        "3",
+        "--to",
+        "5",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v.as_array().unwrap().len(), 3);
+    assert_eq!(v[0]["ring_size"], 3);
+}
+
+#[test]
+fn helpful_errors() {
+    let out = selfstab(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+
+    let out = selfstab(&["analyze", "/nonexistent/file.stab"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+
+    let out = selfstab(&["check", spec("agreement.stab").to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--k"));
+}

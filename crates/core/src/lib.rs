@@ -1,0 +1,67 @@
+//! Local reasoning for global convergence of parameterized rings.
+//!
+//! This crate implements the contribution of Farahat & Ebnenasir (ICDCS
+//! 2012): verification of self-stabilization properties of *parameterized*
+//! ring protocols — for **every** ring size `K` at once — using only the
+//! local state space of the representative process.
+//!
+//! * [`rcg`] — the Right Continuation Graph of Definition 4.1: arcs between
+//!   local states that can be adjacent on a ring.
+//! * [`deadlock`] — the **Theorem 4.2** check: `p(K)` is deadlock-free
+//!   outside `I(K)` for every `K` *iff* the RCG induced over local deadlocks
+//!   has no directed cycle through an illegitimate local state. The check is
+//!   exact, and each offending cycle is reported with the ring sizes it
+//!   witnesses (multiples of the cycle length).
+//! * [`ltg`] — the Local Transition Graph of Definition 5.3 (RCG + t-arcs),
+//!   Assumption 1/2 checks and the self-disabling transformation.
+//! * [`pseudo`] — pseudo-livelocks (Definition 5.13): subsets of `δ_r`
+//!   whose projection on the written variable repeats.
+//! * [`trail`] — contiguous trails (Lemma 5.12): the alternating
+//!   t-arc/s-arc structures that any livelock must leave in the LTG.
+//! * [`livelock`] — the **Theorem 5.14** certificate: if no contiguous
+//!   trail with pseudo-livelocking t-arcs and an illegitimate state exists,
+//!   the protocol is livelock-free on unidirectional rings of every size.
+//! * [`closure`] — a window-local closure check for `I(K)`.
+//! * [`report`] — [`StabilizationReport`], bundling everything.
+//!
+//! # Examples
+//!
+//! The 3-coloring protocol synthesized with t-arcs `{t01, t12, t20}`
+//! passes the deadlock check but fails the livelock certificate — exactly
+//! the situation of the paper's Section 6.1 walk-through:
+//!
+//! ```
+//! use selfstab_protocol::{Domain, Locality, Protocol};
+//! use selfstab_core::{deadlock::DeadlockAnalysis, livelock::LivelockAnalysis};
+//!
+//! let p = Protocol::builder("3col", Domain::numeric("c", 3), Locality::unidirectional())
+//!     .action("c[r-1] == 0 && c[r] == 0 -> c[r] := 1")?
+//!     .action("c[r-1] == 1 && c[r] == 1 -> c[r] := 2")?
+//!     .action("c[r-1] == 2 && c[r] == 2 -> c[r] := 0")?
+//!     .legit("c[r] != c[r-1]")?
+//!     .build()?;
+//!
+//! assert!(DeadlockAnalysis::analyze(&p).is_free_for_all_k());
+//! assert!(!LivelockAnalysis::analyze(&p).certified_free());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod deadlock;
+pub mod livelock;
+pub mod ltg;
+pub mod pseudo;
+pub mod rcg;
+pub mod report;
+pub mod trail;
+
+pub use closure::{local_closure_check, ClosureViolation};
+pub use deadlock::DeadlockAnalysis;
+pub use livelock::LivelockAnalysis;
+pub use ltg::Ltg;
+pub use rcg::Rcg;
+pub use report::StabilizationReport;
+pub use trail::{ContiguousTrail, TrailStep};

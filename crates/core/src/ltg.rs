@@ -1,0 +1,341 @@
+//! The Local Transition Graph (Definition 5.3), Assumption 1/2 checks, and
+//! the self-disabling transformation.
+
+use selfstab_graph::{dot, DiGraph};
+use selfstab_protocol::{LocalStateId, LocalTransition, Protocol, ProtocolError};
+
+use crate::rcg::Rcg;
+
+/// The Local Transition Graph `LTG_p`: the RCG (*s-arcs*, the continuation
+/// relation) augmented with the local transitions of the representative
+/// process (*t-arcs*).
+///
+/// Computations of a ring appear in the LTG as interleavings of t-arcs
+/// (a process moves) and s-arcs (attention shifts to the successor
+/// process); livelocks leave *contiguous trails* (see
+/// [`crate::trail`]).
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, Protocol};
+/// use selfstab_core::Ltg;
+///
+/// let p = Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+///     .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")?
+///     .legit("x[r] == x[r-1]")?
+///     .build()?;
+/// let ltg = Ltg::build(&p);
+/// assert_eq!(ltg.t_arcs().vertex_count(), 4);
+/// assert_eq!(ltg.t_arcs().arc_count(), 1); // the single local transition
+/// assert_eq!(ltg.s_arcs().arc_count(), 8); // the full continuation relation
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ltg {
+    s: Rcg,
+    t: DiGraph,
+    transitions: Vec<LocalTransition>,
+}
+
+impl Ltg {
+    /// Builds the LTG of a protocol.
+    pub fn build(protocol: &Protocol) -> Self {
+        Self::with_rcg(protocol, Rcg::build(protocol))
+    }
+
+    /// Builds the LTG reusing a pre-built RCG.
+    pub fn with_rcg(protocol: &Protocol, rcg: Rcg) -> Self {
+        let space = protocol.space();
+        let mut t = DiGraph::new(space.len());
+        let mut transitions = Vec::new();
+        for tr in protocol.transitions() {
+            t.add_arc(
+                tr.source.index(),
+                tr.target_state(space, protocol.locality()).index(),
+            );
+            transitions.push(tr);
+        }
+        Ltg {
+            s: rcg,
+            t,
+            transitions,
+        }
+    }
+
+    /// The s-arcs: the continuation relation (an [`Rcg`]).
+    pub fn rcg(&self) -> &Rcg {
+        &self.s
+    }
+
+    /// The s-arc graph.
+    pub fn s_arcs(&self) -> &DiGraph {
+        self.s.graph()
+    }
+
+    /// The t-arc graph: `s → s'` for each local transition.
+    pub fn t_arcs(&self) -> &DiGraph {
+        &self.t
+    }
+
+    /// The local transitions backing the t-arcs.
+    pub fn transitions(&self) -> &[LocalTransition] {
+        &self.transitions
+    }
+
+    /// Renders the LTG in DOT: solid arcs are t-arcs, dashed arcs are
+    /// (right) s-arcs; illegitimate local states are shaded.
+    pub fn to_dot(&self, protocol: &Protocol, name: &str) -> String {
+        let space = protocol.space();
+        let domain = protocol.domain();
+        // Render both arc families into one digraph by emitting the s-graph
+        // with styles, then appending t-arcs manually.
+        let mut out = dot::to_dot(
+            self.s.graph(),
+            name,
+            |v| {
+                let id = LocalStateId(v as u32);
+                Some(dot::VertexStyle {
+                    label: space.format_compact(id, domain),
+                    fill: if protocol.legit().holds(id) {
+                        String::new()
+                    } else {
+                        "lightgray".to_owned()
+                    },
+                    shape: String::new(),
+                })
+            },
+            |_, _| Some("s".to_owned()),
+        );
+        // Splice t-arcs before the closing brace.
+        let insert = out.rfind('}').unwrap_or(out.len());
+        let mut t_lines = String::new();
+        for (u, v) in self.t.arcs() {
+            t_lines.push_str(&format!("  v{u} -> v{v} [label=\"t\", style=bold];\n"));
+        }
+        out.insert_str(insert, &t_lines);
+        out
+    }
+}
+
+/// Checks Assumption 1 (*self-termination*): every sequence of local
+/// transitions of a process terminates in a local deadlock — i.e. the
+/// t-arc graph is acyclic.
+pub fn is_self_terminating(protocol: &Protocol) -> bool {
+    let ltg = Ltg::build(protocol);
+    !selfstab_graph::cycles::has_cycle(ltg.t_arcs())
+}
+
+/// Checks whether the protocol is *self-disabling at the process level*: no
+/// local transition lands in a state where the process is again enabled.
+///
+/// Transition-granular actions are always self-disabling at the *action*
+/// level (Assumption 2); this stricter check corresponds to the paper's
+/// normal form where enablement chains have been collapsed.
+pub fn is_process_self_disabling(protocol: &Protocol) -> bool {
+    let space = protocol.space();
+    let loc = protocol.locality();
+    protocol
+        .transitions()
+        .all(|t| !protocol.is_enabled(t.target_state(space, loc)))
+}
+
+/// The self-disabling transformation described with Assumption 2: replaces
+/// every local transition `(s, s₁)` whose target is itself enabled by the
+/// transitions `(s, s_k)` for every local deadlock `s_k` reachable from `s₁`
+/// through t-arcs. Preserves reachability of terminal states, introduces no
+/// new local deadlocks (so the Theorem 4.2 verdict is unchanged), and
+/// removes process-level self-enabling.
+///
+/// **Warning — not livelock-preserving.** The paper presents this
+/// transformation as at-no-loss-of-generality ("without adding neither
+/// deadlocks nor livelocks"), but collapsing a chain hides its intermediate
+/// writes from the successor process, and those writes can be exactly what
+/// sustains a livelock: there are protocols that livelock while their
+/// transformed forms do not (see
+/// `tests/transform_counterexample.rs` and EXPERIMENTS.md finding #4).
+/// Consequently livelock-freedom of the transformed protocol says nothing
+/// about the original, and [`crate::livelock::LivelockAnalysis`] refuses to
+/// certify chain protocols instead of normalizing them.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Invalid`] if the protocol is not
+/// self-terminating (Assumption 1 fails: a t-arc cycle exists, so chains do
+/// not terminate), or if collapsing a chain would create an identity
+/// transition (the chain returns to the source's own value, which would
+/// require a self-loop).
+pub fn make_self_disabling(protocol: &Protocol) -> Result<Protocol, ProtocolError> {
+    if !is_self_terminating(protocol) {
+        return Err(ProtocolError::Invalid {
+            message: "protocol is not self-terminating (t-arc cycle); Assumption 1 fails".into(),
+        });
+    }
+    let space = protocol.space();
+    let loc = protocol.locality();
+
+    // Terminal states reachable from each state through t-arcs (memoized;
+    // the t-graph is acyclic so plain recursion-by-worklist terminates).
+    let n = space.len();
+    let mut terminals: Vec<Option<Vec<LocalStateId>>> = vec![None; n];
+    fn collect(
+        protocol: &Protocol,
+        id: LocalStateId,
+        terminals: &mut Vec<Option<Vec<LocalStateId>>>,
+    ) -> Vec<LocalStateId> {
+        if let Some(t) = &terminals[id.index()] {
+            return t.clone();
+        }
+        let space = protocol.space();
+        let loc = protocol.locality();
+        let targets = protocol.transitions_from(id);
+        let mut out = Vec::new();
+        if targets.is_empty() {
+            out.push(id);
+        } else {
+            for &v in targets {
+                let next = space.with_value(id, loc.center(), v);
+                out.extend(collect(protocol, next, terminals));
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        terminals[id.index()] = Some(out.clone());
+        out
+    }
+
+    let mut new_transitions = Vec::new();
+    for t in protocol.transitions() {
+        let target_state = t.target_state(space, loc);
+        if !protocol.is_enabled(target_state) {
+            new_transitions.push(t);
+            continue;
+        }
+        let src_value = space.value_at(t.source, loc.center());
+        for terminal in collect(protocol, target_state, &mut terminals) {
+            let v = space.value_at(terminal, loc.center());
+            if v == src_value {
+                return Err(ProtocolError::Invalid {
+                    message: format!(
+                        "collapsing the chain from {} returns to its own value {v}; \
+                         the transformation would need an identity transition",
+                        t.source
+                    ),
+                });
+            }
+            new_transitions.push(LocalTransition::new(t.source, v));
+        }
+    }
+    protocol.with_transitions(&format!("{}-sd", protocol.name()), new_transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::{Domain, Locality};
+
+    fn base(d: usize) -> selfstab_protocol::ProtocolBuilder {
+        Protocol::builder("p", Domain::numeric("x", d), Locality::unidirectional())
+    }
+
+    #[test]
+    fn chain_protocol_is_not_process_self_disabling() {
+        // (0,1)->2 then (0,2)->... chain: with predecessor 0: 1 -> 2 -> done.
+        let p = base(3)
+            .transition(&[0, 1], 2)
+            .unwrap()
+            .transition(&[0, 2], 1)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        // (0,1)->(0,2) and (0,2)->(0,1): a t-cycle — not self-terminating.
+        assert!(!is_self_terminating(&p));
+        assert!(!is_process_self_disabling(&p));
+        assert!(make_self_disabling(&p).is_err());
+    }
+
+    #[test]
+    fn transform_collapses_chains() {
+        // (0,1)->2 and (0,2)->... wait: make an acyclic chain
+        // (0,0)->1, (0,1)->2 ; from (0,0) the chain is 0->1->2.
+        let p = base(3)
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[0, 1], 2)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        assert!(is_self_terminating(&p));
+        assert!(!is_process_self_disabling(&p));
+        let q = make_self_disabling(&p).unwrap();
+        assert!(is_process_self_disabling(&q));
+        // (0,0) now jumps directly to the terminal value 2.
+        let sp = q.space();
+        assert_eq!(q.transitions_from(sp.encode(&[0, 0])), &[2]);
+        // (0,1)->2 is kept (its target is a deadlock).
+        assert_eq!(q.transitions_from(sp.encode(&[0, 1])), &[2]);
+        // No new local deadlocks: enabled set unchanged.
+        assert_eq!(
+            p.enabled_states().as_bitset().iter().collect::<Vec<_>>(),
+            q.enabled_states().as_bitset().iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transform_is_identity_on_self_disabling_protocols() {
+        let p = base(2)
+            .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(is_process_self_disabling(&p));
+        let q = make_self_disabling(&p).unwrap();
+        assert_eq!(
+            p.transitions().collect::<Vec<_>>(),
+            q.transitions().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transform_rejects_chains_returning_to_source_value() {
+        // (0,0)->1, (0,1)->... chain ending back at value 0: (0,1)->0 has
+        // target (0,0) which is enabled, so chain 0->1->0->1... is a cycle:
+        // caught as non-self-terminating. Construct instead 0->1->0 acyclic?
+        // Impossible with d=2; use d=3: (0,0)->1, (0,1)->0? target (0,0)
+        // enabled -> cycle again. A chain returning to the source value
+        // without a t-cycle needs distinct intermediate states; with one
+        // writable variable target states repeat, so the error arm requires
+        // nondeterministic branches: (0,0)->{1}, (0,1)->{2}, (0,2) deadlock,
+        // plus (0,1)->{0}? then (0,0) enabled -> cycle. So the arm is
+        // unreachable for deterministic chains; assert the cycle diagnosis.
+        let p = base(3)
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[0, 1], 0)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let e = make_self_disabling(&p).unwrap_err();
+        assert!(e.to_string().contains("self-terminating"));
+    }
+
+    #[test]
+    fn ltg_dot_contains_both_arc_kinds() {
+        let p = base(2)
+            .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ltg = Ltg::build(&p);
+        let dot = ltg.to_dot(&p, "ltg");
+        assert!(dot.contains("label=\"s\""));
+        assert!(dot.contains("label=\"t\""));
+    }
+}

@@ -1,0 +1,205 @@
+//! The Right Continuation Graph (Definition 4.1).
+
+use selfstab_graph::{dot, BitSet, DiGraph};
+use selfstab_protocol::{LocalPredicate, LocalStateId, Protocol};
+
+/// The Right Continuation Graph `RCG_p` of a ring protocol.
+///
+/// Vertices are the local states of the representative process `P_r`; there
+/// is an arc `s₁ → s₂` iff `s₂` is a possible local state of `P_{r+1}` when
+/// `P_r` is in `s₁` — i.e. the windows agree on the shared variables
+/// `R_r ∩ R_{r+1}` (the last `left+right` entries of `s₁` equal the first
+/// `left+right` entries of `s₂`).
+///
+/// The RCG depends only on the domain and locality, not on `δ_r`: it
+/// captures how *any* ring of local states can be assembled. Analyses
+/// restrict it to interesting vertex sets (e.g. local deadlocks) via
+/// [`Rcg::induced`].
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, Protocol};
+/// use selfstab_core::Rcg;
+///
+/// let p = Protocol::builder("mm", Domain::named("m", ["left", "right", "self"]),
+///                           Locality::bidirectional())
+///     .legit_all()
+///     .build()?;
+/// let rcg = Rcg::build(&p);
+/// // 27 local states, 3 continuations each (the overlap fixes 2 of 3 vars).
+/// assert_eq!(rcg.graph().vertex_count(), 27);
+/// assert_eq!(rcg.graph().arc_count(), 81);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rcg {
+    graph: DiGraph,
+}
+
+impl Rcg {
+    /// Builds the full RCG of the protocol's local state space.
+    pub fn build(protocol: &Protocol) -> Self {
+        let space = protocol.space();
+        let overlap = protocol.locality().overlap();
+        let n = space.len();
+        let mut graph = DiGraph::new(n);
+        // The continuation relation is a shift: group states by their
+        // overlap prefix to avoid the quadratic scan.
+        let d = space.domain_size();
+        let prefix_count = d.pow(overlap as u32);
+        let mut by_prefix: Vec<Vec<u32>> = vec![Vec::new(); prefix_count];
+        for id in space.ids() {
+            let mut key = 0usize;
+            for i in 0..overlap {
+                key = key * d + space.value_at(id, i) as usize;
+            }
+            by_prefix[key].push(id.0);
+        }
+        for a in space.ids() {
+            let mut key = 0usize;
+            for i in 0..overlap {
+                key = key * d + space.value_at(a, space.width() - overlap + i) as usize;
+            }
+            for &b in &by_prefix[key] {
+                graph.add_arc(a.index(), b as usize);
+            }
+        }
+        Rcg { graph }
+    }
+
+    /// The underlying directed graph (vertex `i` is local state `i`).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The subgraph induced over a set of local states (vertex identities
+    /// are preserved; arcs incident to dropped states vanish).
+    pub fn induced(&self, keep: &LocalPredicate) -> DiGraph {
+        self.graph.induced(keep.as_bitset())
+    }
+
+    /// The right continuations of a local state.
+    pub fn continuations(&self, s: LocalStateId) -> impl Iterator<Item = LocalStateId> + '_ {
+        self.graph
+            .successors(s.index())
+            .iter()
+            .map(|&v| LocalStateId(v))
+    }
+
+    /// Renders the RCG (or a subgraph of it) in Graphviz DOT, shading
+    /// illegitimate local states like the paper's figures.
+    ///
+    /// `show` selects the vertices to draw (e.g. local deadlocks); pass
+    /// `None` to draw everything.
+    pub fn to_dot(&self, protocol: &Protocol, name: &str, show: Option<&BitSet>) -> String {
+        let space = protocol.space();
+        let domain = protocol.domain();
+        dot::to_dot(
+            &self.graph,
+            name,
+            |v| {
+                if show.is_some_and(|s| !s.contains(v)) {
+                    return None;
+                }
+                let id = LocalStateId(v as u32);
+                Some(dot::VertexStyle {
+                    label: space.format_compact(id, domain),
+                    fill: if protocol.legit().holds(id) {
+                        String::new()
+                    } else {
+                        "lightgray".to_owned()
+                    },
+                    shape: String::new(),
+                })
+            },
+            |_, _| None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::{Domain, Locality};
+
+    fn protocol(d: usize, loc: Locality) -> Protocol {
+        Protocol::builder("p", Domain::numeric("x", d), loc)
+            .legit_all()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unidirectional_rcg_is_de_bruijn() {
+        // d=2, window [x_{r-1}, x_r]: arcs (a,b) -> (b,c): the de Bruijn
+        // graph B(2,2): 4 vertices, 8 arcs, out-degree 2.
+        let p = protocol(2, Locality::unidirectional());
+        let rcg = Rcg::build(&p);
+        assert_eq!(rcg.graph().vertex_count(), 4);
+        assert_eq!(rcg.graph().arc_count(), 8);
+        let sp = p.space();
+        let s01 = sp.encode(&[0, 1]);
+        let conts: Vec<_> = rcg.continuations(s01).collect();
+        assert_eq!(conts, vec![sp.encode(&[1, 0]), sp.encode(&[1, 1])]);
+    }
+
+    #[test]
+    fn bidirectional_overlap_two() {
+        let p = protocol(3, Locality::bidirectional());
+        let rcg = Rcg::build(&p);
+        assert_eq!(rcg.graph().arc_count(), 27 * 3);
+        let sp = p.space();
+        // ⟨2,0,1⟩ continues to ⟨0,1,*⟩ only.
+        let conts: Vec<Vec<u8>> = rcg
+            .continuations(sp.encode(&[2, 0, 1]))
+            .map(|c| sp.decode(c))
+            .collect();
+        assert_eq!(conts, vec![vec![0, 1, 0], vec![0, 1, 1], vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_loops_on_constant_states() {
+        let p = protocol(2, Locality::unidirectional());
+        let rcg = Rcg::build(&p);
+        let sp = p.space();
+        assert!(rcg
+            .graph()
+            .has_arc(sp.encode(&[0, 0]).index(), sp.encode(&[0, 0]).index()));
+        assert!(!rcg
+            .graph()
+            .has_arc(sp.encode(&[0, 1]).index(), sp.encode(&[0, 1]).index()));
+    }
+
+    #[test]
+    fn matches_brute_force_definition() {
+        for loc in [
+            Locality::unidirectional(),
+            Locality::bidirectional(),
+            Locality::new(2, 1),
+        ] {
+            let p = protocol(2, loc);
+            let rcg = Rcg::build(&p);
+            let sp = p.space();
+            for a in sp.ids() {
+                for b in sp.ids() {
+                    let expected = sp.is_right_continuation(a, b, loc.overlap());
+                    assert_eq!(rcg.graph().has_arc(a.index(), b.index()), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_shades_illegitimate_states() {
+        let p = Protocol::builder("p", Domain::numeric("x", 2), Locality::unidirectional())
+            .legit("x[r] != x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let rcg = Rcg::build(&p);
+        let dot = rcg.to_dot(&p, "rcg", None);
+        assert!(dot.contains("lightgray"));
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Regression: the paper's Assumption-2 chain-collapsing transformation is
+//! **not** livelock-preserving (finding #4 of EXPERIMENTS.md).
+//!
+//! Section 5 claims "self-enabling actions can be transformed into
+//! self-disabling without adding neither deadlocks nor livelocks in ¬I",
+//! presenting the reduction as at-no-loss-of-generality. Randomized search
+//! found a 3-transition protocol that *livelocks at K = 3* while its
+//! chain-collapsed form is livelock-free there — so reasoning about the
+//! transformed protocol and transferring livelock-freedom back to the
+//! original would be unsound. `LivelockAnalysis` therefore refuses to
+//! certify chain protocols instead of normalizing them.
+
+use selfstab_core::livelock::LivelockAnalysis;
+use selfstab_core::ltg::{is_process_self_disabling, is_self_terminating, make_self_disabling};
+use selfstab_global::{check, RingInstance};
+use selfstab_protocol::{Domain, LocalStateId, LocalTransition, Locality, Protocol};
+
+/// d = 3, unidirectional; legit local states {⟨0,2⟩, ⟨1,0⟩, ⟨1,1⟩};
+/// transitions ⟨0,0⟩→1 (chains into) ⟨0,1⟩→2, plus ⟨1,1⟩→0.
+fn counterexample() -> Protocol {
+    let base = Protocol::builder("cx4", Domain::numeric("x", 3), Locality::unidirectional())
+        .legit_fn(|id, _| [2usize, 3, 4].contains(&id.index()))
+        .build()
+        .unwrap();
+    base.with_transitions(
+        "cx4",
+        [
+            LocalTransition::new(LocalStateId(0), 1),
+            LocalTransition::new(LocalStateId(1), 2),
+            LocalTransition::new(LocalStateId(4), 0),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn transform_can_remove_livelocks() {
+    let p = counterexample();
+    assert!(is_self_terminating(&p));
+    assert!(
+        !is_process_self_disabling(&p),
+        "⟨0,0⟩→⟨0,1⟩ chains into ⟨0,1⟩→⟨0,2⟩"
+    );
+
+    let q = make_self_disabling(&p).unwrap();
+    assert!(is_process_self_disabling(&q));
+
+    let ring_p = RingInstance::symmetric(&p, 3).unwrap();
+    let ring_q = RingInstance::symmetric(&q, 3).unwrap();
+    assert!(
+        check::find_livelock(&ring_p).is_some(),
+        "the original livelocks at K = 3"
+    );
+    assert!(
+        check::find_livelock(&ring_q).is_none(),
+        "the transformed protocol does not — the transformation removed a livelock"
+    );
+}
+
+#[test]
+fn certificate_refuses_rather_than_normalizes() {
+    // Because of the above, certifying p by analyzing transform(p) would be
+    // unsound; the analysis must (and does) report Unknown for p itself.
+    let p = counterexample();
+    let a = LivelockAnalysis::analyze(&p);
+    assert!(!a.certified_free());
+    assert!(!a.process_self_disabling());
+}
+
+#[test]
+fn transform_preserves_deadlock_analysis() {
+    // What the transformation *does* preserve: the local deadlock set, and
+    // with it the Theorem 4.2 verdict.
+    let p = counterexample();
+    let q = make_self_disabling(&p).unwrap();
+    assert_eq!(
+        p.local_deadlocks().as_bitset().iter().collect::<Vec<_>>(),
+        q.local_deadlocks().as_bitset().iter().collect::<Vec<_>>()
+    );
+    let da_p = selfstab_core::deadlock::DeadlockAnalysis::analyze(&p);
+    let da_q = selfstab_core::deadlock::DeadlockAnalysis::analyze(&q);
+    assert_eq!(da_p.is_free_for_all_k(), da_q.is_free_for_all_k());
+}

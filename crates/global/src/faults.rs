@@ -1,0 +1,241 @@
+//! Transient-fault analysis: fault spans and worst-case recovery times.
+//!
+//! Self-stabilization guarantees recovery from *any* state, but in practice
+//! transient faults corrupt only a few variables at a time. This module
+//! computes, at a fixed ring size:
+//!
+//! * the **fault span** — the states reachable from `I(K)` when up to `f`
+//!   single-variable corruptions interleave with program transitions
+//!   (Kulkarni & Arora's fault-span, specialized to variable-corruption
+//!   faults);
+//! * the **worst-case recovery time** — the longest computation an
+//!   adversarial daemon can stretch before reaching `I(K)` (finite exactly
+//!   when the protocol strongly converges, since `Δ_p|¬I` is then acyclic).
+
+use crate::instance::RingInstance;
+use crate::state::GlobalStateId;
+
+/// The set of states reachable from `I(K)` with at most `max_faults`
+/// single-variable corruptions, closed under program transitions.
+///
+/// Returned as a dense boolean table indexed by [`GlobalStateId::index`].
+pub fn fault_span(ring: &RingInstance, max_faults: usize) -> Vec<bool> {
+    let n = ring.space().len() as usize;
+    // budget_left[s] = the largest remaining fault budget with which s was
+    // reached (usize::MAX = unreached).
+    const UNREACHED: usize = usize::MAX;
+    let mut best = vec![UNREACHED; n];
+    let mut work: Vec<(GlobalStateId, usize)> = Vec::new();
+    for s in ring.space().ids() {
+        if ring.is_legit(s) {
+            best[s.index()] = max_faults;
+            work.push((s, max_faults));
+        }
+    }
+    while let Some((s, budget)) = work.pop() {
+        // Program transitions preserve the budget.
+        for t in ring.successors(s) {
+            if best[t.index()] == UNREACHED || best[t.index()] < budget {
+                best[t.index()] = budget;
+                work.push((t, budget));
+            }
+        }
+        // A fault corrupts one variable, consuming budget.
+        if budget > 0 {
+            let d = ring.space().domain_size() as u8;
+            for i in 0..ring.ring_size() {
+                let cur = ring.space().value_at(s, i as isize);
+                for v in 0..d {
+                    if v == cur {
+                        continue;
+                    }
+                    let t = ring.space().with_value(s, i as isize, v);
+                    let nb = budget - 1;
+                    if best[t.index()] == UNREACHED || best[t.index()] < nb {
+                        best[t.index()] = nb;
+                        work.push((t, nb));
+                    }
+                }
+            }
+        }
+    }
+    best.into_iter().map(|b| b != usize::MAX).collect()
+}
+
+/// The worst-case recovery time of the instance: the maximum, over all
+/// global states, of the longest computation before reaching `I(K)`.
+///
+/// Returns `None` if some computation never reaches `I(K)` — a deadlock
+/// outside `I`, or a livelock (cycle in `Δ_p|¬I`). For strongly convergent
+/// protocols `Δ_p|¬I` is acyclic, so the longest path is well defined and
+/// computed by memoized DFS.
+pub fn worst_case_recovery(ring: &RingInstance) -> Option<usize> {
+    worst_case_recovery_from(ring, ring.space().ids())
+}
+
+/// Like [`worst_case_recovery`], restricted to the given start states
+/// (e.g. a fault span). States outside `I` that cannot move yield `None`.
+pub fn worst_case_recovery_from<I>(ring: &RingInstance, starts: I) -> Option<usize>
+where
+    I: IntoIterator<Item = GlobalStateId>,
+{
+    let n = ring.space().len() as usize;
+    const UNKNOWN: isize = -1;
+    const IN_PROGRESS: isize = -2;
+    const DIVERGES: isize = -3;
+    // height[s]: longest number of steps to reach I from s; 0 inside I.
+    let mut height = vec![UNKNOWN; n];
+
+    let mut overall = 0usize;
+    for start in starts {
+        // Iterative DFS computing heights.
+        let mut stack = vec![(start, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            let idx = s.index();
+            if expanded {
+                // Combine successors.
+                let mut h = 0isize;
+                let mut bad = false;
+                let succs = ring.successors(s);
+                if succs.is_empty() {
+                    bad = true; // deadlock outside I
+                }
+                for t in succs {
+                    match height[t.index()] {
+                        DIVERGES | IN_PROGRESS => bad = true,
+                        v if v >= 0 => h = h.max(v + 1),
+                        _ => bad = true, // unreached child: cannot happen
+                    }
+                }
+                height[idx] = if bad { DIVERGES } else { h };
+                continue;
+            }
+            if height[idx] != UNKNOWN {
+                continue;
+            }
+            if ring.is_legit(s) {
+                height[idx] = 0;
+                continue;
+            }
+            height[idx] = IN_PROGRESS;
+            stack.push((s, true));
+            for t in ring.successors(s) {
+                if height[t.index()] == UNKNOWN {
+                    stack.push((t, false));
+                }
+                // An IN_PROGRESS child is a DFS ancestor, i.e. a cycle in
+                // ¬I; the expansion phase will see it still IN_PROGRESS
+                // (ancestors finish after us) and mark DIVERGES.
+            }
+        }
+        match height[start.index()] {
+            v if v >= 0 => overall = overall.max(v as usize),
+            _ => return None,
+        }
+    }
+    Some(overall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::{Domain, Locality, Protocol};
+
+    fn one_sided_agreement() -> Protocol {
+        Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_fault_span_is_program_closure_of_legit() {
+        let p = one_sided_agreement();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let span = fault_span(&ring, 0);
+        // I is closed in p, so the 0-fault span is exactly I.
+        for s in ring.space().ids() {
+            assert_eq!(span[s.index()], ring.is_legit(s));
+        }
+    }
+
+    #[test]
+    fn full_fault_budget_reaches_everything() {
+        let p = one_sided_agreement();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let span = fault_span(&ring, 4);
+        assert!(span.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fault_span_is_monotone_in_budget() {
+        let p = one_sided_agreement();
+        let ring = RingInstance::symmetric(&p, 5).unwrap();
+        let mut prev = fault_span(&ring, 0);
+        for f in 1..=5 {
+            let cur = fault_span(&ring, f);
+            for i in 0..prev.len() {
+                assert!(!prev[i] || cur[i], "span shrank at budget {f}");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn worst_case_recovery_for_agreement() {
+        // From 1 0...0, the run must copy the 1 all the way around:
+        // K-1 steps; the worst state overall costs at most... compute and
+        // sanity-bound it.
+        let p = one_sided_agreement();
+        for k in 2..=7 {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            let wc = worst_case_recovery(&ring).expect("strongly convergent");
+            assert!(wc >= k - 1, "K={k}: wc={wc}");
+            assert!(wc <= k * k, "K={k}: wc={wc}");
+        }
+    }
+
+    #[test]
+    fn divergent_protocols_have_no_bound() {
+        let p = Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .actions([
+                "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+                "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+            ])
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        assert_eq!(worst_case_recovery(&ring), None);
+    }
+
+    #[test]
+    fn deadlocked_states_have_no_bound() {
+        let p = Protocol::builder("none", Domain::numeric("x", 2), Locality::unidirectional())
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 3).unwrap();
+        assert_eq!(worst_case_recovery(&ring), None);
+        // But restricted to I itself, recovery is trivially 0.
+        let legits: Vec<_> = ring.space().ids().filter(|&s| ring.is_legit(s)).collect();
+        assert_eq!(worst_case_recovery_from(&ring, legits), Some(0));
+    }
+
+    #[test]
+    fn recovery_from_fault_span_bounded_by_global() {
+        let p = one_sided_agreement();
+        let ring = RingInstance::symmetric(&p, 6).unwrap();
+        let global = worst_case_recovery(&ring).unwrap();
+        let span = fault_span(&ring, 1);
+        let starts: Vec<_> = ring.space().ids().filter(|s| span[s.index()]).collect();
+        let from_span = worst_case_recovery_from(&ring, starts).unwrap();
+        assert!(from_span <= global);
+    }
+}

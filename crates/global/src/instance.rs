@@ -1,0 +1,389 @@
+//! Instantiation of a parameterized protocol on a concrete ring.
+
+use selfstab_protocol::{LocalPredicate, LocalStateId, LocalStateSpace, Locality, Protocol, Value};
+
+use crate::error::GlobalError;
+use crate::state::{GlobalSpace, GlobalStateId};
+
+/// Default bound on the number of global states an instance may have.
+pub const DEFAULT_MAX_STATES: u64 = 1 << 26;
+
+/// A move of the global transition system: process `process` writes
+/// `target` to its variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Move {
+    /// The executing process index (`0..K`).
+    pub process: usize,
+    /// The value written to `x_process`.
+    pub target: Value,
+}
+
+/// A protocol instantiated on a ring of `K` processes.
+///
+/// Holds per-process local transition tables and local legitimate
+/// predicates; symmetric instances share one table. Window reads wrap
+/// around the ring, so instances smaller than the read window behave
+/// consistently (the same global variable is simply read at several window
+/// positions).
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, Protocol};
+/// use selfstab_global::RingInstance;
+///
+/// let p = Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+///     .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")?
+///     .legit("x[r] == x[r-1]")?
+///     .build()?;
+/// let ring = RingInstance::symmetric(&p, 5)?;
+/// let s = ring.space().encode(&[1, 0, 0, 0, 0]);
+/// let moves = ring.moves_from(s);
+/// assert_eq!(moves.len(), 1);     // only P_1 is enabled
+/// assert_eq!(moves[0].process, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingInstance {
+    space: GlobalSpace,
+    locality: Locality,
+    local_space: LocalStateSpace,
+    /// `table_of[i]` selects the table/legit pair of process `i`.
+    table_of: Vec<usize>,
+    /// Transition tables: `tables[t][local_state] = targets`.
+    tables: Vec<Vec<Vec<Value>>>,
+    /// Local legitimate predicates, parallel to `tables`.
+    legits: Vec<LocalPredicate>,
+}
+
+impl RingInstance {
+    /// Instantiates a symmetric ring of `k` copies of `protocol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlobalError`] if `k == 0` or the state space exceeds
+    /// [`DEFAULT_MAX_STATES`].
+    pub fn symmetric(protocol: &Protocol, k: usize) -> Result<Self, GlobalError> {
+        Self::symmetric_with_limit(protocol, k, DEFAULT_MAX_STATES)
+    }
+
+    /// Like [`RingInstance::symmetric`] with an explicit state bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlobalError`] if `k == 0` or `d^k > max_states`.
+    pub fn symmetric_with_limit(
+        protocol: &Protocol,
+        k: usize,
+        max_states: u64,
+    ) -> Result<Self, GlobalError> {
+        let space = GlobalSpace::new(protocol.domain().size(), k, max_states)?;
+        Ok(RingInstance {
+            space,
+            locality: protocol.locality(),
+            local_space: *protocol.space(),
+            table_of: vec![0; k],
+            tables: vec![table_of_protocol(protocol)],
+            legits: vec![protocol.legit().clone()],
+        })
+    }
+
+    /// Instantiates a ring with per-process behaviors (`processes[i]` is the
+    /// behavior of `P_i`). All processes must share the same domain size and
+    /// locality; legitimate predicates may differ (e.g. Dijkstra's token
+    /// ring, where the distinguished `P_0` behaves differently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlobalError::Heterogeneous`] on domain/locality mismatch,
+    /// [`GlobalError::EmptyRing`] for an empty list, or
+    /// [`GlobalError::StateSpaceTooLarge`].
+    pub fn heterogeneous(processes: &[&Protocol], max_states: u64) -> Result<Self, GlobalError> {
+        let first = *processes.first().ok_or(GlobalError::EmptyRing)?;
+        for (i, p) in processes.iter().enumerate() {
+            if p.domain().size() != first.domain().size() {
+                return Err(GlobalError::Heterogeneous {
+                    message: format!("process {i} has a different domain size"),
+                });
+            }
+            if p.locality() != first.locality() {
+                return Err(GlobalError::Heterogeneous {
+                    message: format!("process {i} has a different locality"),
+                });
+            }
+        }
+        let space = GlobalSpace::new(first.domain().size(), processes.len(), max_states)?;
+        Ok(RingInstance {
+            space,
+            locality: first.locality(),
+            local_space: *first.space(),
+            table_of: (0..processes.len()).collect(),
+            tables: processes.iter().map(|p| table_of_protocol(p)).collect(),
+            legits: processes.iter().map(|p| p.legit().clone()).collect(),
+        })
+    }
+
+    /// The global state codec.
+    pub fn space(&self) -> &GlobalSpace {
+        &self.space
+    }
+
+    /// The ring size `K`.
+    pub fn ring_size(&self) -> usize {
+        self.space.ring_size()
+    }
+
+    /// The shared read locality.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// The local state codec of the representative process.
+    pub fn local_space(&self) -> &LocalStateSpace {
+        &self.local_space
+    }
+
+    /// The local state of process `i` in global state `gid`: its read window
+    /// assembled with ring wrap-around.
+    ///
+    /// This is the innermost operation of every global analysis, so the
+    /// window is encoded digit-by-digit without an intermediate buffer.
+    pub fn local_state_of(&self, gid: GlobalStateId, i: usize) -> LocalStateId {
+        let loc = self.locality;
+        let d = self.space.domain_size() as u32;
+        let mut id: u32 = 0;
+        for idx in 0..loc.window_width() {
+            let off = loc.offset_of(idx);
+            id = id * d + self.space.value_at(gid, i as isize + off) as u32;
+        }
+        LocalStateId(id)
+    }
+
+    /// The values process `i` may write from global state `gid`.
+    pub fn targets_of(&self, gid: GlobalStateId, i: usize) -> &[Value] {
+        let ls = self.local_state_of(gid, i);
+        &self.tables[self.table_of[i]][ls.index()]
+    }
+
+    /// Visits every enabled move in `gid`, in (process, target) order,
+    /// without allocating.
+    pub fn for_each_move<F: FnMut(Move)>(&self, gid: GlobalStateId, mut f: F) {
+        for i in 0..self.ring_size() {
+            for &t in self.targets_of(gid, i) {
+                f(Move {
+                    process: i,
+                    target: t,
+                });
+            }
+        }
+    }
+
+    /// All enabled moves in `gid`, in (process, target) order.
+    pub fn moves_from(&self, gid: GlobalStateId) -> Vec<Move> {
+        let mut moves = Vec::new();
+        self.for_each_move(gid, |m| moves.push(m));
+        moves
+    }
+
+    /// Number of *enabled processes* in `gid` (the `|E|` of Lemma 5.5).
+    pub fn enabled_process_count(&self, gid: GlobalStateId) -> usize {
+        (0..self.ring_size())
+            .filter(|&i| !self.targets_of(gid, i).is_empty())
+            .count()
+    }
+
+    /// Returns `true` if process `i` is enabled in `gid`.
+    pub fn is_process_enabled(&self, gid: GlobalStateId, i: usize) -> bool {
+        !self.targets_of(gid, i).is_empty()
+    }
+
+    /// Applies a move (asserting nothing about enabledness; use
+    /// [`RingInstance::is_move_enabled`] to validate first).
+    pub fn apply(&self, gid: GlobalStateId, m: Move) -> GlobalStateId {
+        self.space.with_value(gid, m.process as isize, m.target)
+    }
+
+    /// Returns `true` if `m` is an enabled move in `gid`.
+    pub fn is_move_enabled(&self, gid: GlobalStateId, m: Move) -> bool {
+        self.targets_of(gid, m.process).contains(&m.target)
+    }
+
+    /// The successor states of `gid` (one per enabled move; may contain
+    /// duplicates if distinct moves coincide, which cannot happen on rings
+    /// of size ≥ 2).
+    pub fn successors(&self, gid: GlobalStateId) -> Vec<GlobalStateId> {
+        let mut out = Vec::new();
+        self.for_each_move(gid, |m| out.push(self.apply(gid, m)));
+        out
+    }
+
+    /// The predecessor states of `gid` under the global transition relation,
+    /// computed without materializing the graph.
+    pub fn predecessors(&self, gid: GlobalStateId) -> Vec<GlobalStateId> {
+        let mut preds = Vec::new();
+        for i in 0..self.ring_size() {
+            let cur = self.space.value_at(gid, i as isize);
+            for v_old in 0..self.space.domain_size() as Value {
+                if v_old == cur {
+                    continue;
+                }
+                let cand = self.space.with_value(gid, i as isize, v_old);
+                if self.targets_of(cand, i).contains(&cur) {
+                    preds.push(cand);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Returns `true` if `gid` is a global deadlock (no process enabled).
+    pub fn is_deadlock(&self, gid: GlobalStateId) -> bool {
+        (0..self.ring_size()).all(|i| self.targets_of(gid, i).is_empty())
+    }
+
+    /// Returns `true` if `gid ∈ I(K)`, i.e. every process satisfies its
+    /// local legitimate predicate.
+    pub fn is_legit(&self, gid: GlobalStateId) -> bool {
+        (0..self.ring_size())
+            .all(|i| self.legits[self.table_of[i]].holds(self.local_state_of(gid, i)))
+    }
+
+    /// Counts the processes in illegitimate local states (0 iff legit).
+    pub fn corruption_count(&self, gid: GlobalStateId) -> usize {
+        (0..self.ring_size())
+            .filter(|&i| !self.legits[self.table_of[i]].holds(self.local_state_of(gid, i)))
+            .count()
+    }
+}
+
+fn table_of_protocol(p: &Protocol) -> Vec<Vec<Value>> {
+    p.space()
+        .ids()
+        .map(|id| p.transitions_from(id).to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::Domain;
+
+    fn agreement_one_sided() -> Protocol {
+        Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn local_state_windows_wrap() {
+        let p = agreement_one_sided();
+        let ring = RingInstance::symmetric(&p, 3).unwrap();
+        let s = ring.space().encode(&[1, 0, 1]);
+        // P_0 reads [x_2, x_0] = [1, 1]
+        assert_eq!(
+            ring.local_space().decode(ring.local_state_of(s, 0)),
+            vec![1, 1]
+        );
+        // P_1 reads [x_0, x_1] = [1, 0]
+        assert_eq!(
+            ring.local_space().decode(ring.local_state_of(s, 1)),
+            vec![1, 0]
+        );
+    }
+
+    #[test]
+    fn moves_apply_and_deadlock() {
+        let p = agreement_one_sided();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let s = ring.space().encode(&[1, 0, 0, 0]);
+        let moves = ring.moves_from(s);
+        assert_eq!(
+            moves,
+            vec![Move {
+                process: 1,
+                target: 1
+            }]
+        );
+        let s2 = ring.apply(s, moves[0]);
+        assert_eq!(ring.space().decode(s2), vec![1, 1, 0, 0]);
+        let all_ones = ring.space().encode(&[1, 1, 1, 1]);
+        assert!(ring.is_deadlock(all_ones));
+        assert!(ring.is_legit(all_ones));
+    }
+
+    #[test]
+    fn legitimacy_and_corruption_count() {
+        let p = agreement_one_sided();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let s = ring.space().encode(&[1, 0, 0, 0]);
+        assert!(!ring.is_legit(s));
+        // P_1 (reads 1,0) and P_0 (reads 0,1) are corrupt.
+        assert_eq!(ring.corruption_count(s), 2);
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let p = agreement_one_sided();
+        let ring = RingInstance::symmetric(&p, 5).unwrap();
+        for gid in ring.space().ids() {
+            for succ in ring.successors(gid) {
+                assert!(
+                    ring.predecessors(succ).contains(&gid),
+                    "missing predecessor for {gid} -> {succ}"
+                );
+            }
+            for pred in ring.predecessors(gid) {
+                assert!(ring.successors(pred).contains(&gid));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_smaller_than_window_is_consistent() {
+        // K=1 unidirectional: P_0 reads [x_0, x_0]; the only sensible local
+        // states are the diagonal ones.
+        let p = agreement_one_sided();
+        let ring = RingInstance::symmetric(&p, 1).unwrap();
+        let s0 = ring.space().encode(&[0]);
+        assert_eq!(
+            ring.local_space().decode(ring.local_state_of(s0, 0)),
+            vec![0, 0]
+        );
+        assert!(ring.is_deadlock(s0));
+        assert!(ring.is_legit(s0));
+    }
+
+    #[test]
+    fn heterogeneous_mismatch_rejected() {
+        let p = agreement_one_sided();
+        let q = Protocol::builder("q", Domain::numeric("x", 3), Locality::unidirectional())
+            .legit_all()
+            .build()
+            .unwrap();
+        let e = RingInstance::heterogeneous(&[&p, &q], DEFAULT_MAX_STATES).unwrap_err();
+        assert!(matches!(e, GlobalError::Heterogeneous { .. }));
+    }
+
+    #[test]
+    fn heterogeneous_distinct_behaviors() {
+        let p = agreement_one_sided();
+        // A frozen process that never moves and accepts everything.
+        let frozen = Protocol::builder(
+            "frozen",
+            Domain::numeric("x", 2),
+            Locality::unidirectional(),
+        )
+        .legit_all()
+        .build()
+        .unwrap();
+        let ring = RingInstance::heterogeneous(&[&frozen, &p, &p], DEFAULT_MAX_STATES).unwrap();
+        let s = ring.space().encode(&[0, 1, 0]); // P_0 would be enabled if it were `p`
+        assert!(!ring.is_process_enabled(s, 0));
+        let s2 = ring.space().encode(&[1, 0, 0]);
+        assert!(ring.is_process_enabled(s2, 1));
+    }
+}

@@ -1,0 +1,325 @@
+//! Computation schedules, replay, and the livelock-induced precedence
+//! relation (Definition 5.10 / Lemma 5.11).
+//!
+//! A [`Schedule`] is a start state plus a sequence of moves. Livelocks found
+//! by [`crate::check::find_livelock`] convert to schedules, whose
+//! *precedence-preserving permutations* — reorderings obtained by swapping
+//! adjacent independent moves — are themselves livelocks (Lemma 5.11).
+//! Example 5.2 of the paper exhibits exactly 8 such permutations for the
+//! binary-agreement livelock at `K = 4`; `equivalent_schedules` reproduces
+//! them (experiment E5).
+
+use std::collections::BTreeSet;
+
+use crate::error::GlobalError;
+use crate::instance::{Move, RingInstance};
+use crate::state::GlobalStateId;
+
+/// A finite computation prefix: a start state and a sequence of moves.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Schedule {
+    /// The start state.
+    pub start: GlobalStateId,
+    /// The moves, in execution order.
+    pub moves: Vec<Move>,
+}
+
+impl Schedule {
+    /// Converts a livelock cycle (as returned by `find_livelock`) into a
+    /// schedule starting at `cycle[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive cycle states are not related by exactly one
+    /// process's move (which `find_livelock` guarantees).
+    pub fn from_cycle(ring: &RingInstance, cycle: &[GlobalStateId]) -> Schedule {
+        let mut moves = Vec::with_capacity(cycle.len());
+        for (i, &s) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            moves.push(move_between(ring, s, next));
+        }
+        Schedule {
+            start: cycle[0],
+            moves,
+        }
+    }
+
+    /// Replays the schedule, returning the state sequence
+    /// `[start, s_1, …, s_n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlobalError::ReplayDisabled`] if some move is not enabled
+    /// when its turn comes.
+    pub fn replay(&self, ring: &RingInstance) -> Result<Vec<GlobalStateId>, GlobalError> {
+        let mut states = Vec::with_capacity(self.moves.len() + 1);
+        let mut cur = self.start;
+        states.push(cur);
+        for (step, &m) in self.moves.iter().enumerate() {
+            if !ring.is_move_enabled(cur, m) {
+                return Err(GlobalError::ReplayDisabled {
+                    step,
+                    process: m.process,
+                });
+            }
+            cur = ring.apply(cur, m);
+            states.push(cur);
+        }
+        Ok(states)
+    }
+
+    /// Returns `true` if the schedule replays successfully and returns to
+    /// its start state — i.e. it is a (representation of a) livelock when
+    /// all its states are illegitimate.
+    pub fn is_cyclic(&self, ring: &RingInstance) -> bool {
+        match self.replay(ring) {
+            Ok(states) => states.last() == Some(&self.start),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Determines the unique move transforming `from` into `to`.
+///
+/// # Panics
+///
+/// Panics if the states differ in zero or more than one position, or the
+/// move is not enabled.
+pub fn move_between(ring: &RingInstance, from: GlobalStateId, to: GlobalStateId) -> Move {
+    let k = ring.ring_size();
+    let mut changed = None;
+    for i in 0..k {
+        let a = ring.space().value_at(from, i as isize);
+        let b = ring.space().value_at(to, i as isize);
+        if a != b {
+            assert!(changed.is_none(), "states differ in more than one position");
+            changed = Some(Move {
+                process: i,
+                target: b,
+            });
+        }
+    }
+    let m = changed.expect("states are identical");
+    assert!(
+        ring.is_move_enabled(from, m),
+        "inferred move is not enabled"
+    );
+    m
+}
+
+/// Operational independence of two moves at a state (the "diamond"
+/// property): both are enabled, each remains enabled after the other, and
+/// the two execution orders commute to the same state.
+///
+/// Two independent moves may be swapped in a schedule without changing what
+/// follows — the basis of the partial-order reduction behind Lemma 5.11.
+pub fn independent_at(ring: &RingInstance, s: GlobalStateId, m1: Move, m2: Move) -> bool {
+    if m1.process == m2.process {
+        return false;
+    }
+    if !ring.is_move_enabled(s, m1) || !ring.is_move_enabled(s, m2) {
+        return false;
+    }
+    let s1 = ring.apply(s, m1);
+    let s2 = ring.apply(s, m2);
+    ring.is_move_enabled(s1, m2)
+        && ring.is_move_enabled(s2, m1)
+        && ring.apply(s1, m2) == ring.apply(s2, m1)
+}
+
+/// Enumerates the schedules equivalent to `sch` under swaps of adjacent
+/// independent moves, including `sch` itself — the *precedence-preserving
+/// permutations* of Definition 5.10 with the starting move fixed by the
+/// start state.
+///
+/// The result is sorted and capped at `limit` schedules (the enumeration
+/// stops early once the cap is reached).
+pub fn equivalent_schedules(ring: &RingInstance, sch: &Schedule, limit: usize) -> Vec<Schedule> {
+    let mut seen: BTreeSet<Schedule> = BTreeSet::new();
+    let mut work = vec![sch.clone()];
+    seen.insert(sch.clone());
+    while let Some(cur) = work.pop() {
+        if seen.len() >= limit {
+            break;
+        }
+        // Try swapping every adjacent pair.
+        let states = match cur.replay(ring) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        #[allow(clippy::needless_range_loop)] // i indexes both moves and replay states
+        for i in 0..cur.moves.len().saturating_sub(1) {
+            let (m1, m2) = (cur.moves[i], cur.moves[i + 1]);
+            if independent_at(ring, states[i], m1, m2) {
+                let mut swapped = cur.clone();
+                swapped.moves.swap(i, i + 1);
+                if swapped.replay(ring).is_ok() && seen.insert(swapped.clone()) {
+                    work.push(swapped);
+                    if seen.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// The precedence pairs of a schedule: ordered index pairs `(i, j)` with
+/// `i < j` such that moves `i` and `j` could *not* be reordered past each
+/// other by adjacent independent swaps, conservatively approximated by
+/// static dependence (same process, or processes within read/write range on
+/// the ring — exactly the situations of Definition 5.10's clauses 1–2).
+pub fn dependent_pairs(ring: &RingInstance, sch: &Schedule) -> Vec<(usize, usize)> {
+    let k = ring.ring_size() as isize;
+    let loc = ring.locality();
+    // One of the two processes reads (or is) the other iff their ring
+    // distance is within the wider locality span.
+    let span = loc.left().max(loc.right()) as isize;
+    let mut out = Vec::new();
+    for i in 0..sch.moves.len() {
+        for j in (i + 1)..sch.moves.len() {
+            let a = sch.moves[i].process as isize;
+            let b = sch.moves[j].process as isize;
+            let d = (b - a).rem_euclid(k);
+            if d.min(k - d) <= span {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::find_livelock;
+    use selfstab_protocol::{Domain, Locality, Protocol};
+
+    fn two_sided_agreement() -> Protocol {
+        Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .actions([
+                "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+                "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+            ])
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn livelock_cycle_converts_and_replays() {
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let cycle = find_livelock(&ring).unwrap();
+        let sch = Schedule::from_cycle(&ring, &cycle);
+        assert_eq!(sch.moves.len(), cycle.len());
+        assert!(sch.is_cyclic(&ring));
+    }
+
+    #[test]
+    fn example_5_2_has_eight_equivalent_livelocks() {
+        // The paper's Example 5.2 livelock at K=4:
+        // L = ≪1000,1100,0100,0110,0111,0011,1011,1001≫, whose precedence
+        // class contains 2^3 = 8 permutations (Figure 5).
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let cycle: Vec<_> = [
+            [1, 0, 0, 0],
+            [1, 1, 0, 0],
+            [0, 1, 0, 0],
+            [0, 1, 1, 0],
+            [0, 1, 1, 1],
+            [0, 0, 1, 1],
+            [1, 0, 1, 1],
+            [1, 0, 0, 1],
+        ]
+        .iter()
+        .map(|w| ring.space().encode(w))
+        .collect();
+        let sch = Schedule::from_cycle(&ring, &cycle);
+        assert!(sch.is_cyclic(&ring));
+        let eq = equivalent_schedules(&ring, &sch, 1000);
+        assert_eq!(eq.len(), 8);
+        for s in &eq {
+            assert!(
+                s.is_cyclic(&ring),
+                "every permutation must replay as a livelock"
+            );
+        }
+    }
+
+    #[test]
+    fn found_livelocks_yield_cyclic_equivalence_classes() {
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let cycle = find_livelock(&ring).unwrap();
+        let sch = Schedule::from_cycle(&ring, &cycle);
+        assert!(sch.is_cyclic(&ring));
+        for s in equivalent_schedules(&ring, &sch, 200) {
+            assert!(s.is_cyclic(&ring));
+        }
+    }
+
+    #[test]
+    fn replay_detects_disabled_moves() {
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let start = ring.space().encode(&[1, 0, 0, 0]);
+        let sch = Schedule {
+            start,
+            moves: vec![Move {
+                process: 3,
+                target: 1,
+            }],
+        };
+        let e = sch.replay(&ring).unwrap_err();
+        assert!(matches!(
+            e,
+            GlobalError::ReplayDisabled {
+                step: 0,
+                process: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn independence_requires_distance() {
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        // 1010: P_1 (reads 1,0) and P_3 (reads 1,0) both enabled; distance 2 ⇒ independent.
+        let s = ring.space().encode(&[1, 0, 1, 0]);
+        let m1 = Move {
+            process: 1,
+            target: 1,
+        };
+        let m3 = Move {
+            process: 3,
+            target: 1,
+        };
+        assert!(independent_at(&ring, s, m1, m3));
+        // Adjacent processes: P_1 writing affects P_2's guard ⇒ dependent.
+        let s2 = ring.space().encode(&[1, 0, 1, 1]);
+        let m2 = Move {
+            process: 2,
+            target: 0,
+        };
+        assert!(!independent_at(&ring, s2, m1, m2));
+    }
+
+    #[test]
+    fn dependent_pairs_include_same_process() {
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let cycle = find_livelock(&ring).unwrap();
+        let sch = Schedule::from_cycle(&ring, &cycle);
+        let deps = dependent_pairs(&ring, &sch);
+        for (i, j) in &deps {
+            assert!(i < j);
+        }
+        // Moves of the same process must always be ordered.
+        for i in 0..sch.moves.len() {
+            for j in (i + 1)..sch.moves.len() {
+                if sch.moves[i].process == sch.moves[j].process {
+                    assert!(deps.contains(&(i, j)));
+                }
+            }
+        }
+    }
+}

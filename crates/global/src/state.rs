@@ -1,0 +1,212 @@
+//! Global state encoding for rings.
+
+use selfstab_protocol::Value;
+
+use crate::error::GlobalError;
+
+/// Identifier of a global state: a dense mixed-radix index.
+///
+/// A global state of `p(K)` is a valuation of `⟨x_0, …, x_{K-1}⟩`; with
+/// domain size `d` there are `d^K` of them. `x_0` is the most significant
+/// digit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalStateId(pub u64);
+
+impl GlobalStateId {
+    /// The id as a `usize` index (global spaces are bounded well below
+    /// `usize::MAX`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GlobalStateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Codec for the global state space of a ring of `K` processes over a
+/// domain of size `d`.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_global::GlobalSpace;
+///
+/// let sp = GlobalSpace::new(2, 4, 1 << 20)?;
+/// let id = sp.encode(&[1, 0, 0, 1]);
+/// assert_eq!(sp.decode(id), vec![1, 0, 0, 1]);
+/// assert_eq!(sp.value_at(id, 0), 1);
+/// assert_eq!(sp.len(), 16);
+/// # Ok::<(), selfstab_global::GlobalError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalSpace {
+    domain_size: usize,
+    ring_size: usize,
+    len: u64,
+}
+
+impl GlobalSpace {
+    /// Creates the codec, refusing spaces larger than `max_states`.
+    ///
+    /// # Errors
+    ///
+    /// [`GlobalError::EmptyRing`] if `ring_size == 0`;
+    /// [`GlobalError::StateSpaceTooLarge`] if `d^K > max_states`.
+    pub fn new(domain_size: usize, ring_size: usize, max_states: u64) -> Result<Self, GlobalError> {
+        if ring_size == 0 {
+            return Err(GlobalError::EmptyRing);
+        }
+        let mut len: u64 = 1;
+        for _ in 0..ring_size {
+            len = len
+                .checked_mul(domain_size as u64)
+                .filter(|&l| l <= max_states)
+                .ok_or(GlobalError::StateSpaceTooLarge {
+                    domain_size,
+                    ring_size,
+                    limit: max_states,
+                })?;
+        }
+        Ok(GlobalSpace {
+            domain_size,
+            ring_size,
+            len,
+        })
+    }
+
+    /// Number of global states (`d^K`).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the space is empty (never; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ring size `K`.
+    pub fn ring_size(&self) -> usize {
+        self.ring_size
+    }
+
+    /// The domain size `d`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Encodes a configuration `⟨x_0, …, x_{K-1}⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `K` or a value is out of
+    /// domain.
+    pub fn encode(&self, values: &[Value]) -> GlobalStateId {
+        assert_eq!(values.len(), self.ring_size, "ring size mismatch");
+        let mut id: u64 = 0;
+        for &v in values {
+            assert!((v as usize) < self.domain_size, "value {v} out of domain");
+            id = id * self.domain_size as u64 + v as u64;
+        }
+        GlobalStateId(id)
+    }
+
+    /// Decodes a global state into its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn decode(&self, id: GlobalStateId) -> Vec<Value> {
+        assert!(id.0 < self.len, "global state id out of range");
+        let mut values = vec![0; self.ring_size];
+        let mut rest = id.0;
+        for slot in values.iter_mut().rev() {
+            *slot = (rest % self.domain_size as u64) as Value;
+            rest /= self.domain_size as u64;
+        }
+        values
+    }
+
+    /// The value of `x_i` in `id` (no allocation). The index is taken
+    /// modulo `K`, which implements the ring's wrap-around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value_at(&self, id: GlobalStateId, i: isize) -> Value {
+        assert!(id.0 < self.len, "global state id out of range");
+        let i = i.rem_euclid(self.ring_size as isize) as usize;
+        let shift = (self.ring_size - 1 - i) as u32;
+        ((id.0 / (self.domain_size as u64).pow(shift)) % self.domain_size as u64) as Value
+    }
+
+    /// Returns `id` with `x_i := v` (index modulo `K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of domain or `id` out of range.
+    pub fn with_value(&self, id: GlobalStateId, i: isize, v: Value) -> GlobalStateId {
+        assert!((v as usize) < self.domain_size, "value {v} out of domain");
+        let i = i.rem_euclid(self.ring_size as isize) as usize;
+        let old = self.value_at(id, i as isize);
+        let weight = (self.domain_size as u64).pow((self.ring_size - 1 - i) as u32);
+        GlobalStateId(id.0 - old as u64 * weight + v as u64 * weight)
+    }
+
+    /// Iterates over every global state.
+    pub fn ids(&self) -> impl Iterator<Item = GlobalStateId> {
+        (0..self.len).map(GlobalStateId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let sp = GlobalSpace::new(3, 5, 1 << 20).unwrap();
+        for id in sp.ids() {
+            assert_eq!(sp.encode(&sp.decode(id)), id);
+        }
+    }
+
+    #[test]
+    fn value_access_and_wraparound() {
+        let sp = GlobalSpace::new(2, 4, 1 << 20).unwrap();
+        let id = sp.encode(&[1, 0, 0, 1]);
+        assert_eq!(sp.value_at(id, 0), 1);
+        assert_eq!(sp.value_at(id, 3), 1);
+        assert_eq!(sp.value_at(id, -1), 1); // wraps to x_3
+        assert_eq!(sp.value_at(id, 4), 1); // wraps to x_0
+        assert_eq!(sp.value_at(id, 5), 0);
+    }
+
+    #[test]
+    fn with_value_point_update() {
+        let sp = GlobalSpace::new(3, 3, 1 << 20).unwrap();
+        let id = sp.encode(&[2, 1, 0]);
+        let id2 = sp.with_value(id, 1, 2);
+        assert_eq!(sp.decode(id2), vec![2, 2, 0]);
+        let id3 = sp.with_value(id, -1, 1);
+        assert_eq!(sp.decode(id3), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let e = GlobalSpace::new(3, 40, 1 << 26).unwrap_err();
+        assert!(matches!(e, GlobalError::StateSpaceTooLarge { .. }));
+        assert!(GlobalSpace::new(2, 26, 1 << 26).is_ok());
+        assert!(GlobalSpace::new(2, 27, 1 << 26).is_err());
+    }
+
+    #[test]
+    fn zero_ring_rejected() {
+        assert_eq!(
+            GlobalSpace::new(2, 0, 100).unwrap_err(),
+            GlobalError::EmptyRing
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Graphviz DOT export, used to regenerate the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::digraph::DiGraph;
+
+/// Style attributes for a DOT vertex.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexStyle {
+    /// Node label; defaults to the vertex id when empty.
+    pub label: String,
+    /// Fill color name (Graphviz color), empty for none.
+    pub fill: String,
+    /// Shape name, empty for the Graphviz default.
+    pub shape: String,
+}
+
+/// Renders `g` as a DOT digraph.
+///
+/// `vertex_style` is consulted per vertex; return `None` to omit a vertex
+/// (isolated vertices are otherwise emitted so that figures show the whole
+/// local state space). `arc_label` supplies an optional label per arc.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_graph::{DiGraph, dot::{to_dot, VertexStyle}};
+///
+/// let g: DiGraph = [(0, 1)].into_iter().collect();
+/// let dot = to_dot(&g, "demo", |v| Some(VertexStyle {
+///     label: format!("s{v}"),
+///     ..VertexStyle::default()
+/// }), |_, _| None);
+/// assert!(dot.contains("digraph \"demo\""));
+/// assert!(dot.contains("v0 -> v1"));
+/// ```
+pub fn to_dot<FV, FA>(g: &DiGraph, name: &str, mut vertex_style: FV, mut arc_label: FA) -> String
+where
+    FV: FnMut(usize) -> Option<VertexStyle>,
+    FA: FnMut(usize, usize) -> Option<String>,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let mut present = vec![false; g.vertex_count()];
+    #[allow(clippy::needless_range_loop)] // v indexes both the graph and `present`
+    for v in 0..g.vertex_count() {
+        if let Some(style) = vertex_style(v) {
+            present[v] = true;
+            let label = if style.label.is_empty() {
+                v.to_string()
+            } else {
+                style.label
+            };
+            let mut attrs = format!("label=\"{}\"", escape(&label));
+            if !style.fill.is_empty() {
+                let _ = write!(
+                    attrs,
+                    ", style=filled, fillcolor=\"{}\"",
+                    escape(&style.fill)
+                );
+            }
+            if !style.shape.is_empty() {
+                let _ = write!(attrs, ", shape={}", style.shape);
+            }
+            let _ = writeln!(out, "  v{v} [{attrs}];");
+        }
+    }
+    for (u, v) in g.arcs() {
+        if !present[u] || !present[v] {
+            continue;
+        }
+        match arc_label(u, v) {
+            Some(l) => {
+                let _ = writeln!(out, "  v{u} -> v{v} [label=\"{}\"];", escape(&l));
+            }
+            None => {
+                let _ = writeln!(out, "  v{u} -> v{v};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_arcs() {
+        let g: DiGraph = [(0, 1), (1, 1)].into_iter().collect();
+        let dot = to_dot(
+            &g,
+            "t",
+            |v| {
+                Some(VertexStyle {
+                    label: format!("n{v}"),
+                    fill: if v == 0 {
+                        "lightgray".into()
+                    } else {
+                        String::new()
+                    },
+                    shape: String::new(),
+                })
+            },
+            |u, v| Some(format!("{u}->{v}")),
+        );
+        assert!(dot.contains("v0 [label=\"n0\", style=filled, fillcolor=\"lightgray\"];"));
+        assert!(dot.contains("v1 -> v1 [label=\"1->1\"];"));
+    }
+
+    #[test]
+    fn omitted_vertices_drop_their_arcs() {
+        let g: DiGraph = [(0, 1), (1, 2)].into_iter().collect();
+        let dot = to_dot(
+            &g,
+            "t",
+            |v| (v != 1).then(VertexStyle::default),
+            |_, _| None,
+        );
+        assert!(!dot.contains("v0 -> v1"));
+        assert!(!dot.contains("v1 -> v2"));
+        assert!(dot.contains("v0 "));
+        assert!(dot.contains("v2 "));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let g: DiGraph = [(0, 0)].into_iter().collect();
+        let dot = to_dot(
+            &g,
+            "quote\"name",
+            |_| {
+                Some(VertexStyle {
+                    label: "a\"b".into(),
+                    ..VertexStyle::default()
+                })
+            },
+            |_, _| None,
+        );
+        assert!(dot.contains("digraph \"quote\\\"name\""));
+        assert!(dot.contains("label=\"a\\\"b\""));
+    }
+}

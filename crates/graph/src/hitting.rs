@@ -1,0 +1,166 @@
+//! Enumeration of minimal hitting sets.
+//!
+//! The Section 6 synthesis methodology computes the `Resolve` set as a
+//! *minimal feedback subset* of the deadlock-induced RCG restricted to
+//! illegitimate local states: a minimal set of vertices hitting every "bad"
+//! cycle. We reduce feedback-subset enumeration to minimal-hitting-set
+//! enumeration over the enumerated cycles (restricted to the allowed
+//! vertices of each cycle).
+
+use std::collections::BTreeSet;
+
+/// Enumerates all *minimal* hitting sets of `families`, where each family is
+/// the set of elements allowed to hit it.
+///
+/// A hitting set picks at least one element from every family; it is minimal
+/// if no proper subset is also a hitting set. Families are given as sorted
+/// element lists. Returns hitting sets as sorted element lists, deduplicated,
+/// ordered by (size, lexicographic).
+///
+/// `max_sets` bounds the number of returned sets (the search stops early once
+/// reached); `max_size` bounds the size of any returned set.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_graph::hitting::minimal_hitting_sets;
+///
+/// // Families {1,2} and {2,3}: minimal hitting sets are {2} and {1,3}.
+/// let fams = vec![vec![1, 2], vec![2, 3]];
+/// let hs = minimal_hitting_sets(&fams, 10, 10);
+/// assert_eq!(hs, vec![vec![2], vec![1, 3]]);
+/// ```
+///
+/// An empty family can never be hit, so the result is empty:
+///
+/// ```
+/// use selfstab_graph::hitting::minimal_hitting_sets;
+/// assert!(minimal_hitting_sets(&[vec![]], 10, 10).is_empty());
+/// ```
+pub fn minimal_hitting_sets(
+    families: &[Vec<usize>],
+    max_sets: usize,
+    max_size: usize,
+) -> Vec<Vec<usize>> {
+    if families.iter().any(|f| f.is_empty()) {
+        return Vec::new();
+    }
+    if families.is_empty() {
+        return vec![Vec::new()];
+    }
+
+    // Branch-and-bound: repeatedly pick the first un-hit family and branch on
+    // its elements. Collect candidate hitting sets, then filter to minimal.
+    let mut found: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut current: Vec<usize> = Vec::new();
+
+    fn first_unhit(families: &[Vec<usize>], current: &[usize]) -> Option<usize> {
+        families
+            .iter()
+            .position(|f| !f.iter().any(|e| current.contains(e)))
+    }
+
+    fn search(
+        families: &[Vec<usize>],
+        current: &mut Vec<usize>,
+        found: &mut BTreeSet<Vec<usize>>,
+        max_sets: usize,
+        max_size: usize,
+    ) {
+        if found.len() >= max_sets {
+            return;
+        }
+        match first_unhit(families, current) {
+            None => {
+                let mut set = current.clone();
+                set.sort_unstable();
+                set.dedup();
+                found.insert(set);
+            }
+            Some(idx) => {
+                if current.len() >= max_size {
+                    return;
+                }
+                for &e in &families[idx] {
+                    // Avoid re-adding an element already chosen (it would not
+                    // have left this family un-hit anyway).
+                    current.push(e);
+                    search(families, current, found, max_sets, max_size);
+                    current.pop();
+                    if found.len() >= max_sets {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    search(families, &mut current, &mut found, max_sets, max_size);
+
+    // Keep only minimal sets.
+    let all: Vec<Vec<usize>> = found.into_iter().collect();
+    let mut minimal: Vec<Vec<usize>> = all
+        .iter()
+        .filter(|s| {
+            !all.iter()
+                .any(|t| t.len() < s.len() && t.iter().all(|e| s.contains(e)))
+        })
+        .cloned()
+        .collect();
+    minimal.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_families_hit_by_empty_set() {
+        assert_eq!(minimal_hitting_sets(&[], 10, 10), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn single_family_each_singleton() {
+        let hs = minimal_hitting_sets(&[vec![1, 2, 3]], 10, 10);
+        assert_eq!(hs, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn shared_element_dominates() {
+        let fams = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let hs = minimal_hitting_sets(&fams, 100, 10);
+        assert!(hs.contains(&vec![0]));
+        assert!(hs.contains(&vec![1, 2, 3]));
+        // {0,1} is not minimal.
+        assert!(!hs.iter().any(|s| s == &vec![0, 1]));
+    }
+
+    #[test]
+    fn disjoint_families_need_one_each() {
+        let fams = vec![vec![1], vec![2], vec![3]];
+        let hs = minimal_hitting_sets(&fams, 10, 10);
+        assert_eq!(hs, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn max_size_prunes() {
+        let fams = vec![vec![1], vec![2], vec![3]];
+        let hs = minimal_hitting_sets(&fams, 10, 2);
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_elements_within_branching_dedup() {
+        let fams = vec![vec![1, 2], vec![1, 2]];
+        let hs = minimal_hitting_sets(&fams, 10, 10);
+        assert_eq!(hs, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn max_sets_truncates() {
+        let fams = vec![vec![1, 2, 3, 4, 5]];
+        let hs = minimal_hitting_sets(&fams, 2, 10);
+        assert_eq!(hs.len(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! Compact guarded-command rendering of transition sets.
+//!
+//! Synthesized protocols are bags of single-state transitions; printing one
+//! guard per local state is faithful but unreadable. This module merges
+//! transitions that share a written value into *cubes* — conjunctions of
+//! per-variable value sets — mirroring how the paper presents actions
+//! (`m[r-1] == left && m[r] != self && m[r+1] == right -> …`).
+
+use crate::domain::{Domain, Value};
+use crate::locality::Locality;
+use crate::protocol::Protocol;
+use crate::space::LocalStateSpace;
+use crate::transition::LocalTransition;
+
+/// A cube: for each window position, the set of admitted values (bitmask).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Cube {
+    masks: Vec<u32>,
+}
+
+impl Cube {
+    fn from_state(space: &LocalStateSpace, id: crate::space::LocalStateId) -> Self {
+        Cube {
+            masks: (0..space.width())
+                .map(|pos| 1u32 << space.value_at(id, pos))
+                .collect(),
+        }
+    }
+
+    /// Tries to merge two cubes that are identical except in one position.
+    fn merge(&self, other: &Cube) -> Option<Cube> {
+        let mut diff = None;
+        for (i, (a, b)) in self.masks.iter().zip(&other.masks).enumerate() {
+            if a != b {
+                if diff.is_some() {
+                    return None;
+                }
+                diff = Some(i);
+            }
+        }
+        let i = diff?;
+        let mut masks = self.masks.clone();
+        masks[i] |= other.masks[i];
+        Some(Cube { masks })
+    }
+
+    fn subsumes(&self, other: &Cube) -> bool {
+        self.masks
+            .iter()
+            .zip(&other.masks)
+            .all(|(a, b)| b & !a == 0)
+    }
+}
+
+fn var_name(domain: &Domain, locality: Locality, pos: usize) -> String {
+    let off = locality.offset_of(pos);
+    match off {
+        0 => format!("{}[r]", domain.variable()),
+        o if o < 0 => format!("{}[r{o}]", domain.variable()),
+        o => format!("{}[r+{o}]", domain.variable()),
+    }
+}
+
+fn render_cube(cube: &Cube, domain: &Domain, locality: Locality) -> String {
+    let d = domain.size();
+    let full = (1u32 << d) - 1;
+    let mut conjuncts = Vec::new();
+    for (pos, &mask) in cube.masks.iter().enumerate() {
+        if mask == full {
+            continue; // unconstrained
+        }
+        let var = var_name(domain, locality, pos);
+        let values: Vec<Value> = (0..d as Value).filter(|v| mask & (1 << v) != 0).collect();
+        let clause = if values.len() == 1 {
+            format!("{var} == {}", domain.label(values[0]))
+        } else if values.len() == d - 1 {
+            // Complement is a single value: render as !=.
+            let missing = (0..d as Value)
+                .find(|v| mask & (1 << v) == 0)
+                .expect("one value missing");
+            format!("{var} != {}", domain.label(missing))
+        } else {
+            let alts: Vec<String> = values
+                .iter()
+                .map(|&v| format!("{var} == {}", domain.label(v)))
+                .collect();
+            format!("({})", alts.join(" || "))
+        };
+        conjuncts.push(clause);
+    }
+    if conjuncts.is_empty() {
+        "1 == 1".to_owned() // always-true guard
+    } else {
+        conjuncts.join(" && ")
+    }
+}
+
+/// Renders a transition set as merged guarded commands, one line per
+/// written value, with single-change cube merging.
+///
+/// The output parses back through the DSL to the same transition set
+/// (property-tested), so it is a faithful compact presentation.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{display::summarize_transitions, Domain, Locality, Protocol};
+///
+/// let p = Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+///     .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")?
+///     .legit("x[r] == x[r-1]")?
+///     .build()?;
+/// let lines = summarize_transitions(&p);
+/// assert_eq!(lines, vec!["x[r-1] == 1 && x[r] == 0 -> x[r] := 1"]);
+/// # Ok::<(), selfstab_protocol::ProtocolError>(())
+/// ```
+pub fn summarize_transitions(protocol: &Protocol) -> Vec<String> {
+    let space = protocol.space();
+    let domain = protocol.domain();
+    let locality = protocol.locality();
+    assert!(
+        domain.size() <= 32,
+        "cube rendering supports domains up to 32 values"
+    );
+
+    // Group sources by written value.
+    let mut by_target: Vec<Vec<Cube>> = vec![Vec::new(); domain.size()];
+    for t in protocol.transitions() {
+        by_target[t.target as usize].push(Cube::from_state(space, t.source));
+    }
+
+    let mut lines = Vec::new();
+    for (target, mut cubes) in by_target.into_iter().enumerate() {
+        if cubes.is_empty() {
+            continue;
+        }
+        // Greedy single-change merging to a fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            'outer: for i in 0..cubes.len() {
+                for j in (i + 1)..cubes.len() {
+                    if let Some(m) = cubes[i].merge(&cubes[j]) {
+                        cubes.swap_remove(j);
+                        cubes.swap_remove(i);
+                        cubes.push(m);
+                        changed = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // Drop subsumed cubes (can appear after merging).
+        let mut kept: Vec<Cube> = Vec::new();
+        for c in cubes {
+            if !kept.iter().any(|k| k.subsumes(&c)) {
+                kept.retain(|k| !c.subsumes(k));
+                kept.push(c);
+            }
+        }
+        for cube in kept {
+            lines.push(format!(
+                "{} -> {}[r] := {}",
+                render_cube(&cube, domain, locality),
+                domain.variable(),
+                domain.label(target as Value)
+            ));
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// Expands summarized lines back into transitions (test helper for the
+/// round-trip property).
+///
+/// # Errors
+///
+/// Propagates DSL parse/expansion errors.
+pub fn expand_summary(
+    protocol: &Protocol,
+    lines: &[String],
+) -> Result<Vec<LocalTransition>, crate::error::ProtocolError> {
+    let mut out = Vec::new();
+    for line in lines {
+        let gc =
+            crate::action::GuardedCommand::parse(line, protocol.domain(), protocol.locality())?;
+        out.extend(
+            gc.expand(protocol.space(), protocol.locality(), protocol.domain())?
+                .transitions,
+        );
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    #[test]
+    fn merges_adjacent_states() {
+        // (1,0)->1 for any predecessor: two states merge into one guard.
+        let p = Protocol::builder("p", Domain::numeric("x", 2), Locality::unidirectional())
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[1, 0], 1)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        assert_eq!(lines, vec!["x[r] == 0 -> x[r] := 1"]);
+    }
+
+    #[test]
+    fn renders_not_equal_for_complement() {
+        let p = Protocol::builder("p", Domain::numeric("x", 3), Locality::unidirectional())
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[2, 0], 1)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        assert_eq!(lines, vec!["x[r-1] != 1 && x[r] == 0 -> x[r] := 1"]);
+    }
+
+    #[test]
+    fn renders_disjunction_when_needed() {
+        let p = Protocol::builder("p", Domain::numeric("x", 4), Locality::unidirectional())
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[2, 0], 1)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        assert_eq!(
+            lines,
+            vec!["(x[r-1] == 0 || x[r-1] == 2) && x[r] == 0 -> x[r] := 1"]
+        );
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let p = Protocol::builder("p", Domain::numeric("x", 3), Locality::unidirectional())
+            .transition(&[0, 2], 1)
+            .unwrap()
+            .transition(&[1, 1], 2)
+            .unwrap()
+            .transition(&[2, 0], 1)
+            .unwrap()
+            .legit("x[r] + x[r-1] != 2")
+            .unwrap()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        let expanded = expand_summary(&p, &lines).unwrap();
+        let original: Vec<LocalTransition> = p.transitions().collect();
+        assert_eq!(expanded, original);
+    }
+
+    #[test]
+    fn unconstrained_positions_are_elided() {
+        // All four states write 1 when x[r]==0, any pred: and with d=2 both
+        // states with x[r]==1 would be identity. Build all-pred coverage.
+        let p = Protocol::builder("p", Domain::numeric("x", 2), Locality::unidirectional())
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .transition(&[1, 0], 1)
+            .unwrap()
+            .transition(&[0, 1], 0)
+            .unwrap()
+            .transition(&[1, 1], 0)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        assert_eq!(
+            lines,
+            vec!["x[r] == 0 -> x[r] := 1", "x[r] == 1 -> x[r] := 0"]
+        );
+    }
+
+    #[test]
+    fn bidirectional_windows_render_all_offsets() {
+        let d = Domain::named("m", ["left", "right", "self"]);
+        let p = Protocol::builder("p", d, Locality::bidirectional())
+            .transition(&[0, 1, 2], 2)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let lines = summarize_transitions(&p);
+        assert_eq!(
+            lines,
+            vec!["m[r-1] == left && m[r] == right && m[r+1] == self -> m[r] := self"]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Finite variable domains with optional named values.
+
+use crate::error::ProtocolError;
+
+/// The value of a process variable: an index into its [`Domain`].
+///
+/// Domains in the paper's protocols are tiny (2–5 values), so a `u8` index is
+/// ample and keeps local-state encodings compact.
+pub type Value = u8;
+
+/// A finite, named domain for the per-process variable `x_r`.
+///
+/// Every process of a parameterized protocol owns one variable over this
+/// domain. Values are indices `0..size`; each may carry a human-readable
+/// label (e.g. `left`/`right`/`self` for maximal matching), used both by the
+/// guarded-command DSL and by pretty-printing.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::Domain;
+///
+/// let m = Domain::named("m", ["left", "right", "self"]);
+/// assert_eq!(m.size(), 3);
+/// assert_eq!(m.value_of("right"), Some(1));
+/// assert_eq!(m.label(2), "self");
+///
+/// let x = Domain::numeric("x", 3);
+/// assert_eq!(x.value_of("2"), Some(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Domain {
+    variable: String,
+    labels: Vec<String>,
+}
+
+impl Domain {
+    /// Creates a domain with explicit value labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty, longer than 255, or contains duplicates.
+    pub fn named<I, S>(variable: &str, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        assert!(!labels.is_empty(), "domain must have at least one value");
+        assert!(
+            labels.len() <= u8::MAX as usize,
+            "domain too large for u8 values"
+        );
+        for (i, l) in labels.iter().enumerate() {
+            assert!(!labels[..i].contains(l), "duplicate domain label `{l}`");
+        }
+        Domain {
+            variable: variable.to_owned(),
+            labels,
+        }
+    }
+
+    /// Creates a numeric domain `{0, 1, ..., size-1}` with labels `"0"`,
+    /// `"1"`, ….
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 255.
+    pub fn numeric(variable: &str, size: usize) -> Self {
+        assert!(size > 0, "domain must have at least one value");
+        Domain::named(variable, (0..size).map(|v| v.to_string()))
+    }
+
+    /// The name of the per-process variable (e.g. `x` in `x[r-1]`).
+    pub fn variable(&self) -> &str {
+        &self.variable
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: Value) -> &str {
+        &self.labels[v as usize]
+    }
+
+    /// Looks a value up by its label.
+    pub fn value_of(&self, label: &str) -> Option<Value> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as Value)
+    }
+
+    /// Looks a value up by its label, producing a protocol error on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownValue`] when the label is not in the
+    /// domain.
+    pub fn require(&self, label: &str) -> Result<Value, ProtocolError> {
+        self.value_of(label)
+            .ok_or_else(|| ProtocolError::UnknownValue {
+                name: label.to_owned(),
+                domain: self.variable.clone(),
+            })
+    }
+
+    /// Iterates over all values of the domain.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.size()).map(|v| v as Value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_lookup_roundtrip() {
+        let d = Domain::named("m", ["left", "right", "self"]);
+        for v in d.values() {
+            assert_eq!(d.value_of(d.label(v)), Some(v));
+        }
+        assert_eq!(d.value_of("missing"), None);
+    }
+
+    #[test]
+    fn numeric_labels() {
+        let d = Domain::numeric("x", 4);
+        assert_eq!(d.label(3), "3");
+        assert_eq!(d.value_of("0"), Some(0));
+        assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn require_reports_domain_name() {
+        let d = Domain::numeric("c", 2);
+        let err = d.require("7").unwrap_err();
+        assert!(err.to_string().contains('c'));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate domain label")]
+    fn duplicate_labels_panic() {
+        Domain::named("m", ["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_domain_panics() {
+        Domain::named("m", Vec::<String>::new());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for protocol construction and the guarded-command DSL.
+
+use std::fmt;
+
+/// Errors produced while building protocols or parsing guarded commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The DSL input failed to tokenize or parse.
+    Parse {
+        /// Byte offset in the input where the problem was detected.
+        position: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A variable reference used an unknown name or an offset outside the
+    /// declared locality window.
+    BadVariable {
+        /// The offending reference, e.g. `x[r+2]`.
+        reference: String,
+        /// Why the reference is invalid.
+        message: String,
+    },
+    /// A named domain value does not exist in the protocol's domain.
+    UnknownValue {
+        /// The name that failed to resolve.
+        name: String,
+        /// The domain's variable name.
+        domain: String,
+    },
+    /// An expression evaluated to a type or value outside what its context
+    /// allows (e.g. a guard that is not boolean, or an assignment outside the
+    /// domain).
+    Eval {
+        /// Description of the failure.
+        message: String,
+    },
+    /// The protocol under construction is structurally invalid.
+    Invalid {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            ProtocolError::BadVariable { reference, message } => {
+                write!(f, "invalid variable reference `{reference}`: {message}")
+            }
+            ProtocolError::UnknownValue { name, domain } => {
+                write!(f, "unknown value `{name}` for domain `{domain}`")
+            }
+            ProtocolError::Eval { message } => write!(f, "evaluation error: {message}"),
+            ProtocolError::Invalid { message } => write!(f, "invalid protocol: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::Parse {
+            position: 4,
+            message: "expected `->`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 4: expected `->`");
+        let e = ProtocolError::UnknownValue {
+            name: "lefty".into(),
+            domain: "m".into(),
+        };
+        assert!(e.to_string().contains("lefty"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ProtocolError::Eval {
+            message: "x".into(),
+        });
+    }
+}

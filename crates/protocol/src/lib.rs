@@ -1,0 +1,64 @@
+//! The parameterized ring-protocol model of the `selfstab` toolkit.
+//!
+//! This crate implements Section 2 of Farahat & Ebnenasir, *Local Reasoning
+//! for Global Convergence of Parameterized Rings* (ICDCS 2012): parameterized
+//! protocols `p(K) = ⟨Φ_p(K), Π_p(K), Δ_p(K)⟩` whose `K` similar processes
+//! are instantiated from a *representative process* `P_r`.
+//!
+//! The model fixes the structure common to every protocol in the paper:
+//!
+//! * each process `P_r` **owns** (reads and writes) one variable `x_r` over a
+//!   finite [`Domain`];
+//! * `P_r` additionally **reads** a window of neighbors' variables given by a
+//!   [`Locality`] `(left, right)` — `(1, 0)` for unidirectional rings
+//!   (`R_r = {x_{r-1}, x_r}`), `(1, 1)` for bidirectional rings
+//!   (`R_r = {x_{r-1}, x_r, x_{r+1}}`);
+//! * a *local state* is a valuation of the window, encoded compactly by
+//!   [`LocalStateSpace`];
+//! * the behavior `δ_r` is a set of [`LocalTransition`]s — pairs (source
+//!   local state, new value of `x_r`);
+//! * the legitimate states are *locally conjunctive*:
+//!   `I(K) = ∧_r LC_r` where `LC_r` is a [`LocalPredicate`].
+//!
+//! Protocols are written either programmatically or in Dijkstra's guarded
+//! command notation via the built-in [`parser`]:
+//!
+//! ```
+//! use selfstab_protocol::{Domain, Locality, Protocol};
+//!
+//! // Binary agreement on a unidirectional ring, with one recovery action.
+//! let p = Protocol::builder("agreement", Domain::numeric("x", 2), Locality::unidirectional())
+//!     .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")?
+//!     .legit("x[r] == x[r-1]")?
+//!     .build()?;
+//!
+//! assert_eq!(p.space().len(), 4);
+//! assert_eq!(p.transitions().count(), 1);
+//! # Ok::<(), selfstab_protocol::ProtocolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod display;
+pub mod domain;
+pub mod error;
+pub mod expr;
+pub mod file;
+pub mod locality;
+pub mod parser;
+pub mod predicate;
+pub mod protocol;
+pub mod space;
+pub mod transition;
+
+pub use action::GuardedCommand;
+pub use domain::{Domain, Value};
+pub use error::ProtocolError;
+pub use expr::Expr;
+pub use locality::Locality;
+pub use predicate::LocalPredicate;
+pub use protocol::{Protocol, ProtocolBuilder};
+pub use space::{LocalStateId, LocalStateSpace};
+pub use transition::LocalTransition;

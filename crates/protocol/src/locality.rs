@@ -1,0 +1,164 @@
+//! Read localities: the neighbor window of the representative process.
+
+/// The read locality of the representative process `P_r` on a ring.
+///
+/// `P_r` reads the owned variables of its `left` predecessors and `right`
+/// successors, plus its own: `R_r = {x_{r-left}, …, x_r, …, x_{r+right}}`,
+/// and writes only `x_r` (`W_r = {x_r} ⊆ R_r`, as required by the paper).
+///
+/// * `Locality::unidirectional()` — `(1, 0)`: the standard unidirectional
+///   ring where `P_r` reads its predecessor (agreement, coloring,
+///   sum-not-two).
+/// * `Locality::bidirectional()` — `(1, 1)`: maximal matching.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::Locality;
+///
+/// let l = Locality::bidirectional();
+/// assert_eq!(l.window_width(), 3);
+/// assert_eq!(l.center(), 1);
+/// assert_eq!(l.overlap(), 2); // |R_r ∩ R_{r+1}|
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Locality {
+    left: usize,
+    right: usize,
+}
+
+impl Locality {
+    /// Maximum span on either side, keeping window encodings compact.
+    pub const MAX_SPAN: usize = 4;
+
+    /// Creates a locality reading `left` predecessors and `right` successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either span exceeds [`Locality::MAX_SPAN`].
+    pub fn new(left: usize, right: usize) -> Self {
+        assert!(
+            left <= Self::MAX_SPAN && right <= Self::MAX_SPAN,
+            "locality spans limited to {}",
+            Self::MAX_SPAN
+        );
+        Locality { left, right }
+    }
+
+    /// The unidirectional-ring locality `(1, 0)`: reads `x_{r-1}` and `x_r`.
+    pub fn unidirectional() -> Self {
+        Locality::new(1, 0)
+    }
+
+    /// The bidirectional-ring locality `(1, 1)`: reads `x_{r-1}`, `x_r`,
+    /// `x_{r+1}`.
+    pub fn bidirectional() -> Self {
+        Locality::new(1, 1)
+    }
+
+    /// Number of predecessors read.
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Number of successors read.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Width of the read window (`left + 1 + right`).
+    pub fn window_width(&self) -> usize {
+        self.left + 1 + self.right
+    }
+
+    /// Index of the owned variable `x_r` within the window.
+    pub fn center(&self) -> usize {
+        self.left
+    }
+
+    /// Size of the overlap `R_r ∩ R_{r+1}` between the windows of a process
+    /// and its right successor (`left + right`).
+    ///
+    /// The right-continuation relation of Definition 4.1 requires the last
+    /// `overlap()` window entries of `P_r`'s local state to equal the first
+    /// `overlap()` entries of `P_{r+1}`'s.
+    pub fn overlap(&self) -> usize {
+        self.left + self.right
+    }
+
+    /// Converts a ring offset relative to `r` (e.g. `-1` for `x_{r-1}`) into
+    /// a window index, or `None` if outside the window.
+    pub fn window_index(&self, offset: isize) -> Option<usize> {
+        let idx = offset + self.left as isize;
+        if (0..self.window_width() as isize).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The ring offset of window index `idx` relative to `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the window.
+    pub fn offset_of(&self, idx: usize) -> isize {
+        assert!(idx < self.window_width(), "window index out of range");
+        idx as isize - self.left as isize
+    }
+}
+
+impl Default for Locality {
+    /// Defaults to the unidirectional ring.
+    fn default() -> Self {
+        Locality::unidirectional()
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(left={}, right={})", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unidirectional_geometry() {
+        let l = Locality::unidirectional();
+        assert_eq!(l.window_width(), 2);
+        assert_eq!(l.center(), 1);
+        assert_eq!(l.overlap(), 1);
+        assert_eq!(l.window_index(-1), Some(0));
+        assert_eq!(l.window_index(0), Some(1));
+        assert_eq!(l.window_index(1), None);
+    }
+
+    #[test]
+    fn bidirectional_geometry() {
+        let l = Locality::bidirectional();
+        assert_eq!(l.window_index(-1), Some(0));
+        assert_eq!(l.window_index(0), Some(1));
+        assert_eq!(l.window_index(1), Some(2));
+        assert_eq!(l.window_index(2), None);
+        assert_eq!(l.offset_of(0), -1);
+        assert_eq!(l.offset_of(2), 1);
+    }
+
+    #[test]
+    fn wide_window() {
+        let l = Locality::new(2, 1);
+        assert_eq!(l.window_width(), 4);
+        assert_eq!(l.center(), 2);
+        assert_eq!(l.overlap(), 3);
+        assert_eq!(l.window_index(-2), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "locality spans limited")]
+    fn span_limit() {
+        Locality::new(5, 0);
+    }
+}

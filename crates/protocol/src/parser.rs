@@ -1,0 +1,631 @@
+//! Parser for the guarded-command DSL.
+//!
+//! Actions are written in Dijkstra's guarded-command notation, directly
+//! mirroring the paper:
+//!
+//! ```text
+//! m[r-1] == left && m[r] != self && m[r+1] == right  ->  m[r] := self
+//! m[r-1] == self && m[r] == self && m[r+1] == self   ->  m[r] := right | left
+//! (x[r] + x[r-1] == 2) && (x[r] != 2)                ->  x[r] := (x[r] + 1) % 3
+//! ```
+//!
+//! * Variables are `name[r]`, `name[r-1]`, `name[r+2]`, … where `name` is the
+//!   protocol's variable and the offset must lie within the declared
+//!   [`Locality`].
+//! * Bare identifiers are domain value labels (`left`, `self`, …); integer
+//!   literals are also accepted for numeric domains.
+//! * `|` on the right-hand side separates nondeterministic alternatives.
+
+use crate::domain::Domain;
+use crate::error::ProtocolError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::locality::Locality;
+
+/// A parsed guarded-command action: `guard -> x[r] := alt_1 | alt_2 | …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedAction {
+    /// The guard expression (must be boolean).
+    pub guard: Expr,
+    /// The nondeterministic right-hand-side alternatives.
+    pub alternatives: Vec<Expr>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    EqEq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    AndAnd,
+    OrOr,
+    Bang,
+    Arrow,
+    Assign,
+    Pipe,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ProtocolError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push((start, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((start, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                toks.push((start, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                toks.push((start, Tok::RBracket));
+                i += 1;
+            }
+            '+' => {
+                toks.push((start, Tok::Plus));
+                i += 1;
+            }
+            '*' => {
+                toks.push((start, Tok::Star));
+                i += 1;
+            }
+            '%' => {
+                toks.push((start, Tok::Percent));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((start, Tok::Arrow));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Minus));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::EqEq));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected `==` (single `=` is not an operator)"));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::NotEq));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Bang));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Le));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Ge));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Gt));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push((start, Tok::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected `&&`"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push((start, Tok::OrOr));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Pipe));
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Assign));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected `:=`"));
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let value: i64 = text.parse().map_err(|_| err(start, "integer overflow"))?;
+                toks.push((start, Tok::Int(value)));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push((start, Tok::Ident(input[i..j].to_owned())));
+                i = j;
+            }
+            other => {
+                return Err(err(start, &format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn err(position: usize, message: &str) -> ProtocolError {
+    ProtocolError::Parse {
+        position,
+        message: message.to_owned(),
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    domain: &'a Domain,
+    locality: Locality,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &str, domain: &'a Domain, locality: Locality) -> Result<Self, ProtocolError> {
+        Ok(Parser {
+            toks: tokenize(input)?,
+            pos: 0,
+            domain,
+            locality,
+            input_len: input.len(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ProtocolError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(self.here(), &format!("expected {what}")))
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ProtocolError> {
+        let mut e = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let r = self.parse_and()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ProtocolError> {
+        let mut e = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let r = self.parse_cmp()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ProtocolError> {
+        let l = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::NotEq) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.parse_add()?;
+            Ok(Expr::Binary(op, Box::new(l), Box::new(r)))
+        } else {
+            Ok(l)
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ProtocolError> {
+        let mut e = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_mul()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ProtocolError> {
+        let mut e = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ProtocolError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ProtocolError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Int(v)) => Ok(Expr::Const(v)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.parse_var_suffix(&name, at)
+                } else if name == self.domain.variable() {
+                    Err(ProtocolError::BadVariable {
+                        reference: name,
+                        message: "variable must be indexed, e.g. `x[r]`".into(),
+                    })
+                } else {
+                    let v = self.domain.require(&name)?;
+                    Ok(Expr::Const(v as i64))
+                }
+            }
+            _ => Err(err(at, "expected an expression")),
+        }
+    }
+
+    /// Parses the `[r±k]` suffix of a variable reference whose name was
+    /// already consumed.
+    fn parse_var_suffix(&mut self, name: &str, at: usize) -> Result<Expr, ProtocolError> {
+        self.expect(&Tok::LBracket, "`[`")?;
+        match self.bump() {
+            Some(Tok::Ident(idx)) if idx == "r" => {}
+            _ => {
+                return Err(err(at, "variable index must be `r`, `r+k` or `r-k`"));
+            }
+        }
+        let offset: isize = match self.peek() {
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Tok::Int(k)) => k as isize,
+                    _ => return Err(err(at, "expected an integer after `r+`")),
+                }
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Tok::Int(k)) => -(k as isize),
+                    _ => return Err(err(at, "expected an integer after `r-`")),
+                }
+            }
+            _ => 0,
+        };
+        self.expect(&Tok::RBracket, "`]`")?;
+        if name != self.domain.variable() {
+            return Err(ProtocolError::BadVariable {
+                reference: format!("{name}[…]"),
+                message: format!(
+                    "unknown variable; the protocol variable is `{}`",
+                    self.domain.variable()
+                ),
+            });
+        }
+        if self.locality.window_index(offset).is_none() {
+            return Err(ProtocolError::BadVariable {
+                reference: format!("{name}[r{offset:+}]"),
+                message: format!("offset outside locality {}", self.locality),
+            });
+        }
+        Ok(Expr::Var(offset))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+/// Parses a standalone boolean expression (e.g. a legitimate-state predicate
+/// `LC_r`).
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on syntax errors, unknown labels, or variable
+/// offsets outside the locality.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{parser::parse_expr, Domain, Locality};
+///
+/// let d = Domain::numeric("x", 3);
+/// let e = parse_expr("x[r] + x[r-1] != 2", &d, Locality::unidirectional())?;
+/// assert_eq!(e.eval_guard(&[1, 0], Locality::unidirectional())?, true);
+/// assert_eq!(e.eval_guard(&[1, 1], Locality::unidirectional())?, false);
+/// # Ok::<(), selfstab_protocol::ProtocolError>(())
+/// ```
+pub fn parse_expr(input: &str, domain: &Domain, locality: Locality) -> Result<Expr, ProtocolError> {
+    let mut p = Parser::new(input, domain, locality)?;
+    let e = p.parse_or()?;
+    if !p.at_end() {
+        return Err(err(p.here(), "unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+/// Parses a guarded-command action `guard -> x[r] := rhs (| rhs)*`.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on syntax errors, when the assignment target
+/// is not the owned variable `x[r]`, or on unknown labels/offsets.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{parser::parse_action, Domain, Locality};
+///
+/// let d = Domain::named("m", ["left", "right", "self"]);
+/// let a = parse_action(
+///     "m[r-1] == self && m[r] == self && m[r+1] == self -> m[r] := right | left",
+///     &d,
+///     Locality::bidirectional(),
+/// )?;
+/// assert_eq!(a.alternatives.len(), 2);
+/// # Ok::<(), selfstab_protocol::ProtocolError>(())
+/// ```
+pub fn parse_action(
+    input: &str,
+    domain: &Domain,
+    locality: Locality,
+) -> Result<ParsedAction, ProtocolError> {
+    let mut p = Parser::new(input, domain, locality)?;
+    let guard = p.parse_or()?;
+    p.expect(&Tok::Arrow, "`->` between guard and statement")?;
+
+    // Assignment target: must be the owned variable at offset 0.
+    let at = p.here();
+    let target = match p.bump() {
+        Some(Tok::Ident(name)) => p.parse_var_suffix(&name, at)?,
+        _ => return Err(err(at, "expected an assignment `x[r] := …`")),
+    };
+    if target != Expr::Var(0) {
+        return Err(ProtocolError::BadVariable {
+            reference: format!("{target:?}"),
+            message: "only the owned variable `x[r]` may be assigned".into(),
+        });
+    }
+    p.expect(&Tok::Assign, "`:=`")?;
+
+    let mut alternatives = vec![p.parse_or()?];
+    while p.peek() == Some(&Tok::Pipe) {
+        p.pos += 1;
+        alternatives.push(p.parse_or()?);
+    }
+    if !p.at_end() {
+        return Err(err(p.here(), "unexpected trailing input"));
+    }
+    Ok(ParsedAction {
+        guard,
+        alternatives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Domain {
+        Domain::named("m", ["left", "right", "self"])
+    }
+
+    #[test]
+    fn parses_paper_action_a1() {
+        let a = parse_action(
+            "m[r-1] == left && m[r] != self && m[r+1] == right -> m[r] := self",
+            &dom(),
+            Locality::bidirectional(),
+        )
+        .unwrap();
+        assert_eq!(a.alternatives, vec![Expr::Const(2)]);
+        // guard holds at ⟨left, right, right⟩
+        assert!(a
+            .guard
+            .eval_guard(&[0, 1, 1], Locality::bidirectional())
+            .unwrap());
+        assert!(!a
+            .guard
+            .eval_guard(&[0, 2, 1], Locality::bidirectional())
+            .unwrap());
+    }
+
+    #[test]
+    fn nondeterministic_alternatives() {
+        let a = parse_action(
+            "m[r-1] == self && m[r] == self && m[r+1] == self -> m[r] := right | left",
+            &dom(),
+            Locality::bidirectional(),
+        )
+        .unwrap();
+        assert_eq!(a.alternatives, vec![Expr::Const(1), Expr::Const(0)]);
+    }
+
+    #[test]
+    fn arithmetic_rhs() {
+        let d = Domain::numeric("x", 3);
+        let a = parse_action(
+            "(x[r] + x[r-1] == 2) && (x[r] != 2) -> x[r] := (x[r] + 1) % 3",
+            &d,
+            Locality::unidirectional(),
+        )
+        .unwrap();
+        assert_eq!(
+            a.alternatives[0]
+                .eval_int(&[0, 2], Locality::unidirectional())
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn rejects_assignment_to_neighbor() {
+        let e = parse_action(
+            "m[r] == left -> m[r+1] := left",
+            &dom(),
+            Locality::bidirectional(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("owned variable"));
+    }
+
+    #[test]
+    fn rejects_out_of_window_reference() {
+        let e = parse_expr("m[r+1] == left", &dom(), Locality::unidirectional()).unwrap_err();
+        assert!(e.to_string().contains("outside locality"));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let e = parse_expr("m[r] == lefty", &dom(), Locality::bidirectional()).unwrap_err();
+        assert!(matches!(e, ProtocolError::UnknownValue { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let e = parse_expr("y[r] == 0", &dom(), Locality::bidirectional()).unwrap_err();
+        assert!(matches!(e, ProtocolError::BadVariable { .. }));
+    }
+
+    #[test]
+    fn rejects_bare_variable() {
+        let e = parse_expr("m == left", &dom(), Locality::bidirectional()).unwrap_err();
+        assert!(e.to_string().contains("indexed"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse_expr("m[r] == left left", &dom(), Locality::bidirectional()).unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let d = Domain::numeric("x", 5);
+        let loc = Locality::unidirectional();
+        // 1 + 2 * 2 == 5 (mul binds tighter)
+        let e = parse_expr("1 + 2 * 2 == 5", &d, loc).unwrap();
+        assert!(e.eval_guard(&[0, 0], loc).unwrap());
+        // (1 + 2) * 2 == 6
+        let e = parse_expr("(1 + 2) * 2 == 6", &d, loc).unwrap();
+        assert!(e.eval_guard(&[0, 0], loc).unwrap());
+        // && binds tighter than ||
+        let e = parse_expr("1 == 1 || 1 == 2 && 2 == 3", &d, loc).unwrap();
+        assert!(e.eval_guard(&[0, 0], loc).unwrap());
+    }
+
+    #[test]
+    fn negation_and_unary_minus() {
+        let d = Domain::numeric("x", 3);
+        let loc = Locality::unidirectional();
+        let e = parse_expr("!(x[r] == 0)", &d, loc).unwrap();
+        assert!(e.eval_guard(&[0, 1], loc).unwrap());
+        let e = parse_expr("-1 + 2 == 1", &d, loc).unwrap();
+        assert!(e.eval_guard(&[0, 0], loc).unwrap());
+    }
+
+    #[test]
+    fn error_positions_point_into_input() {
+        let input = "m[r] == left &&";
+        let e = parse_expr(input, &dom(), Locality::bidirectional()).unwrap_err();
+        match e {
+            ProtocolError::Parse { position, .. } => assert_eq!(position, input.len()),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_equals_is_rejected_with_hint() {
+        let e = parse_expr("m[r] = left", &dom(), Locality::bidirectional()).unwrap_err();
+        assert!(e.to_string().contains("=="));
+    }
+}

@@ -1,0 +1,174 @@
+//! Local state predicates (`LC_r` and friends).
+
+use selfstab_graph::BitSet;
+
+use crate::space::{LocalStateId, LocalStateSpace};
+
+/// A predicate over the local state space of the representative process,
+/// represented extensionally as a bit set.
+///
+/// The paper's legitimate-state predicates `I(K)` are *locally conjunctive*:
+/// `I(K) = ∧_{r} LC_r` where each `LC_r` is a local predicate. This type
+/// represents one such `LC_r` (and any other set of local states, e.g. the
+/// local deadlocks `D_L^l`).
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, LocalPredicate, LocalStateSpace};
+///
+/// let d = Domain::numeric("x", 2);
+/// let space = LocalStateSpace::new(&d, Locality::unidirectional());
+/// // LC_r: x_r == x_{r-1}
+/// let lc = LocalPredicate::from_fn(&space, |s, sp| sp.value_at(s, 0) == sp.value_at(s, 1));
+/// assert_eq!(lc.len(), 2);
+/// assert!(lc.holds(space.encode(&[1, 1])));
+/// assert!(!lc.holds(space.encode(&[1, 0])));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalPredicate {
+    set: BitSet,
+}
+
+impl LocalPredicate {
+    /// The predicate that holds nowhere.
+    pub fn none(space: &LocalStateSpace) -> Self {
+        LocalPredicate {
+            set: BitSet::new(space.len()),
+        }
+    }
+
+    /// The predicate that holds everywhere.
+    pub fn all(space: &LocalStateSpace) -> Self {
+        LocalPredicate {
+            set: BitSet::full(space.len()),
+        }
+    }
+
+    /// Builds a predicate by evaluating `f` on every local state.
+    pub fn from_fn<F>(space: &LocalStateSpace, mut f: F) -> Self
+    where
+        F: FnMut(LocalStateId, &LocalStateSpace) -> bool,
+    {
+        let mut set = BitSet::new(space.len());
+        for id in space.ids() {
+            if f(id, space) {
+                set.insert(id.index());
+            }
+        }
+        LocalPredicate { set }
+    }
+
+    /// Builds a predicate from an explicit set of states.
+    pub fn from_states<I: IntoIterator<Item = LocalStateId>>(
+        space: &LocalStateSpace,
+        states: I,
+    ) -> Self {
+        LocalPredicate {
+            set: BitSet::from_iter_with_capacity(
+                space.len(),
+                states.into_iter().map(LocalStateId::index),
+            ),
+        }
+    }
+
+    /// Returns `true` if the predicate holds at `id`.
+    pub fn holds(&self, id: LocalStateId) -> bool {
+        self.set.contains(id.index())
+    }
+
+    /// Number of satisfying local states.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` if no local state satisfies the predicate.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The complement predicate (`¬LC_r`).
+    pub fn negated(&self) -> LocalPredicate {
+        let mut set = self.set.clone();
+        set.complement();
+        LocalPredicate { set }
+    }
+
+    /// Conjunction with another predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two predicates are over different state spaces.
+    pub fn and(&self, other: &LocalPredicate) -> LocalPredicate {
+        let mut set = self.set.clone();
+        set.intersect_with(&other.set);
+        LocalPredicate { set }
+    }
+
+    /// Disjunction with another predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two predicates are over different state spaces.
+    pub fn or(&self, other: &LocalPredicate) -> LocalPredicate {
+        let mut set = self.set.clone();
+        set.union_with(&other.set);
+        LocalPredicate { set }
+    }
+
+    /// Iterates over the satisfying local states.
+    pub fn states(&self) -> impl Iterator<Item = LocalStateId> + '_ {
+        self.set.iter().map(|i| LocalStateId(i as u32))
+    }
+
+    /// A view of the underlying bit set (vertex set for graph algorithms).
+    pub fn as_bitset(&self) -> &BitSet {
+        &self.set
+    }
+}
+
+impl From<BitSet> for LocalPredicate {
+    fn from(set: BitSet) -> Self {
+        LocalPredicate { set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::locality::Locality;
+
+    fn space() -> LocalStateSpace {
+        LocalStateSpace::new(&Domain::numeric("x", 2), Locality::unidirectional())
+    }
+
+    #[test]
+    fn all_and_none() {
+        let sp = space();
+        assert_eq!(LocalPredicate::all(&sp).len(), 4);
+        assert!(LocalPredicate::none(&sp).is_empty());
+    }
+
+    #[test]
+    fn negation_partitions() {
+        let sp = space();
+        let eq = LocalPredicate::from_fn(&sp, |s, spc| spc.value_at(s, 0) == spc.value_at(s, 1));
+        let ne = eq.negated();
+        assert_eq!(eq.len() + ne.len(), sp.len());
+        assert!(eq.and(&ne).is_empty());
+        assert_eq!(eq.or(&ne).len(), sp.len());
+    }
+
+    #[test]
+    fn from_states_and_iteration() {
+        let sp = space();
+        let p = LocalPredicate::from_states(&sp, [LocalStateId(0), LocalStateId(3)]);
+        assert_eq!(
+            p.states().collect::<Vec<_>>(),
+            vec![LocalStateId(0), LocalStateId(3)]
+        );
+        assert!(p.holds(LocalStateId(3)));
+        assert!(!p.holds(LocalStateId(1)));
+    }
+}

@@ -1,0 +1,277 @@
+//! The local state space of the representative process.
+
+use crate::domain::{Domain, Value};
+use crate::locality::Locality;
+
+/// Identifier of a local state: a dense index into the local state space.
+///
+/// Local states are valuations of the read window; with domain size `d` and
+/// window width `w` there are `d^w` of them, so a `u32` id is ample for the
+/// small windows supported by [`Locality`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalStateId(pub u32);
+
+impl LocalStateId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LocalStateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Codec for local states: bijection between window valuations and
+/// [`LocalStateId`]s.
+///
+/// The encoding is big-endian mixed radix with uniform radix `d` (the domain
+/// size): the leftmost window entry (`x_{r-left}`) is the most significant
+/// digit. Window entries are ordered `[x_{r-left}, …, x_r, …, x_{r+right}]`.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, LocalStateSpace};
+///
+/// let space = LocalStateSpace::new(&Domain::numeric("x", 3), Locality::bidirectional());
+/// assert_eq!(space.len(), 27);
+/// let id = space.encode(&[2, 0, 1]);
+/// assert_eq!(space.decode(id), vec![2, 0, 1]);
+/// assert_eq!(space.value_at(id, 1), 0);
+/// let id2 = space.with_value(id, 1, 2);
+/// assert_eq!(space.decode(id2), vec![2, 2, 1]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalStateSpace {
+    domain_size: usize,
+    width: usize,
+}
+
+impl LocalStateSpace {
+    /// Creates the codec for the given domain and locality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d^w` overflows `u32` (cannot happen for the localities and
+    /// domain sizes this workspace supports, but checked defensively).
+    pub fn new(domain: &Domain, locality: Locality) -> Self {
+        let d = domain.size();
+        let w = locality.window_width();
+        let count = (d as u128).pow(w as u32);
+        assert!(count <= u32::MAX as u128, "local state space too large");
+        LocalStateSpace {
+            domain_size: d,
+            width: w,
+        }
+    }
+
+    /// Number of local states (`d^w`).
+    pub fn len(&self) -> usize {
+        self.domain_size.pow(self.width as u32)
+    }
+
+    /// Returns `true` if the space is empty (never: domains are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The domain size `d`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// The window width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes a window valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width()` or any value is out of domain.
+    pub fn encode(&self, values: &[Value]) -> LocalStateId {
+        assert_eq!(values.len(), self.width, "window width mismatch");
+        let mut id: u32 = 0;
+        for &v in values {
+            assert!((v as usize) < self.domain_size, "value {v} out of domain");
+            id = id * self.domain_size as u32 + v as u32;
+        }
+        LocalStateId(id)
+    }
+
+    /// Decodes a local state into its window valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn decode(&self, id: LocalStateId) -> Vec<Value> {
+        assert!(id.index() < self.len(), "local state id out of range");
+        let mut values = vec![0; self.width];
+        let mut rest = id.0;
+        for slot in values.iter_mut().rev() {
+            *slot = (rest % self.domain_size as u32) as Value;
+            rest /= self.domain_size as u32;
+        }
+        values
+    }
+
+    /// The value at window index `pos` of local state `id` (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= width()` or `id` is out of range.
+    pub fn value_at(&self, id: LocalStateId, pos: usize) -> Value {
+        assert!(pos < self.width, "window index out of range");
+        assert!(id.index() < self.len(), "local state id out of range");
+        let shift = (self.width - 1 - pos) as u32;
+        ((id.0 / (self.domain_size as u32).pow(shift)) % self.domain_size as u32) as Value
+    }
+
+    /// Returns `id` with the value at window index `pos` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos`, `v`, or `id` is out of range.
+    pub fn with_value(&self, id: LocalStateId, pos: usize, v: Value) -> LocalStateId {
+        assert!((v as usize) < self.domain_size, "value {v} out of domain");
+        let old = self.value_at(id, pos);
+        let weight = (self.domain_size as u32).pow((self.width - 1 - pos) as u32);
+        LocalStateId(id.0 - old as u32 * weight + v as u32 * weight)
+    }
+
+    /// Iterates over every local state id.
+    pub fn ids(&self) -> impl Iterator<Item = LocalStateId> {
+        (0..self.len() as u32).map(LocalStateId)
+    }
+
+    /// Tests the right-continuation relation of Definition 4.1: `b` is a
+    /// right continuation of `a` iff the last `overlap` entries of `a`'s
+    /// window equal the first `overlap` entries of `b`'s window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap > width()`.
+    pub fn is_right_continuation(&self, a: LocalStateId, b: LocalStateId, overlap: usize) -> bool {
+        assert!(overlap <= self.width, "overlap exceeds window width");
+        (0..overlap).all(|i| self.value_at(a, self.width - overlap + i) == self.value_at(b, i))
+    }
+
+    /// Formats a local state as its labelled window, e.g. `⟨left,self,right⟩`.
+    pub fn format(&self, id: LocalStateId, domain: &Domain) -> String {
+        let values = self.decode(id);
+        let labels: Vec<&str> = values.iter().map(|&v| domain.label(v)).collect();
+        format!("⟨{}⟩", labels.join(","))
+    }
+
+    /// Formats a local state as a compact string of first label letters,
+    /// matching the paper's `lls`-style notation when labels have distinct
+    /// initials (falls back to full labels joined by `,` otherwise).
+    pub fn format_compact(&self, id: LocalStateId, domain: &Domain) -> String {
+        let initials: Vec<char> = domain
+            .values()
+            .filter_map(|v| domain.label(v).chars().next())
+            .collect();
+        let mut unique = initials.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let values = self.decode(id);
+        if unique.len() == domain.size() {
+            values.iter().map(|&v| initials[v as usize]).collect()
+        } else {
+            values
+                .iter()
+                .map(|&v| domain.label(v))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space3() -> LocalStateSpace {
+        LocalStateSpace::new(&Domain::numeric("x", 3), Locality::bidirectional())
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space3();
+        for id in s.ids() {
+            assert_eq!(s.encode(&s.decode(id)), id);
+        }
+    }
+
+    #[test]
+    fn big_endian_order() {
+        let s = space3();
+        assert_eq!(s.encode(&[0, 0, 1]).0, 1);
+        assert_eq!(s.encode(&[1, 0, 0]).0, 9);
+    }
+
+    #[test]
+    fn value_at_matches_decode() {
+        let s = space3();
+        for id in s.ids() {
+            let vals = s.decode(id);
+            for (pos, &v) in vals.iter().enumerate() {
+                assert_eq!(s.value_at(id, pos), v);
+            }
+        }
+    }
+
+    #[test]
+    fn with_value_changes_one_position() {
+        let s = space3();
+        let id = s.encode(&[2, 1, 0]);
+        let id2 = s.with_value(id, 1, 2);
+        assert_eq!(s.decode(id2), vec![2, 2, 0]);
+        assert_eq!(s.with_value(id, 1, 1), id);
+    }
+
+    #[test]
+    fn right_continuation_unidirectional() {
+        let s = LocalStateSpace::new(&Domain::numeric("x", 2), Locality::unidirectional());
+        // windows [x_{r-1}, x_r]; overlap 1: last entry of a == first of b.
+        let a = s.encode(&[0, 1]);
+        let b = s.encode(&[1, 0]);
+        let c = s.encode(&[0, 0]);
+        assert!(s.is_right_continuation(a, b, 1));
+        assert!(!s.is_right_continuation(a, c, 1));
+        // self-continuation of [0,0]
+        assert!(s.is_right_continuation(c, c, 1));
+    }
+
+    #[test]
+    fn right_continuation_bidirectional() {
+        let s = space3();
+        // windows [x_{r-1}, x_r, x_{r+1}]; overlap 2.
+        let a = s.encode(&[2, 0, 1]);
+        let b = s.encode(&[0, 1, 2]);
+        assert!(s.is_right_continuation(a, b, 2));
+        let c = s.encode(&[1, 0, 2]);
+        assert!(!s.is_right_continuation(a, c, 2));
+    }
+
+    #[test]
+    fn formatting() {
+        let d = Domain::named("m", ["left", "right", "self"]);
+        let s = LocalStateSpace::new(&d, Locality::bidirectional());
+        let id = s.encode(&[0, 0, 2]);
+        assert_eq!(s.format(id, &d), "⟨left,left,self⟩");
+        assert_eq!(s.format_compact(id, &d), "lls");
+    }
+
+    #[test]
+    fn format_compact_falls_back_on_ambiguous_initials() {
+        let d = Domain::named("m", ["alpha", "apex"]);
+        let s = LocalStateSpace::new(&d, Locality::unidirectional());
+        let id = s.encode(&[0, 1]);
+        assert_eq!(s.format_compact(id, &d), "alpha,apex");
+    }
+}

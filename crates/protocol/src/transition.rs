@@ -1,0 +1,123 @@
+//! Local transitions of the representative process.
+
+use crate::domain::{Domain, Value};
+use crate::locality::Locality;
+use crate::space::{LocalStateId, LocalStateSpace};
+
+/// A local transition of the representative process `P_r`.
+///
+/// Per Section 2.1 of the paper, a local transition is a pair of local
+/// states `(s, s')` that agree on every read-only variable; since `P_r`
+/// writes only `x_r`, a transition is fully described by its source state
+/// and the new value of `x_r`. The toolkit additionally requires
+/// `target != x_r(source)` — a transition that rewrites the same value is a
+/// global self-loop, which is a *self-enabling* action (forbidden by the
+/// paper's Assumption 2) and useless for convergence.
+///
+/// # Examples
+///
+/// ```
+/// use selfstab_protocol::{Domain, Locality, LocalStateSpace, LocalTransition};
+///
+/// let sp = LocalStateSpace::new(&Domain::numeric("x", 2), Locality::unidirectional());
+/// let s = sp.encode(&[1, 0]);
+/// let t = LocalTransition::new(s, 1);
+/// assert_eq!(sp.decode(t.target_state(&sp, Locality::unidirectional())), vec![1, 1]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalTransition {
+    /// The source local state.
+    pub source: LocalStateId,
+    /// The new value written to `x_r`.
+    pub target: Value,
+}
+
+impl LocalTransition {
+    /// Creates a local transition.
+    pub fn new(source: LocalStateId, target: Value) -> Self {
+        LocalTransition { source, target }
+    }
+
+    /// The local state reached by executing this transition: the source
+    /// window with `x_r` replaced by [`LocalTransition::target`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition is inconsistent with `space`/`locality`.
+    pub fn target_state(&self, space: &LocalStateSpace, locality: Locality) -> LocalStateId {
+        space.with_value(self.source, locality.center(), self.target)
+    }
+
+    /// The value of `x_r` before the transition.
+    pub fn source_value(&self, space: &LocalStateSpace, locality: Locality) -> Value {
+        space.value_at(self.source, locality.center())
+    }
+
+    /// The projection of the transition on the writable variable `W_r`:
+    /// the `(old, new)` value pair of `x_r`. Pseudo-livelock analysis
+    /// (Definition 5.13) works on these projections.
+    pub fn write_projection(&self, space: &LocalStateSpace, locality: Locality) -> (Value, Value) {
+        (self.source_value(space, locality), self.target)
+    }
+
+    /// Formats the transition as a one-line guarded command.
+    pub fn display(&self, space: &LocalStateSpace, locality: Locality, domain: &Domain) -> String {
+        let values = space.decode(self.source);
+        let guard: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| {
+                let off = locality.offset_of(idx);
+                let var = match off {
+                    0 => format!("{}[r]", domain.variable()),
+                    o if o < 0 => format!("{}[r{}]", domain.variable(), o),
+                    o => format!("{}[r+{}]", domain.variable(), o),
+                };
+                format!("{} == {}", var, domain.label(v))
+            })
+            .collect();
+        format!(
+            "{} -> {}[r] := {}",
+            guard.join(" && "),
+            domain.variable(),
+            domain.label(self.target)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_state_replaces_center() {
+        let d = Domain::named("m", ["left", "right", "self"]);
+        let loc = Locality::bidirectional();
+        let sp = LocalStateSpace::new(&d, loc);
+        let s = sp.encode(&[0, 1, 2]);
+        let t = LocalTransition::new(s, 2);
+        assert_eq!(sp.decode(t.target_state(&sp, loc)), vec![0, 2, 2]);
+        assert_eq!(t.source_value(&sp, loc), 1);
+        assert_eq!(t.write_projection(&sp, loc), (1, 2));
+    }
+
+    #[test]
+    fn display_renders_guard_and_assignment() {
+        let d = Domain::numeric("x", 2);
+        let loc = Locality::unidirectional();
+        let sp = LocalStateSpace::new(&d, loc);
+        let t = LocalTransition::new(sp.encode(&[1, 0]), 1);
+        assert_eq!(
+            t.display(&sp, loc, &d),
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1"
+        );
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = LocalTransition::new(LocalStateId(1), 0);
+        let b = LocalTransition::new(LocalStateId(1), 1);
+        let c = LocalTransition::new(LocalStateId(2), 0);
+        assert!(a < b && b < c);
+    }
+}

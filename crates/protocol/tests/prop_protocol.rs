@@ -1,0 +1,243 @@
+//! Property-based tests for the protocol model and DSL.
+
+use proptest::prelude::*;
+use selfstab_protocol::{
+    parser::parse_expr, Domain, GuardedCommand, LocalStateSpace, LocalTransition, Locality,
+    Protocol,
+};
+
+fn arb_locality() -> impl Strategy<Value = Locality> {
+    prop_oneof![
+        Just(Locality::unidirectional()),
+        Just(Locality::bidirectional()),
+        Just(Locality::new(2, 0)),
+        Just(Locality::new(0, 1)),
+    ]
+}
+
+proptest! {
+    /// encode/decode are mutually inverse over the whole space.
+    #[test]
+    fn codec_roundtrip(d in 2usize..6, loc in arb_locality()) {
+        let domain = Domain::numeric("x", d);
+        let sp = LocalStateSpace::new(&domain, loc);
+        for id in sp.ids() {
+            let w = sp.decode(id);
+            prop_assert_eq!(sp.encode(&w), id);
+            for (pos, &v) in w.iter().enumerate() {
+                prop_assert_eq!(sp.value_at(id, pos), v);
+            }
+        }
+    }
+
+    /// with_value really is a point update.
+    #[test]
+    fn with_value_point_update(
+        d in 2usize..5,
+        loc in arb_locality(),
+        seed in any::<u32>(),
+        v in 0u8..5,
+        pos_seed in any::<usize>(),
+    ) {
+        let domain = Domain::numeric("x", d);
+        let sp = LocalStateSpace::new(&domain, loc);
+        let id = selfstab_protocol::LocalStateId(seed % sp.len() as u32);
+        let pos = pos_seed % sp.width();
+        let v = v % d as u8;
+        let id2 = sp.with_value(id, pos, v);
+        let w1 = sp.decode(id);
+        let w2 = sp.decode(id2);
+        for i in 0..sp.width() {
+            if i == pos {
+                prop_assert_eq!(w2[i], v);
+            } else {
+                prop_assert_eq!(w2[i], w1[i]);
+            }
+        }
+    }
+
+    /// The right-continuation relation agrees with a direct window check.
+    #[test]
+    fn continuation_matches_windows(d in 2usize..5, loc in arb_locality(), a in any::<u32>(), b in any::<u32>()) {
+        let domain = Domain::numeric("x", d);
+        let sp = LocalStateSpace::new(&domain, loc);
+        let a = selfstab_protocol::LocalStateId(a % sp.len() as u32);
+        let b = selfstab_protocol::LocalStateId(b % sp.len() as u32);
+        let ov = loc.overlap();
+        let wa = sp.decode(a);
+        let wb = sp.decode(b);
+        let direct = wa[sp.width() - ov..] == wb[..ov];
+        prop_assert_eq!(sp.is_right_continuation(a, b, ov), direct);
+    }
+
+    /// Transition display parses back to the same single transition.
+    #[test]
+    fn transition_display_roundtrip(d in 2usize..5, loc in arb_locality(), seed in any::<u32>(), t in 0u8..5) {
+        let domain = Domain::numeric("x", d);
+        let sp = LocalStateSpace::new(&domain, loc);
+        let source = selfstab_protocol::LocalStateId(seed % sp.len() as u32);
+        let t = t % d as u8;
+        prop_assume!(sp.value_at(source, loc.center()) != t);
+        let tr = LocalTransition::new(source, t);
+        let text = tr.display(&sp, loc, &domain);
+        let gc = GuardedCommand::parse(&text, &domain, loc).unwrap();
+        let out = gc.expand(&sp, loc, &domain).unwrap();
+        prop_assert_eq!(out.transitions, vec![tr]);
+        prop_assert_eq!(out.identity_skipped, 0);
+    }
+
+    /// An action's expansion contains exactly the guard-satisfying states.
+    #[test]
+    fn expansion_matches_guard(d in 2usize..4, a in 0u8..4, b in 0u8..4) {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::unidirectional();
+        let sp = LocalStateSpace::new(&domain, loc);
+        let a = a % d as u8;
+        let b = b % d as u8;
+        let src = format!("x[r-1] == {a} && x[r] != {b} -> x[r] := {b}");
+        let gc = GuardedCommand::parse(&src, &domain, loc).unwrap();
+        let out = gc.expand(&sp, loc, &domain).unwrap();
+        let expected: Vec<LocalTransition> = sp
+            .ids()
+            .filter(|&id| sp.value_at(id, 0) == a && sp.value_at(id, 1) != b)
+            .map(|id| LocalTransition::new(id, b))
+            .collect();
+        prop_assert_eq!(out.transitions, expected);
+    }
+
+    /// Deadlocks and enabled states partition the local state space.
+    #[test]
+    fn deadlocks_complement_enabled(d in 2usize..4, arcs in proptest::collection::vec((any::<u32>(), 0u8..4), 0..12)) {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::unidirectional();
+        let base = Protocol::builder("p", domain, loc).legit_all().build().unwrap();
+        let sp = *base.space();
+        let ts: Vec<LocalTransition> = arcs
+            .into_iter()
+            .map(|(s, t)| LocalTransition::new(selfstab_protocol::LocalStateId(s % sp.len() as u32), t % d as u8))
+            .filter(|t| sp.value_at(t.source, loc.center()) != t.target)
+            .collect();
+        let p = base.with_transitions("p", ts).unwrap();
+        let dl = p.local_deadlocks();
+        let en = p.enabled_states();
+        prop_assert_eq!(dl.len() + en.len(), sp.len());
+        prop_assert!(dl.and(&en).is_empty());
+        for id in sp.ids() {
+            prop_assert_eq!(p.is_enabled(id), en.holds(id));
+        }
+    }
+
+    /// Summarized guarded commands expand back to exactly the original
+    /// transition set (the cube merger is faithful).
+    #[test]
+    fn summary_roundtrip(d in 2usize..5, arcs in proptest::collection::vec((any::<u32>(), 0u8..5), 0..20)) {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::unidirectional();
+        let base = Protocol::builder("p", domain, loc).legit_all().build().unwrap();
+        let sp = *base.space();
+        let ts: Vec<LocalTransition> = arcs
+            .into_iter()
+            .map(|(s, t)| LocalTransition::new(selfstab_protocol::LocalStateId(s % sp.len() as u32), t % d as u8))
+            .filter(|t| sp.value_at(t.source, loc.center()) != t.target)
+            .collect();
+        let p = base.with_transitions("p", ts).unwrap();
+        let lines = selfstab_protocol::display::summarize_transitions(&p);
+        let expanded = selfstab_protocol::display::expand_summary(&p, &lines).unwrap();
+        let mut original: Vec<LocalTransition> = p.transitions().collect();
+        original.sort_unstable();
+        prop_assert_eq!(expanded, original);
+    }
+
+    /// Parsed expressions never panic on evaluation over valid windows.
+    #[test]
+    fn guard_eval_total(d in 2usize..4, s in "[01x+%()r\\[\\]=!&|<> -]{0,24}") {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::unidirectional();
+        if let Ok(e) = parse_expr(&s, &domain, loc) {
+            let sp = LocalStateSpace::new(&domain, loc);
+            for id in sp.ids() {
+                let w = sp.decode(id);
+                let _ = e.eval(&w, loc); // must not panic
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The `.stab` file parser never panics, whatever the input.
+    #[test]
+    fn protocol_file_parser_total(src in "\\PC{0,300}") {
+        let _ = selfstab_protocol::file::parse_protocol_file(&src);
+    }
+
+    /// Structured-ish random files: either parse or produce a line-numbered
+    /// error, never a panic.
+    #[test]
+    fn protocol_file_parser_structured(
+        name in "[a-z]{1,8}",
+        dsize in 2usize..5,
+        body in proptest::collection::vec("[a-z0-9\\[\\]()=!&|<>%+: -]{0,40}", 0..6),
+    ) {
+        let mut src = format!("protocol {name}\ndomain x {{ ");
+        for v in 0..dsize {
+            src.push_str(&format!("{v} "));
+        }
+        src.push_str("}\nlocality unidirectional\nlegit x[r] == x[r-1]\n");
+        for line in &body {
+            src.push_str(&format!("action {line}\n"));
+        }
+        match selfstab_protocol::file::parse_protocol_file(&src) {
+            Ok(p) => prop_assert_eq!(p.name(), name),
+            Err(e) => prop_assert!(e.to_string().contains("line "), "error lacks line number: {e}"),
+        }
+    }
+}
+
+proptest! {
+    /// Cube-merged summaries are faithful on bidirectional windows too.
+    #[test]
+    fn summary_roundtrip_bidirectional(d in 2usize..4, arcs in proptest::collection::vec((any::<u32>(), 0u8..4), 0..24)) {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::bidirectional();
+        let base = Protocol::builder("p", domain, loc).legit_all().build().unwrap();
+        let sp = *base.space();
+        let ts: Vec<LocalTransition> = arcs
+            .into_iter()
+            .map(|(s, t)| LocalTransition::new(selfstab_protocol::LocalStateId(s % sp.len() as u32), t % d as u8))
+            .filter(|t| sp.value_at(t.source, loc.center()) != t.target)
+            .collect();
+        let p = base.with_transitions("p", ts).unwrap();
+        let lines = selfstab_protocol::display::summarize_transitions(&p);
+        let expanded = selfstab_protocol::display::expand_summary(&p, &lines).unwrap();
+        let mut original: Vec<LocalTransition> = p.transitions().collect();
+        original.sort_unstable();
+        prop_assert_eq!(expanded, original);
+    }
+
+    /// `.stab` rendering round-trips for random protocols with extensional
+    /// (non-DSL) legitimate predicates.
+    #[test]
+    fn stab_render_roundtrip_extensional(d in 2usize..4, legit in proptest::collection::vec(any::<bool>(), 9), arcs in proptest::collection::vec((any::<u32>(), 0u8..4), 0..10)) {
+        let domain = Domain::numeric("x", d);
+        let loc = Locality::unidirectional();
+        let n = d * d;
+        if !(0..n).any(|i| legit[i % legit.len()]) {
+            return Ok(());
+        }
+        let base = Protocol::builder("p", domain, loc)
+            .legit_fn(|id, _| legit[id.index() % legit.len()])
+            .build()
+            .unwrap();
+        let sp = *base.space();
+        let ts: Vec<LocalTransition> = arcs
+            .into_iter()
+            .map(|(s, t)| LocalTransition::new(selfstab_protocol::LocalStateId(s % sp.len() as u32), t % d as u8))
+            .filter(|t| sp.value_at(t.source, loc.center()) != t.target)
+            .collect();
+        let p = base.with_transitions("p", ts).unwrap();
+        let rendered = selfstab_protocol::file::render_protocol_file(&p);
+        let q = selfstab_protocol::file::parse_protocol_file(&rendered).unwrap();
+        prop_assert_eq!(p.transitions().collect::<Vec<_>>(), q.transitions().collect::<Vec<_>>());
+        prop_assert_eq!(p.legit(), q.legit());
+    }
+}

@@ -1,0 +1,108 @@
+//! Agreement on a unidirectional ring (Example 5.2, Section 6.2).
+//!
+//! Each process owns `x_r`; legitimacy is local equality with the
+//! predecessor, `LC_r = (x_r == x_{r-1})`, so `I(K)` is "all values equal".
+
+use selfstab_protocol::{Domain, Locality, Protocol};
+
+fn builder(name: &str, m: usize) -> selfstab_protocol::ProtocolBuilder {
+    Protocol::builder(name, Domain::numeric("x", m), Locality::unidirectional())
+}
+
+/// The empty binary-agreement protocol (the synthesis input of §6.2).
+pub fn binary_agreement_empty() -> Protocol {
+    builder("binary-agreement", 2)
+        .legit("x[r] == x[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// Binary agreement with the single recovery action `t01` — one of the two
+/// convergent solutions of §6.2 (`Resolve = {10}` in window notation
+/// `⟨x_{r-1}, x_r⟩`; the paper names transitions by the written value
+/// change, `t01 : x_r: 0 → 1`).
+pub fn binary_agreement_one_sided() -> Protocol {
+    builder("binary-agreement-t01", 2)
+        .action("x[r-1] == 1 && x[r] == 0 -> x[r] := 1")
+        .expect("static action parses")
+        .legit("x[r] == x[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// The symmetric convergent solution using `t10` instead.
+pub fn binary_agreement_other_sided() -> Protocol {
+    builder("binary-agreement-t10", 2)
+        .action("x[r-1] == 0 && x[r] == 1 -> x[r] := 0")
+        .expect("static action parses")
+        .legit("x[r] == x[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// Binary agreement with **both** recovery actions — Example 5.2's
+/// protocol, which livelocks (e.g. at `K = 4`: the paper's
+/// `≪1000, 1100, …≫`). The paper's §6.2 uses it to show that including
+/// both candidate t-arcs creates the qualifying trail.
+pub fn binary_agreement_both() -> Protocol {
+    builder("binary-agreement-both", 2)
+        .actions([
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ])
+        .expect("static actions parse")
+        .legit("x[r] == x[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// m-ary *maximum* agreement: every process copies its predecessor when
+/// strictly smaller (`x_r < x_{r-1} -> x_r := x_{r-1}`). Converges to all
+/// values equal for any domain size `m ≥ 2` — the value projection is
+/// strictly increasing, so no pseudo-livelock can form.
+///
+/// # Panics
+///
+/// Panics if `m < 2` or `m > 255`.
+pub fn max_agreement(m: usize) -> Protocol {
+    assert!(m >= 2, "agreement needs at least two values");
+    builder(&format!("max-agreement-{m}"), m)
+        .action("x[r] < x[r-1] -> x[r] := x[r-1]")
+        .expect("static action parses")
+        .legit("x[r] == x[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_structure() {
+        assert_eq!(binary_agreement_empty().transition_count(), 0);
+        assert_eq!(binary_agreement_one_sided().transition_count(), 1);
+        assert_eq!(binary_agreement_other_sided().transition_count(), 1);
+        assert_eq!(binary_agreement_both().transition_count(), 2);
+    }
+
+    #[test]
+    fn max_agreement_transition_count() {
+        // One transition per window with x_r < x_{r-1}: m(m-1)/2 windows.
+        for m in 2..=5 {
+            let p = max_agreement(m);
+            assert_eq!(p.transition_count(), m * (m - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn legit_is_diagonal() {
+        let p = max_agreement(4);
+        assert_eq!(p.legit().len(), 4);
+    }
+}

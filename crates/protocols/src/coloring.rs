@@ -1,0 +1,188 @@
+//! Ring coloring on a unidirectional ring (Sections 6.1–6.2).
+//!
+//! `LC_r = (c_r != c_{r-1})`: a process is legitimate when it differs from
+//! its predecessor. 3-coloring is the paper's worked synthesis *failure*
+//! (every candidate set pseudo-livelocks along a contiguous trail);
+//! 2-coloring is inconclusive for the method and in fact impossible \[25\].
+
+use selfstab_protocol::{Domain, Locality, Protocol, ProtocolError, Value};
+
+fn builder(name: &str, colors: usize) -> selfstab_protocol::ProtocolBuilder {
+    Protocol::builder(
+        name,
+        Domain::numeric("c", colors),
+        Locality::unidirectional(),
+    )
+}
+
+/// The empty k-coloring protocol (the synthesis input).
+///
+/// # Panics
+///
+/// Panics if `colors < 2` or `colors > 255`.
+pub fn coloring_empty(colors: usize) -> Protocol {
+    assert!(colors >= 2, "coloring needs at least two colors");
+    builder(&format!("{colors}-coloring"), colors)
+        .legit("c[r] != c[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// The empty 3-coloring protocol of §6.1 (its LTG with all candidate
+/// t-arcs is Fig. 9).
+pub fn three_coloring_empty() -> Protocol {
+    coloring_empty(3)
+}
+
+/// The empty 2-coloring protocol of §6.2 (Fig. 11).
+pub fn two_coloring_empty() -> Protocol {
+    coloring_empty(2)
+}
+
+/// A 3-coloring candidate revision: for each color `i`, the deadlock
+/// `⟨i, i⟩` is resolved by writing `targets[i]` (one of the `2³` candidate
+/// sets of §6.1; e.g. `targets = [1, 2, 0]` is `{t01, t12, t20}`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if a target repaints a state with its own
+/// color (an identity transition).
+pub fn three_coloring_candidate(targets: [Value; 3]) -> Result<Protocol, ProtocolError> {
+    let mut b = builder(
+        &format!("3-coloring-t{}{}{}", targets[0], targets[1], targets[2]),
+        3,
+    );
+    for (i, &t) in targets.iter().enumerate() {
+        b = b.transition(&[i as Value, i as Value], t)?;
+    }
+    b.legit("c[r] != c[r-1]")?.build()
+}
+
+/// The 2-coloring revision resolving both monochromatic deadlocks (§6.2):
+/// `{t01, t10}` — the only possible candidate set, which the method cannot
+/// certify (and which indeed livelocks on even rings; odd rings have no
+/// legitimate state at all).
+pub fn two_coloring_resolved() -> Protocol {
+    builder("2-coloring-resolved", 2)
+        .actions([
+            "c[r-1] == 0 && c[r] == 0 -> c[r] := 1",
+            "c[r-1] == 1 && c[r] == 1 -> c[r] := 0",
+        ])
+        .expect("static actions parse")
+        .legit("c[r] != c[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// Increment-repair k-coloring: on a collision, take the next color
+/// modulo `k`. For `colors >= 3` this is the natural generalization of the
+/// paper's `{t01, t12, t20}` candidate.
+///
+/// # Panics
+///
+/// Panics if `colors < 2`.
+pub fn coloring_increment(colors: usize) -> Protocol {
+    assert!(colors >= 2, "coloring needs at least two colors");
+    builder(&format!("{colors}-coloring-incr"), colors)
+        .action(&format!("c[r] == c[r-1] -> c[r] := (c[r] + 1) % {colors}"))
+        .expect("static action parses")
+        .legit("c[r] != c[r-1]")
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// Bidirectional vertex coloring: `LC_r = (c_r != c_{r-1} && c_r != c_{r+1})`
+/// with the nondeterministic repaint action
+/// `c[r] == c[r-1] || c[r] == c[r+1] -> c[r] := 0 | 1 | … | colors-1`.
+///
+/// Deadlock-free for every K by Theorem 4.2 (every conflicted state is
+/// enabled), closed, and *weakly* convergent — but an adversarial daemon
+/// can livelock it at every checked size, illustrating why deterministic
+/// symmetric ring coloring needs randomization \[25\].
+///
+/// # Panics
+///
+/// Panics if `colors < 2`.
+pub fn bidirectional_coloring(colors: usize) -> Protocol {
+    assert!(colors >= 2, "coloring needs at least two colors");
+    let alts: Vec<String> = (0..colors).map(|c| c.to_string()).collect();
+    Protocol::builder(
+        &format!("{colors}-coloring-bidirectional"),
+        Domain::numeric("c", colors),
+        Locality::bidirectional(),
+    )
+    .action(&format!(
+        "c[r] == c[r-1] || c[r] == c[r+1] -> c[r] := {}",
+        alts.join(" | ")
+    ))
+    .expect("static action parses")
+    .legit("c[r] != c[r-1] && c[r] != c[r+1]")
+    .expect("static legit predicate parses")
+    .build()
+    .expect("static protocol builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_coloring_shapes() {
+        let p = three_coloring_empty();
+        assert_eq!(p.space().len(), 9);
+        assert_eq!(p.legit().len(), 6);
+        assert_eq!(p.transition_count(), 0);
+        let q = two_coloring_empty();
+        assert_eq!(q.legit().len(), 2);
+    }
+
+    #[test]
+    fn all_eight_candidates_build() {
+        let mut count = 0;
+        for a in [1u8, 2] {
+            for b in [0u8, 2] {
+                for c in [0u8, 1] {
+                    let p = three_coloring_candidate([a, b, c]).unwrap();
+                    assert_eq!(p.transition_count(), 3);
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn identity_candidate_rejected() {
+        assert!(three_coloring_candidate([0, 2, 0]).is_err());
+    }
+
+    #[test]
+    fn bidirectional_coloring_shape() {
+        let p = bidirectional_coloring(3);
+        assert_eq!(p.space().len(), 27);
+        // Legit: center differs from both neighbors: 3 * 2 * 2 = 12.
+        assert_eq!(p.legit().len(), 12);
+        // Every conflicted state has at least one transition (repaint to a
+        // different color).
+        for id in p.space().ids() {
+            if !p.legit().holds(id) {
+                assert!(p.is_enabled(id), "conflicted state must be enabled");
+            } else {
+                assert!(!p.is_enabled(id), "proper state must be silent");
+            }
+        }
+    }
+
+    #[test]
+    fn increment_matches_candidate() {
+        let incr = coloring_increment(3);
+        let cand = three_coloring_candidate([1, 2, 0]).unwrap();
+        assert_eq!(
+            incr.transitions().collect::<Vec<_>>(),
+            cand.transitions().collect::<Vec<_>>()
+        );
+    }
+}

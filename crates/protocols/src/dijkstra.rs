@@ -1,0 +1,116 @@
+//! Dijkstra's K-state token ring (1974) — the paper's §5 example of a
+//! protocol that converges *despite corrupting convergence actions*.
+//!
+//! The ring is unidirectional with a distinguished bottom process:
+//!
+//! ```text
+//! P_0:          x_0 == x_{K-1}  ->  x_0 := (x_0 + 1) mod m
+//! P_i (i > 0):  x_i != x_{i-1}  ->  x_i := x_{i-1}
+//! ```
+//!
+//! A process holds a *token* when its guard is enabled; the legitimate
+//! states are those with exactly one token — a predicate that is **not**
+//! locally conjunctive, so this protocol is exercised through the global
+//! engine's `*_where` checks rather than the local theorems (the paper
+//! cites it only to show non-corruption is unnecessary for
+//! livelock-freedom).
+
+use selfstab_protocol::{Domain, Locality, Protocol};
+
+/// Builds the per-process behaviors of the K-state token ring with `k`
+/// processes over value domain `{0, …, m-1}`.
+///
+/// Dijkstra's theorem requires `m >= k` for self-stabilization; smaller
+/// domains may fail to converge (useful for negative tests).
+///
+/// Returns the vector `[P_0, P_1, …, P_{k-1}]` suitable for
+/// `RingInstance::heterogeneous`. Every process is built with a trivially
+/// true local predicate (`legit_all`), since token-counting legitimacy is
+/// global; use [`token_count`]-style helpers on the instance side.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `m < 2`.
+pub fn dijkstra_processes(k: usize, m: usize) -> Vec<Protocol> {
+    assert!(k >= 2, "token ring needs at least two processes");
+    assert!(m >= 2, "token ring needs at least two values");
+    let bottom = Protocol::builder(
+        "dijkstra-bottom",
+        Domain::numeric("x", m),
+        Locality::unidirectional(),
+    )
+    .action(&format!("x[r] == x[r-1] -> x[r] := (x[r] + 1) % {m}"))
+    .expect("static action parses")
+    .legit_all()
+    .build()
+    .expect("static protocol builds");
+    let other = Protocol::builder(
+        "dijkstra-other",
+        Domain::numeric("x", m),
+        Locality::unidirectional(),
+    )
+    .action("x[r] != x[r-1] -> x[r] := x[r-1]")
+    .expect("static action parses")
+    .legit_all()
+    .build()
+    .expect("static protocol builds");
+    let mut out = vec![bottom];
+    out.extend(std::iter::repeat_with(|| other.clone()).take(k - 1));
+    out
+}
+
+/// The number of tokens in a configuration `⟨x_0, …, x_{K-1}⟩`: `P_0`
+/// holds a token iff `x_0 == x_{K-1}`; `P_i` (`i > 0`) iff
+/// `x_i != x_{i-1}`.
+pub fn token_count(config: &[u8]) -> usize {
+    let k = config.len();
+    let mut tokens = 0;
+    if config[0] == config[k - 1] {
+        tokens += 1;
+    }
+    for i in 1..k {
+        if config[i] != config[i - 1] {
+            tokens += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_shape() {
+        let ps = dijkstra_processes(5, 5);
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0].name(), "dijkstra-bottom");
+        for p in &ps[1..] {
+            assert_eq!(p.name(), "dijkstra-other");
+        }
+    }
+
+    #[test]
+    fn token_count_examples() {
+        // All equal: only the bottom has a token.
+        assert_eq!(token_count(&[0, 0, 0, 0]), 1);
+        // One internal boundary, bottom disabled: one circulating token.
+        assert_eq!(token_count(&[1, 1, 0, 0]), 1);
+        // Alternating values: maximal corruption.
+        assert_eq!(token_count(&[1, 0, 1, 0]), 3);
+        assert_eq!(token_count(&[0, 1, 0, 1]), 3);
+    }
+
+    #[test]
+    fn token_count_is_at_least_one() {
+        // Pigeonhole: the ring of comparisons cannot all be "different and
+        // x_0 != x_{K-1}" consistently... exhaustively check small cases.
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                for c in 0..3u8 {
+                    assert!(token_count(&[a, b, c]) >= 1, "no token in {:?}", (a, b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The example protocols of Farahat & Ebnenasir (ICDCS 2012), ready to
+//! analyze with `selfstab-core`, model-check with `selfstab-global`, or
+//! synthesize with `selfstab-synth`.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`matching`] | Example 4.1 (domain/`LC_r`), Example 4.2 (generalizable `A1..A5`), Example 4.3 (non-generalizable `B1..B4`), the Gouda–Acharya livelock fragment (Fig. 8) |
+//! | [`agreement`] | Example 5.2 / Section 6.2: binary and m-ary agreement |
+//! | [`coloring`] | Section 6.1/6.2: 2-, 3- and k-coloring |
+//! | [`sum_not_two`] | Section 6.2: the sum-not-two protocol and its candidate revisions |
+//! | [`dijkstra`] | Dijkstra's K-state token ring (the paper's §5 example of corrupting-yet-convergent actions) |
+//! | [`token`] | the flip token ring (Herman's deterministic skeleton) — weakly but not strongly convergent |
+//! | [`mis`] | maximal independent set on a bidirectional ring — fully certified by the toolkit |
+//!
+//! Every constructor returns a fully built [`selfstab_protocol::Protocol`];
+//! panics are impossible because the definitions are static (they are
+//! exercised by this crate's tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod coloring;
+pub mod dijkstra;
+pub mod matching;
+pub mod mis;
+pub mod sum_not_two;
+pub mod token;

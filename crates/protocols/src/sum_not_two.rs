@@ -1,0 +1,100 @@
+//! The sum-not-two protocol (Section 6.2, Fig. 12).
+//!
+//! `x_r ∈ {0, 1, 2}`; a local state is legitimate when
+//! `x_r + x_{r-1} != 2`. The paper uses this hypothetical protocol to
+//! illustrate the interplay between pseudo-livelocks and contiguous
+//! trails, and its accepted candidate `{t21, t12, t01}` — captured by the
+//! guarded commands below — is convergent for every ring size.
+
+use selfstab_protocol::{Domain, Locality, Protocol, ProtocolError, Value};
+
+/// The legitimate-state predicate of the sum-not-two protocol.
+pub const SUM_NOT_TWO_LEGIT: &str = "x[r] + x[r-1] != 2";
+
+fn builder(name: &str) -> selfstab_protocol::ProtocolBuilder {
+    Protocol::builder(name, Domain::numeric("x", 3), Locality::unidirectional())
+}
+
+/// The empty sum-not-two protocol (the synthesis input; `Resolve` is
+/// forced to `{⟨2,0⟩, ⟨1,1⟩, ⟨0,2⟩}`).
+pub fn sum_not_two_empty() -> Protocol {
+    builder("sum-not-two")
+        .legit(SUM_NOT_TWO_LEGIT)
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// The paper's accepted solution `{t21, t12, t01}`, written with the
+/// guarded commands given at the end of §6.2:
+///
+/// ```text
+/// (x_r + x_{r-1} == 2) && (x_r != 2) -> x_r := (x_r + 1) mod 3
+/// (x_r + x_{r-1} == 2) && (x_r == 2) -> x_r := (x_r - 1) mod 3
+/// ```
+pub fn sum_not_two_solution() -> Protocol {
+    builder("sum-not-two-solution")
+        .actions([
+            "(x[r] + x[r-1] == 2) && (x[r] != 2) -> x[r] := (x[r] + 1) % 3",
+            "(x[r] + x[r-1] == 2) && (x[r] == 2) -> x[r] := (x[r] - 1) % 3",
+        ])
+        .expect("static actions parse")
+        .legit(SUM_NOT_TWO_LEGIT)
+        .expect("static legit predicate parses")
+        .build()
+        .expect("static protocol builds")
+}
+
+/// A candidate revision resolving the three illegitimate deadlocks with
+/// explicit targets: from `⟨0,2⟩` write `from_02`, from `⟨1,1⟩` write
+/// `from_11`, from `⟨2,0⟩` write `from_20` (the `2³` candidate space of
+/// Fig. 12).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for identity targets.
+pub fn sum_not_two_candidate(
+    from_02: Value,
+    from_11: Value,
+    from_20: Value,
+) -> Result<Protocol, ProtocolError> {
+    builder(&format!("sum-not-two-{from_02}{from_11}{from_20}"))
+        .transition(&[0, 2], from_02)?
+        .transition(&[1, 1], from_11)?
+        .transition(&[2, 0], from_20)?
+        .legit(SUM_NOT_TWO_LEGIT)?
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legit_excludes_sum_two_windows() {
+        let p = sum_not_two_empty();
+        assert_eq!(p.legit().len(), 6); // 9 windows minus (0,2),(1,1),(2,0)
+        let sp = p.space();
+        assert!(!p.legit().holds(sp.encode(&[0, 2])));
+        assert!(!p.legit().holds(sp.encode(&[1, 1])));
+        assert!(!p.legit().holds(sp.encode(&[2, 0])));
+    }
+
+    #[test]
+    fn solution_matches_explicit_candidate() {
+        // {t21, t12, t01}: from ⟨0,2⟩ write 1, from ⟨1,1⟩ write 2, from
+        // ⟨2,0⟩ write 1.
+        let sol = sum_not_two_solution();
+        let cand = sum_not_two_candidate(1, 2, 1).unwrap();
+        assert_eq!(
+            sol.transitions().collect::<Vec<_>>(),
+            cand.transitions().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn candidates_validate_targets() {
+        assert!(sum_not_two_candidate(2, 0, 1).is_err()); // identity at ⟨0,2⟩
+        assert!(sum_not_two_candidate(0, 0, 1).is_ok());
+    }
+}

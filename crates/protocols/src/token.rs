@@ -1,0 +1,85 @@
+//! Symmetric token circulation: the *flip* token ring (the deterministic
+//! skeleton of Herman's randomized token ring).
+//!
+//! Every process owns a bit; `P_i` holds a *token* iff `x_i == x_{i-1}`,
+//! and a process with a token flips its bit — destroying its own token and
+//! toggling its successor's. Token parity is invariant, so on **odd**
+//! rings at least one token always remains, and the target predicate is
+//! "exactly one token".
+//!
+//! The predicate is not locally conjunctive and the protocol is symmetric
+//! with corrupting actions — a useful stress case for the global engine:
+//! it converges *weakly* (and quickly under a random daemon, which is
+//! Herman's observation) but not strongly (an adversarial daemon can keep
+//! three tokens alive forever), as experiment X2 demonstrates.
+
+use selfstab_protocol::{Domain, Locality, Protocol};
+
+/// The flip token ring's representative process:
+/// `x[r] == x[r-1] -> x[r] := 1 - x[r]`.
+///
+/// Built with a trivially-true `LC_r`; use [`token_count`] for the real
+/// (global) legitimacy predicate.
+pub fn flip_token_ring() -> Protocol {
+    Protocol::builder(
+        "flip-token-ring",
+        Domain::numeric("x", 2),
+        Locality::unidirectional(),
+    )
+    .action("x[r] == x[r-1] -> x[r] := 1 - x[r]")
+    .expect("static action parses")
+    .legit_all()
+    .build()
+    .expect("static protocol builds")
+}
+
+/// Number of tokens in a configuration: `P_i` has a token iff
+/// `x_i == x_{i-1}` (indices modulo the ring size).
+pub fn token_count(config: &[u8]) -> usize {
+    let k = config.len();
+    (0..k)
+        .filter(|&i| config[i] == config[(i + k - 1) % k])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_shape() {
+        let p = flip_token_ring();
+        assert_eq!(p.transition_count(), 2); // (0,0)->1 and (1,1)->0
+    }
+
+    #[test]
+    fn token_count_parity_matches_ring_parity() {
+        // Token count ≡ K (mod 2): alternations around the ring are even.
+        for k in 3..=8usize {
+            for code in 0..(1u32 << k) {
+                let config: Vec<u8> = (0..k).map(|i| ((code >> i) & 1) as u8).collect();
+                assert_eq!(token_count(&config) % 2, k % 2, "config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flipping_preserves_token_parity() {
+        let p = flip_token_ring();
+        let k = 5;
+        let ring = selfstab_global::RingInstance::symmetric(&p, k).unwrap();
+        for s in ring.space().ids() {
+            let before = token_count(&ring.space().decode(s));
+            for t in ring.successors(s) {
+                let after = token_count(&ring.space().decode(t));
+                assert_eq!(before % 2, after % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_token_configs_exist_on_odd_rings() {
+        assert_eq!(token_count(&[0, 0, 1]), 1);
+        assert_eq!(token_count(&[0, 1, 0, 1, 1]), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Trail diagnostics: reconstructing contiguous trails as concrete global
+//! livelocks.
+//!
+//! Theorem 5.14 is sufficient, not necessary: a blocking trail may fail to
+//! denote any real livelock. The paper demonstrates this for the
+//! sum-not-two candidate `{t21, t10, t02}` — "if we try to reconstruct the
+//! global livelock of a ring of three processes using `T_R`, we fail!" —
+//! and this module mechanizes that step: given a trail, it searches each
+//! ring size for a livelock assembled *entirely from the trail's local
+//! states*.
+//!
+//! The result refines a failed certificate into one of:
+//!
+//! * **Real** — the trail reconstructs at some checked size: the protocol
+//!   genuinely livelocks there (rejection was necessary);
+//! * **Unrealized up to the bound** — no reconstruction exists at any
+//!   checked size: the rejection *may* be an artifact of the sufficiency
+//!   gap (not a proof of livelock-freedom — livelocks using other local
+//!   states, or larger rings, remain possible).
+
+use selfstab_core::trail::ContiguousTrail;
+use selfstab_global::{check, GlobalError, GlobalStateId, RingInstance};
+use selfstab_protocol::Protocol;
+
+/// The outcome of attempting to reconstruct a trail at a range of sizes.
+#[derive(Clone, Debug)]
+pub struct ReconstructionReport {
+    /// The smallest checked ring size at which a livelock over the trail's
+    /// local states exists, with the witness cycle.
+    pub realized: Option<(usize, Vec<GlobalStateId>)>,
+    /// The sizes that were checked.
+    pub checked: Vec<usize>,
+}
+
+impl ReconstructionReport {
+    /// `true` if the trail denotes a real livelock at some checked size.
+    pub fn is_real(&self) -> bool {
+        self.realized.is_some()
+    }
+}
+
+impl std::fmt::Display for ReconstructionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.realized {
+            Some((k, cycle)) => write!(
+                f,
+                "trail reconstructs: livelock of length {} at K = {k}",
+                cycle.len()
+            ),
+            None => write!(
+                f,
+                "trail does not reconstruct at any checked size {:?} (sufficiency gap?)",
+                self.checked
+            ),
+        }
+    }
+}
+
+/// Attempts to reconstruct `trail` as a global livelock at each ring size
+/// in `sizes`, stopping at the first success.
+///
+/// # Errors
+///
+/// Returns [`GlobalError`] if some instantiation exceeds the state-space
+/// limit.
+pub fn reconstruct_trail<I>(
+    protocol: &Protocol,
+    trail: &ContiguousTrail,
+    sizes: I,
+) -> Result<ReconstructionReport, GlobalError>
+where
+    I: IntoIterator<Item = usize>,
+{
+    let states = trail.states();
+    let mut checked = Vec::new();
+    for k in sizes {
+        let ring = RingInstance::symmetric(protocol, k)?;
+        checked.push(k);
+        if let Some(cycle) = check::find_livelock_within(&ring, |ls| states.contains(&ls)) {
+            return Ok(ReconstructionReport {
+                realized: Some((k, cycle)),
+                checked,
+            });
+        }
+    }
+    Ok(ReconstructionReport {
+        realized: None,
+        checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_core::livelock::LivelockAnalysis;
+    use selfstab_protocol::{Domain, Locality};
+
+    fn sum_not_two_candidate(a: u8, b: u8, c: u8) -> Protocol {
+        Protocol::builder("sn2", Domain::numeric("x", 3), Locality::unidirectional())
+            .transition(&[0, 2], a)
+            .unwrap()
+            .transition(&[1, 1], b)
+            .unwrap()
+            .transition(&[2, 0], c)
+            .unwrap()
+            .legit("x[r] + x[r-1] != 2")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn papers_gap_candidate_does_not_reconstruct() {
+        // {t21, t10, t02}: rejected by the certificate, but its trail is
+        // not realizable — the paper's own observation at K = 3, checked
+        // here up to K = 7.
+        let p = sum_not_two_candidate(1, 0, 2);
+        let la = LivelockAnalysis::analyze(&p);
+        let trail = la.trail().expect("certificate must fail");
+        let rep = reconstruct_trail(&p, trail, 2..=7).unwrap();
+        assert!(!rep.is_real(), "{rep}");
+        assert_eq!(rep.checked, vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn erratum_candidates_reconstruct_at_k3() {
+        for (a, b, c) in [(0u8, 0u8, 2u8), (0, 2, 2)] {
+            let p = sum_not_two_candidate(a, b, c);
+            let la = LivelockAnalysis::analyze(&p);
+            let trail = la.trail().expect("certificate must fail");
+            let rep = reconstruct_trail(&p, trail, 2..=7).unwrap();
+            let (k, cycle) = rep.realized.expect("these trails are real livelocks");
+            assert_eq!(k, 3);
+            // The witness is a genuine livelock: validate the cycle.
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            for (i, &s) in cycle.iter().enumerate() {
+                assert!(!ring.is_legit(s));
+                let next = cycle[(i + 1) % cycle.len()];
+                assert!(ring.successors(s).contains(&next));
+            }
+        }
+    }
+
+    #[test]
+    fn two_coloring_trail_reconstructs_on_even_rings() {
+        let p = Protocol::builder("2col", Domain::numeric("c", 2), Locality::unidirectional())
+            .actions([
+                "c[r-1] == 0 && c[r] == 0 -> c[r] := 1",
+                "c[r-1] == 1 && c[r] == 1 -> c[r] := 0",
+            ])
+            .unwrap()
+            .legit("c[r] != c[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let la = LivelockAnalysis::analyze(&p);
+        let trail = la.trail().unwrap();
+        let rep = reconstruct_trail(&p, trail, [4, 6]).unwrap();
+        assert!(rep.is_real());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = sum_not_two_candidate(1, 0, 2);
+        let la = LivelockAnalysis::analyze(&p);
+        let trail = la.trail().unwrap();
+        let rep = reconstruct_trail(&p, trail, [3]).unwrap();
+        assert!(rep.to_string().contains("does not reconstruct"));
+    }
+}

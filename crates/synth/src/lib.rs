@@ -1,0 +1,55 @@
+//! Automated addition of convergence to parameterized ring protocols.
+//!
+//! Implements the Section 6 methodology of Farahat & Ebnenasir (ICDCS
+//! 2012): given a non-stabilizing protocol `p` and a locally conjunctive
+//! legitimate predicate closed in `p`, synthesize a revision `p_ss` that
+//! strongly converges for **every** ring size, reasoning only in the local
+//! state space:
+//!
+//! 1. compute the local deadlocks and the RCG induced over them;
+//! 2. choose `Resolve` — a minimal set of *illegitimate* local deadlocks
+//!    whose resolution breaks every RCG cycle through an illegitimate state
+//!    (a minimal feedback/hitting set, per Theorem 4.2);
+//! 3. generate candidate recovery transitions out of each `Resolve` state
+//!    (self-disabling: targets outside `Resolve`);
+//! 4. accept a candidate set if its t-arcs form no pseudo-livelock (*NPL*),
+//!    or
+//! 5. accept if pseudo-livelocks exist but none participates in a
+//!    contiguous trail through an illegitimate state (*PL*, the
+//!    contrapositive of Theorem 5.14); otherwise reject.
+//!
+//! The [`global`] module provides the STSyn-like baseline the paper
+//! contrasts with: the same candidate space, but verified by explicit
+//! global model checking at one fixed ring size — which is exactly how
+//! non-generalizable protocols like Example 4.3 come about.
+//!
+//! # Examples
+//!
+//! Synthesizing convergence for binary agreement finds the two solutions
+//! the paper derives (include `t01` *or* `t10`, but not both):
+//!
+//! ```
+//! use selfstab_protocol::{Domain, Locality, Protocol};
+//! use selfstab_synth::{LocalSynthesizer, SynthesisConfig};
+//!
+//! let p = Protocol::builder("agreement", Domain::numeric("x", 2), Locality::unidirectional())
+//!     .legit("x[r] == x[r-1]")?
+//!     .build()?;
+//! let outcome = LocalSynthesizer::new(SynthesisConfig::default()).synthesize(&p);
+//! let solutions = outcome.solutions();
+//! assert_eq!(solutions.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnose;
+pub mod global;
+pub mod local;
+
+pub use diagnose::{reconstruct_trail, ReconstructionReport};
+pub use global::{GlobalSynthesisOutcome, GlobalSynthesizer};
+pub use local::{
+    LocalSynthesizer, SynthesisConfig, SynthesisOutcome, SynthesisVerdict, SynthesizedProtocol,
+};

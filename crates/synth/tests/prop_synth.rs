@@ -1,0 +1,91 @@
+//! Property tests: local synthesis emits only generalizable solutions.
+
+use proptest::prelude::*;
+use selfstab_protocol::{Domain, Locality, Protocol};
+use selfstab_synth::{GlobalSynthesizer, LocalSynthesizer, SynthesisConfig};
+
+/// An empty protocol with a random non-trivial closed (trivially, since
+/// empty) legitimate predicate over a unidirectional ring.
+fn arb_empty_protocol(d: usize) -> impl Strategy<Value = Protocol> {
+    let nstates = d * d;
+    proptest::collection::vec(any::<bool>(), nstates).prop_filter_map(
+        "legit must be non-empty",
+        move |legit| {
+            if !legit.iter().any(|&b| b) {
+                return None;
+            }
+            Protocol::builder("rand", Domain::numeric("x", d), Locality::unidirectional())
+                .legit_fn(|id, _| legit[id.index()])
+                .build()
+                .ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every solution of the local synthesizer is strongly self-stabilizing
+    /// at every checked ring size — the generalizability guarantee.
+    #[test]
+    fn local_synthesis_solutions_are_generalizable(p in arb_empty_protocol(2)) {
+        let out = LocalSynthesizer::new(SynthesisConfig {
+            max_solutions: 8,
+            ..SynthesisConfig::default()
+        })
+        .synthesize(&p);
+        for s in out.solutions() {
+            prop_assert!(
+                selfstab_synth::global::verify_up_to(&s.protocol, 7).is_ok(),
+                "local solution breaks globally: {}",
+                s.protocol
+            );
+        }
+    }
+
+    /// Same over a 3-valued domain (smaller ring bound: d^K states).
+    #[test]
+    fn local_synthesis_solutions_are_generalizable_d3(p in arb_empty_protocol(3)) {
+        let out = LocalSynthesizer::new(SynthesisConfig {
+            max_solutions: 4,
+            max_combinations: 256,
+            ..SynthesisConfig::default()
+        })
+        .synthesize(&p);
+        for s in out.solutions() {
+            prop_assert!(
+                selfstab_synth::global::verify_up_to(&s.protocol, 5).is_ok(),
+                "local solution breaks globally: {}",
+                s.protocol
+            );
+        }
+    }
+
+    /// The local solutions are a subset of the global baseline's solutions
+    /// at any fixed size (the baseline accepts more, including
+    /// non-generalizable ones).
+    #[test]
+    fn local_solutions_pass_global_baseline(p in arb_empty_protocol(2), k in 2usize..5) {
+        let cfg = SynthesisConfig {
+            max_solutions: 8,
+            ..SynthesisConfig::default()
+        };
+        let local = LocalSynthesizer::new(cfg.clone()).synthesize(&p);
+        if local.solutions().is_empty() {
+            return Ok(());
+        }
+        let global = GlobalSynthesizer::new(k, cfg).synthesize(&p).unwrap();
+        for s in local.solutions() {
+            let mut a = s.added.clone();
+            a.sort_unstable();
+            prop_assert!(
+                global.solutions().iter().any(|g| {
+                    let mut b = g.added.clone();
+                    b.sort_unstable();
+                    a == b
+                }) || global.truncated(),
+                "a generalizable solution was missed by the global baseline at K={k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Explicit-state checking of a tree protocol on a concrete tree shape.
+
+use selfstab_protocol::Value;
+
+use crate::protocol::TreeProtocol;
+use crate::shapes::TreeShape;
+
+/// A tree protocol instantiated on a concrete [`TreeShape`].
+///
+/// Global states are valuations `⟨x_0, …, x_{n-1}⟩` encoded in mixed radix
+/// (node 0 — the root — most significant).
+#[derive(Clone, Debug)]
+pub struct TreeInstance<'a> {
+    protocol: &'a TreeProtocol,
+    shape: &'a TreeShape,
+    len: u64,
+}
+
+impl<'a> TreeInstance<'a> {
+    /// Instantiates `protocol` on `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state space exceeds 2^24 states.
+    pub fn new(protocol: &'a TreeProtocol, shape: &'a TreeShape) -> Self {
+        let d = protocol.domain().size() as u64;
+        let mut len = 1u64;
+        for _ in 0..shape.len() {
+            len = len.checked_mul(d).expect("state space overflow");
+            assert!(len <= 1 << 24, "tree state space too large");
+        }
+        TreeInstance {
+            protocol,
+            shape,
+            len,
+        }
+    }
+
+    /// Number of global states.
+    pub fn state_count(&self) -> u64 {
+        self.len
+    }
+
+    /// Decodes a state into its valuation.
+    pub fn decode(&self, mut id: u64) -> Vec<Value> {
+        let d = self.protocol.domain().size() as u64;
+        let n = self.shape.len();
+        let mut out = vec![0; n];
+        for slot in out.iter_mut().rev() {
+            *slot = (id % d) as Value;
+            id /= d;
+        }
+        out
+    }
+
+    /// Encodes a valuation.
+    pub fn encode(&self, values: &[Value]) -> u64 {
+        let d = self.protocol.domain().size() as u64;
+        values.iter().fold(0u64, |acc, &v| acc * d + v as u64)
+    }
+
+    /// Returns `true` if node `i` is enabled in the valuation.
+    pub fn node_enabled(&self, values: &[Value], i: usize) -> bool {
+        match self.shape.parent(i) {
+            None => self.protocol.root_enabled(values[0]),
+            Some(p) => {
+                let w = crate::protocol::window(self.protocol.space(), values[p], values[i]);
+                !self.protocol.node_targets(w).is_empty()
+            }
+        }
+    }
+
+    /// Returns `true` if the valuation is a global deadlock.
+    pub fn is_deadlock(&self, values: &[Value]) -> bool {
+        (0..self.shape.len()).all(|i| !self.node_enabled(values, i))
+    }
+
+    /// Returns `true` if the valuation satisfies `I` (the root predicate
+    /// plus every edge's window predicate).
+    pub fn is_legit(&self, values: &[Value]) -> bool {
+        if !self.protocol.root_legit(values[0]) {
+            return false;
+        }
+        (1..self.shape.len()).all(|i| {
+            let p = self.shape.parent(i).expect("non-root");
+            let w = crate::protocol::window(self.protocol.space(), values[p], values[i]);
+            self.protocol.node_legit().holds(w)
+        })
+    }
+
+    /// The successor valuations of `values` (one per enabled move).
+    pub fn successors(&self, values: &[Value]) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        for i in 0..self.shape.len() {
+            let targets: Vec<Value> = match self.shape.parent(i) {
+                None => self.protocol.root_targets(values[0]).to_vec(),
+                Some(p) => {
+                    let w = crate::protocol::window(self.protocol.space(), values[p], values[i]);
+                    self.protocol.node_targets(w).to_vec()
+                }
+            };
+            for t in targets {
+                let mut next = values.to_vec();
+                next[i] = t;
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the global transition graph on this shape has a
+    /// cycle (i.e. some computation does not terminate).
+    pub fn has_any_cycle(&self) -> bool {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.len as usize;
+        let mut color = vec![WHITE; n];
+        for root in 0..self.len {
+            if color[root as usize] != WHITE {
+                continue;
+            }
+            let mut stack = vec![(root, false)];
+            while let Some((s, expanded)) = stack.pop() {
+                if expanded {
+                    color[s as usize] = BLACK;
+                    continue;
+                }
+                if color[s as usize] != WHITE {
+                    continue; // duplicate frame
+                }
+                color[s as usize] = GRAY;
+                stack.push((s, true));
+                for next in self.successors(&self.decode(s)) {
+                    let t = self.encode(&next);
+                    match color[t as usize] {
+                        GRAY => return true,
+                        WHITE => stack.push((t, false)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if some move leaves `I` from inside it.
+    pub fn has_closure_violation(&self) -> bool {
+        (0..self.len).any(|id| {
+            let v = self.decode(id);
+            self.is_legit(&v) && self.successors(&v).iter().any(|s| !self.is_legit(s))
+        })
+    }
+
+    /// All global deadlocks outside `I`.
+    pub fn illegitimate_deadlocks(&self) -> Vec<Vec<Value>> {
+        (0..self.len)
+            .map(|id| self.decode(id))
+            .filter(|v| self.is_deadlock(v) && !self.is_legit(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::Domain;
+
+    fn agreement() -> TreeProtocol {
+        TreeProtocol::builder(Domain::numeric("x", 2))
+            .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agreement_on_a_path_has_no_bad_deadlocks() {
+        let p = agreement();
+        let shape = TreeShape::path(4);
+        let inst = TreeInstance::new(&p, &shape);
+        assert_eq!(inst.state_count(), 16);
+        assert!(inst.illegitimate_deadlocks().is_empty());
+        // The two uniform valuations are legitimate deadlocks.
+        assert!(inst.is_deadlock(&[1, 1, 1, 1]));
+        assert!(inst.is_legit(&[1, 1, 1, 1]));
+        assert!(!inst.is_legit(&[1, 0, 1, 1]));
+        assert!(!inst.is_deadlock(&[1, 0, 1, 1]));
+    }
+
+    #[test]
+    fn star_legitimacy_checks_every_edge() {
+        let p = agreement();
+        let shape = TreeShape::star(4);
+        let inst = TreeInstance::new(&p, &shape);
+        assert!(inst.is_legit(&[1, 1, 1, 1]));
+        assert!(!inst.is_legit(&[1, 1, 0, 1]));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let p = agreement();
+        let shape = TreeShape::path(5);
+        let inst = TreeInstance::new(&p, &shape);
+        for id in 0..inst.state_count() {
+            assert_eq!(inst.encode(&inst.decode(id)), id);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Local reasoning for global convergence of parameterized **trees** — the
+//! first future-work direction of Farahat & Ebnenasir (ICDCS 2012).
+//!
+//! The paper sketches the idea in one sentence: *"we construct RCG of a
+//! tree from the locality of a non-root process that includes the writable
+//! variables of its parent, itself and its children."* This crate develops
+//! the simplest faithful instantiation — **oriented trees**, where every
+//! non-root process reads its parent's variable and its own (the tree
+//! analogue of the unidirectional ring) and the root reads only itself:
+//!
+//! * a [`TreeProtocol`] holds the non-root behavior `δ` over windows
+//!   `⟨x_parent, x_self⟩` (with its local predicate `LC`) and the root
+//!   behavior over `x_root` alone (with its predicate `LC_root`);
+//! * the continuation relation runs **parent → child**, so a valuation of
+//!   any rooted tree corresponds to a family of continuation-compatible
+//!   windows rooted at a seed value;
+//! * because any node may be a leaf, the ring theorem's *cycles* become
+//!   *reachability*: [`TreeDeadlockAnalysis`] proves deadlock-freedom
+//!   outside `I` for **every rooted tree of every shape and size** iff no
+//!   illegitimate deadlock window is reachable — through deadlock windows —
+//!   from a deadlocked root seed (and the root itself is never an
+//!   illegitimate deadlock). The witness is a path, realized by a "path
+//!   tree" (Theorem, proved in [`analysis`] and property-tested against
+//!   exhaustive tree enumeration).
+//!
+//! The [`instance`] module instantiates a protocol on an explicit tree
+//! shape for ground-truth checking, and [`shapes`] enumerates all rooted
+//! trees up to a size (as canonical parent arrays) for the exhaustive
+//! cross-validation.
+//!
+//! # Examples
+//!
+//! Tree agreement ("every node copies its parent") is deadlock-free outside
+//! `I` on every tree:
+//!
+//! ```
+//! use selfstab_tree::{TreeProtocol, TreeDeadlockAnalysis};
+//! use selfstab_protocol::Domain;
+//!
+//! let p = TreeProtocol::builder(Domain::numeric("x", 2))
+//!     .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")?   // x[r-1] is the parent
+//!     .node_legit("x[r] == x[r-1]")?
+//!     .root_silent_and_all_legit()
+//!     .build()?;
+//! assert!(TreeDeadlockAnalysis::analyze(&p).is_free_for_all_trees());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod instance;
+pub mod protocol;
+pub mod report;
+pub mod shapes;
+pub mod synthesis;
+pub mod termination;
+
+pub use analysis::TreeDeadlockAnalysis;
+pub use instance::TreeInstance;
+pub use protocol::{TreeProtocol, TreeProtocolBuilder};
+pub use report::{tree_closure_check, TreeStabilizationReport};
+pub use shapes::{parent_arrays, TreeShape};
+pub use synthesis::{synthesize_tree, TreeSynthesisOutcome};
+pub use termination::{certify_termination, TerminationObstacle};

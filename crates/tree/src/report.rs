@@ -1,0 +1,207 @@
+//! The combined tree stabilization report: closure, the deadlock theorem,
+//! and the termination theorem together decide strong self-stabilization on
+//! every rooted tree.
+
+use selfstab_protocol::Value;
+
+use crate::analysis::TreeDeadlockAnalysis;
+use crate::protocol::TreeProtocol;
+use crate::termination::{certify_termination, TerminationObstacle};
+
+/// A closure violation on trees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeClosureViolation {
+    /// Human-readable description of the violating move.
+    pub description: String,
+}
+
+impl std::fmt::Display for TreeClosureViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.description)
+    }
+}
+
+/// Window-local closure check for trees: a node's move must preserve its
+/// own window predicate and every child's; a root move must preserve
+/// `LC_root` and every child window. `Ok(())` implies `I` is closed on
+/// every tree (a node's move is invisible beyond itself and its children,
+/// and trees have no wrap-around).
+///
+/// # Errors
+///
+/// Returns the first violating move found.
+pub fn tree_closure_check(protocol: &TreeProtocol) -> Result<(), TreeClosureViolation> {
+    let space = protocol.space();
+    let d = protocol.domain().size() as Value;
+    let legit = protocol.node_legit();
+
+    // Root moves: LC_root(v) ∧ LC(v, c) must be preserved.
+    for v in 0..d {
+        if !protocol.root_legit(v) {
+            continue;
+        }
+        for &t in protocol.root_targets(v) {
+            if !protocol.root_legit(t) {
+                return Err(TreeClosureViolation {
+                    description: format!("root move {v} -> {t} leaves LC_root"),
+                });
+            }
+            for c in 0..d {
+                if legit.holds(space.encode(&[v, c])) && !legit.holds(space.encode(&[t, c])) {
+                    return Err(TreeClosureViolation {
+                        description: format!(
+                            "root move {v} -> {t} breaks the child window ⟨{t},{c}⟩"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Node moves: for every legit ⟨p, s⟩ with transition s -> t, the new own
+    // window ⟨p, t⟩ and every previously-legit child window ⟨s, c⟩ → ⟨t, c⟩
+    // must stay legit.
+    for w in space.ids() {
+        if !legit.holds(w) {
+            continue;
+        }
+        let (p, s) = (space.value_at(w, 0), space.value_at(w, 1));
+        for &t in protocol.node_targets(w) {
+            if !legit.holds(space.encode(&[p, t])) {
+                return Err(TreeClosureViolation {
+                    description: format!("node move ⟨{p},{s}⟩ -> {t} leaves its own LC"),
+                });
+            }
+            for c in 0..d {
+                if legit.holds(space.encode(&[s, c])) && !legit.holds(space.encode(&[t, c])) {
+                    return Err(TreeClosureViolation {
+                        description: format!(
+                            "node move ⟨{p},{s}⟩ -> {t} breaks the child window ⟨{t},{c}⟩"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full local analysis of a tree protocol.
+#[derive(Clone, Debug)]
+pub struct TreeStabilizationReport {
+    /// The deadlock theorem's result.
+    pub deadlock: TreeDeadlockAnalysis,
+    /// The termination certificate (livelock-freedom on every tree).
+    pub termination: Result<(), TerminationObstacle>,
+    /// The closure check.
+    pub closure: Result<(), TreeClosureViolation>,
+}
+
+impl TreeStabilizationReport {
+    /// Runs all tree analyses.
+    pub fn analyze(protocol: &TreeProtocol) -> Self {
+        TreeStabilizationReport {
+            deadlock: TreeDeadlockAnalysis::analyze(protocol),
+            termination: certify_termination(protocol),
+            closure: tree_closure_check(protocol),
+        }
+    }
+
+    /// `true` iff the protocol is proven strongly self-stabilizing on
+    /// **every** rooted tree: closed, deadlock-free outside `I` (exact) and
+    /// terminating (hence livelock-free).
+    pub fn is_self_stabilizing_for_all_trees(&self) -> bool {
+        self.closure.is_ok() && self.deadlock.is_free_for_all_trees() && self.termination.is_ok()
+    }
+}
+
+impl std::fmt::Display for TreeStabilizationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tree deadlock-freedom: {}",
+            if self.deadlock.is_free_for_all_trees() {
+                "FREE for all trees".to_owned()
+            } else {
+                format!(
+                    "NOT free (witness path of {} node(s))",
+                    self.deadlock.witness().map_or(0, |w| w.len())
+                )
+            }
+        )?;
+        match &self.termination {
+            Ok(()) => writeln!(f, "tree termination: CERTIFIED (no livelocks on any tree)")?,
+            Err(o) => writeln!(f, "tree termination: UNKNOWN ({o})")?,
+        }
+        match &self.closure {
+            Ok(()) => writeln!(f, "closure: OK for all trees")?,
+            Err(v) => writeln!(f, "closure: {v}")?,
+        }
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.is_self_stabilizing_for_all_trees() {
+                "strongly self-stabilizing on every rooted tree"
+            } else {
+                "not established"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::Domain;
+
+    fn agreement() -> TreeProtocol {
+        TreeProtocol::builder(Domain::numeric("x", 2))
+            .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agreement_fully_certified() {
+        let r = TreeStabilizationReport::analyze(&agreement());
+        assert!(r.is_self_stabilizing_for_all_trees(), "{r}");
+        let text = r.to_string();
+        assert!(text.contains("FREE for all trees"));
+        assert!(text.contains("CERTIFIED"));
+        assert!(text.contains("strongly self-stabilizing on every rooted tree"));
+    }
+
+    #[test]
+    fn closure_violations_detected() {
+        // In a legit agreeing window, flip anyway.
+        let p = TreeProtocol::builder(Domain::numeric("x", 2))
+            .node_action("x[r-1] == x[r] && x[r] == 1 -> x[r] := 0")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        let v = tree_closure_check(&p).unwrap_err();
+        assert!(v.to_string().contains("leaves its own LC"));
+    }
+
+    #[test]
+    fn root_closure_violations_detected() {
+        let p = TreeProtocol::builder(Domain::numeric("x", 2))
+            .root_transition(1, 0)
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_legit_values([0, 1])
+            .build()
+            .unwrap();
+        // Root flips 1 -> 0 under a child holding 1: breaks ⟨0,1⟩.
+        let v = tree_closure_check(&p).unwrap_err();
+        assert!(v.to_string().contains("breaks the child window"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Enumeration of rooted tree shapes as canonical parent arrays.
+
+/// A rooted tree on nodes `0..n` given by parent pointers: node 0 is the
+/// root; `parent[i] < i` for `i ≥ 1` (every labelled rooted tree has such a
+/// numbering via BFS/DFS order, so enumerating these arrays covers every
+/// shape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeShape {
+    parents: Vec<usize>,
+}
+
+impl TreeShape {
+    /// Builds a shape from parent pointers (`parents[0]` is ignored and
+    /// conventionally 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some `parents[i] >= i` for `i ≥ 1`, or `parents` is empty.
+    pub fn new(parents: Vec<usize>) -> Self {
+        assert!(!parents.is_empty(), "a tree has at least its root");
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            assert!(
+                p < i,
+                "parent pointers must decrease (got parent[{i}] = {p})"
+            );
+        }
+        TreeShape { parents }
+    }
+
+    /// A path (chain) of `n` nodes: the tree analogue of an open ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn path(n: usize) -> Self {
+        TreeShape::new((0..n).map(|i| i.saturating_sub(1)).collect())
+    }
+
+    /// A star: the root with `n - 1` direct children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 1);
+        TreeShape::new(vec![0; n])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Returns `true` if the tree is the single root (never: ≥ 1 node, so
+    /// only when `len() == 1`... this mirrors `is_empty` conventions).
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The parent of node `i` (`None` for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        (i != 0).then(|| self.parents[i])
+    }
+
+    /// The children of node `i`, in increasing order.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (1..self.len()).filter(|&j| self.parents[j] == i).collect()
+    }
+}
+
+/// Enumerates every parent array of `n` nodes (all `(n-1)!` of them for
+/// labelled increasing trees — every unlabelled rooted tree shape of `n`
+/// nodes appears among them).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the enumeration would exceed 10^6 trees.
+pub fn parent_arrays(n: usize) -> Vec<TreeShape> {
+    assert!(n >= 1, "a tree has at least its root");
+    let count: usize = (1..n).product::<usize>().max(1);
+    assert!(count <= 1_000_000, "too many trees to enumerate");
+    let mut out = Vec::with_capacity(count);
+    let mut parents = vec![0usize; n];
+    fn rec(parents: &mut Vec<usize>, i: usize, out: &mut Vec<TreeShape>) {
+        if i == parents.len() {
+            out.push(TreeShape::new(parents.clone()));
+            return;
+        }
+        for p in 0..i {
+            parents[i] = p;
+            rec(parents, i + 1, out);
+        }
+    }
+    if n == 1 {
+        out.push(TreeShape::new(parents));
+    } else {
+        rec(&mut parents, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_factorial() {
+        assert_eq!(parent_arrays(1).len(), 1);
+        assert_eq!(parent_arrays(2).len(), 1);
+        assert_eq!(parent_arrays(3).len(), 2);
+        assert_eq!(parent_arrays(4).len(), 6);
+        assert_eq!(parent_arrays(5).len(), 24);
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = TreeShape::path(4);
+        assert_eq!(p.parent(3), Some(2));
+        assert_eq!(p.children(0), vec![1]);
+        let s = TreeShape::star(4);
+        assert_eq!(s.children(0), vec![1, 2, 3]);
+        assert_eq!(s.parent(3), Some(0));
+        assert_eq!(TreeShape::path(1).len(), 1);
+    }
+
+    #[test]
+    fn every_enumerated_tree_is_valid() {
+        for t in parent_arrays(5) {
+            assert_eq!(t.len(), 5);
+            for i in 1..5 {
+                assert!(t.parent(i).unwrap() < i);
+            }
+            // connectivity: every node reaches the root.
+            for mut i in 0..5 {
+                let mut steps = 0;
+                while let Some(p) = t.parent(i) {
+                    i = p;
+                    steps += 1;
+                    assert!(steps <= 5);
+                }
+                assert_eq!(i, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parent pointers must decrease")]
+    fn invalid_parents_rejected() {
+        TreeShape::new(vec![0, 2, 1]);
+    }
+}

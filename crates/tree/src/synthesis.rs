@@ -1,0 +1,346 @@
+//! Adding convergence to tree protocols — the Section 6 methodology
+//! transplanted to oriented trees.
+//!
+//! The tree setting is *easier* than rings, as the paper anticipates for
+//! acyclic topologies: once every candidate action keeps the protocol in
+//! the process-level self-disabling normal form, the termination theorem
+//! ([`crate::termination`]) rules out livelocks outright, so synthesis only
+//! has to restore deadlock-freedom — no pseudo-livelock/trail screening at
+//! all. The steps:
+//!
+//! 1. compute the illegitimate deadlock windows reachable from deadlocked
+//!    root seeds (the witnesses of [`crate::analysis`]), plus illegitimate
+//!    root deadlocks — all of them must be resolved (any one left reachable
+//!    realizes a bad path tree);
+//! 2. generate candidate recovery writes per window whose targets stay
+//!    disabled (preserving the termination certificate);
+//! 3. take one candidate per window, re-verify exactly (deadlock theorem,
+//!    termination, closure preservation) and emit.
+
+use selfstab_protocol::{LocalStateId, Value};
+
+use crate::protocol::{TreeProtocol, TreeProtocolBuilder};
+use crate::report::TreeStabilizationReport;
+use crate::termination::certify_termination;
+
+/// One synthesized revision.
+#[derive(Clone, Debug)]
+pub struct SynthesizedTreeProtocol {
+    /// The revised protocol.
+    pub protocol: TreeProtocol,
+    /// Node recovery transitions added, as `(parent, from, to)`.
+    pub added_node: Vec<(Value, Value, Value)>,
+    /// Root recovery transitions added, as `(from, to)`.
+    pub added_root: Vec<(Value, Value)>,
+}
+
+/// The outcome of tree synthesis.
+#[derive(Clone, Debug)]
+pub struct TreeSynthesisOutcome {
+    solutions: Vec<SynthesizedTreeProtocol>,
+    combinations_tried: usize,
+    truncated: bool,
+}
+
+impl TreeSynthesisOutcome {
+    /// The accepted revisions, each proven strongly self-stabilizing on
+    /// every rooted tree.
+    pub fn solutions(&self) -> &[SynthesizedTreeProtocol] {
+        &self.solutions
+    }
+
+    /// Whether any solution was found.
+    pub fn is_success(&self) -> bool {
+        !self.solutions.is_empty()
+    }
+
+    /// Number of candidate combinations examined.
+    pub fn combinations_tried(&self) -> usize {
+        self.combinations_tried
+    }
+
+    /// `true` if the budget stopped the search early.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+/// Synthesizes convergence for a tree protocol; `max_solutions` and
+/// `max_combinations` bound the search.
+pub fn synthesize_tree(
+    protocol: &TreeProtocol,
+    max_solutions: usize,
+    max_combinations: usize,
+) -> TreeSynthesisOutcome {
+    let space = protocol.space();
+    let d = protocol.domain().size() as Value;
+    let mut outcome = TreeSynthesisOutcome {
+        solutions: Vec::new(),
+        combinations_tried: 0,
+        truncated: false,
+    };
+
+    // The protocol must start from (or be brought to) the normal form; a
+    // chain input would void the termination argument.
+    if certify_termination(protocol).is_err() {
+        return outcome;
+    }
+
+    // Step 1: what must be resolved. Root values that are illegitimate
+    // deadlocks, and illegitimate deadlock windows reachable (via deadlock
+    // windows) from any deadlocked-root seed. Rather than re-deriving the
+    // reachable set, resolve the union over the exact analysis by
+    // iterating: all illegitimate deadlock windows reachable from seeds.
+    let deadlocks = protocol.node_deadlocks();
+    let mut reach = vec![false; space.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..d {
+        if protocol.root_enabled(v) {
+            continue;
+        }
+        for c in 0..d {
+            let w = space.encode(&[v, c]);
+            if deadlocks.holds(w) && !reach[w.index()] {
+                reach[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    while let Some(w) = queue.pop_front() {
+        let b = space.value_at(w, 1);
+        for c in 0..d {
+            let next = space.encode(&[b, c]);
+            if deadlocks.holds(next) && !reach[next.index()] {
+                reach[next.index()] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    let resolve_windows: Vec<LocalStateId> = space
+        .ids()
+        .filter(|w| reach[w.index()] && !protocol.node_legit().holds(*w))
+        .collect();
+    let resolve_roots: Vec<Value> = (0..d)
+        .filter(|&v| !protocol.root_enabled(v) && !protocol.root_legit(v))
+        .collect();
+
+    if resolve_windows.is_empty() && resolve_roots.is_empty() {
+        // Already deadlock-free; nothing to add.
+        if let Some(p) = rebuild(protocol, &[], &[]) {
+            outcome.solutions.push(p);
+        }
+        outcome.combinations_tried = 1;
+        return outcome;
+    }
+
+    // Step 2: candidates per resolved item, keeping the normal form: a node
+    // write's target window must be disabled and not itself resolved; a
+    // root write's target value must be root-disabled and not resolved.
+    let node_cands: Vec<Vec<(Value, Value, Value)>> = resolve_windows
+        .iter()
+        .map(|&w| {
+            let (p, s) = (space.value_at(w, 0), space.value_at(w, 1));
+            (0..d)
+                .filter(|&t| t != s)
+                .filter(|&t| {
+                    let tw = space.encode(&[p, t]);
+                    protocol.node_targets(tw).is_empty() && !resolve_windows.contains(&tw)
+                })
+                .map(|t| (p, s, t))
+                .collect()
+        })
+        .collect();
+    let root_cands: Vec<Vec<(Value, Value)>> = resolve_roots
+        .iter()
+        .map(|&v| {
+            (0..d)
+                .filter(|&t| t != v)
+                .filter(|&t| !protocol.root_enabled(t) && !resolve_roots.contains(&t))
+                .map(|t| (v, t))
+                .collect()
+        })
+        .collect();
+    if node_cands.iter().any(Vec::is_empty) || root_cands.iter().any(Vec::is_empty) {
+        return outcome;
+    }
+
+    // Step 3: one candidate per item; verify exactly.
+    type NodeAdds = Vec<(Value, Value, Value)>;
+    type RootAdds = Vec<(Value, Value)>;
+    let mut combos: Vec<(NodeAdds, RootAdds)> = vec![(Vec::new(), Vec::new())];
+    for opts in &node_cands {
+        let mut next = Vec::new();
+        for (ns, rs) in &combos {
+            for &c in opts {
+                if next.len() >= max_combinations {
+                    outcome.truncated = true;
+                    break;
+                }
+                let mut n2 = ns.clone();
+                n2.push(c);
+                next.push((n2, rs.clone()));
+            }
+        }
+        combos = next;
+    }
+    for opts in &root_cands {
+        let mut next = Vec::new();
+        for (ns, rs) in &combos {
+            for &c in opts {
+                if next.len() >= max_combinations {
+                    outcome.truncated = true;
+                    break;
+                }
+                let mut r2 = rs.clone();
+                r2.push(c);
+                next.push((ns.clone(), r2));
+            }
+        }
+        combos = next;
+    }
+
+    for (ns, rs) in combos {
+        if outcome.combinations_tried >= max_combinations
+            || outcome.solutions.len() >= max_solutions
+        {
+            outcome.truncated = true;
+            break;
+        }
+        outcome.combinations_tried += 1;
+        if let Some(sol) = rebuild(protocol, &ns, &rs) {
+            outcome.solutions.push(sol);
+        }
+    }
+    outcome
+}
+
+/// Rebuilds the protocol with the additions and verifies the full report.
+fn rebuild(
+    protocol: &TreeProtocol,
+    node_adds: &[(Value, Value, Value)],
+    root_adds: &[(Value, Value)],
+) -> Option<SynthesizedTreeProtocol> {
+    let space = protocol.space();
+    let mut b: TreeProtocolBuilder = TreeProtocol::builder(protocol.domain().clone());
+    for w in space.ids() {
+        let (p, s) = (space.value_at(w, 0), space.value_at(w, 1));
+        for &t in protocol.node_targets(w) {
+            b = b
+                .node_action(&format!("x[r-1] == {p} && x[r] == {s} -> x[r] := {t}"))
+                .ok()?;
+        }
+    }
+    for &(p, s, t) in node_adds {
+        b = b
+            .node_action(&format!("x[r-1] == {p} && x[r] == {s} -> x[r] := {t}"))
+            .ok()?;
+    }
+    let legit = protocol.node_legit().clone();
+    b = b.node_legit_from(move |id| legit.holds(id));
+    for v in 0..protocol.domain().size() as Value {
+        for &t in protocol.root_targets(v) {
+            b = b.root_transition(v, t).ok()?;
+        }
+    }
+    for &(f, t) in root_adds {
+        b = b.root_transition(f, t).ok()?;
+    }
+    let candidate = b
+        .root_legit_values(
+            (0..protocol.domain().size() as Value).filter(|&v| protocol.root_legit(v)),
+        )
+        .build()
+        .ok()?;
+
+    let report = TreeStabilizationReport::analyze(&candidate);
+    // The input protocol's closure may already be broken (we only must not
+    // break it ourselves); require the deadlock and termination halves,
+    // and closure when the input had it.
+    let closure_ok = report.closure.is_ok() || crate::report::tree_closure_check(protocol).is_err();
+    if report.deadlock.is_free_for_all_trees() && report.termination.is_ok() && closure_ok {
+        Some(SynthesizedTreeProtocol {
+            protocol: candidate,
+            added_node: node_adds.to_vec(),
+            added_root: root_adds.to_vec(),
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_protocol::Domain;
+
+    #[test]
+    fn synthesizes_tree_agreement_from_scratch() {
+        let input = TreeProtocol::builder(Domain::numeric("x", 2))
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        let out = synthesize_tree(&input, 16, 256);
+        assert!(out.is_success());
+        for s in out.solutions() {
+            let r = TreeStabilizationReport::analyze(&s.protocol);
+            assert!(r.is_self_stabilizing_for_all_trees(), "{r}");
+            // Both bad windows ⟨0,1⟩ and ⟨1,0⟩ needed resolution.
+            assert_eq!(s.added_node.len(), 2);
+        }
+    }
+
+    #[test]
+    fn already_stabilizing_input_passes_through() {
+        let input = TreeProtocol::builder(Domain::numeric("x", 2))
+            .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        let out = synthesize_tree(&input, 4, 64);
+        assert!(out.is_success());
+        assert!(out.solutions()[0].added_node.is_empty());
+        assert!(out.solutions()[0].added_root.is_empty());
+    }
+
+    #[test]
+    fn root_deadlocks_are_repaired() {
+        let input = TreeProtocol::builder(Domain::numeric("x", 3))
+            .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_legit_values([2])
+            .build()
+            .unwrap();
+        let out = synthesize_tree(&input, 8, 256);
+        assert!(out.is_success());
+        for s in out.solutions() {
+            assert!(!s.added_root.is_empty());
+            assert!(
+                TreeStabilizationReport::analyze(&s.protocol).is_self_stabilizing_for_all_trees()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_inputs_are_refused() {
+        let input = TreeProtocol::builder(Domain::numeric("x", 3))
+            .node_action("x[r-1] == 0 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .node_action("x[r-1] == 0 && x[r] == 1 -> x[r] := 2")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        let out = synthesize_tree(&input, 4, 64);
+        assert!(!out.is_success());
+        assert_eq!(out.combinations_tried(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Termination (and hence livelock-freedom) on oriented trees.
+//!
+//! **Theorem (tree termination).** If every action is self-disabling at the
+//! process level — a node transition lands in a window where the node is
+//! disabled, and a root transition lands in a value where the root is
+//! disabled — then *every* computation on *every* rooted tree terminates.
+//!
+//! *Proof sketch.* The root's window is its own value, which only its own
+//! moves change; process-level self-disabling therefore silences the root
+//! permanently after at most one move. Inductively, a node's window
+//! `⟨x_parent, x_self⟩` changes only when the parent or the node itself
+//! moves, and between two parent moves the node can move at most once (its
+//! own move disables it; only a parent move can re-enable it). So each
+//! node's move count is bounded by its parent's plus one, giving at most
+//! `depth + 1` moves per node. ∎
+//!
+//! Corollary: such protocols have **no livelocks on any tree** —
+//! convergence reduces entirely to the deadlock theorem of
+//! [`crate::analysis`]. This is the formal content behind the paper's
+//! remark that acyclic topologies avoid circulating corruptions \[21\]: rings
+//! can re-enable a process around the cycle; trees cannot.
+
+use selfstab_protocol::Value;
+
+use crate::protocol::TreeProtocol;
+
+/// Why the termination theorem does not apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TerminationObstacle {
+    /// A node transition lands in an enabled window.
+    NodeChain {
+        /// Parent value of the violating transition's source window.
+        parent: Value,
+        /// Own value before the transition.
+        from: Value,
+        /// Value written.
+        to: Value,
+    },
+    /// A root transition lands in a value where the root is still enabled.
+    RootChain {
+        /// Root value before the transition.
+        from: Value,
+        /// Value written.
+        to: Value,
+    },
+}
+
+impl std::fmt::Display for TerminationObstacle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminationObstacle::NodeChain { parent, from, to } => write!(
+                f,
+                "node transition ⟨{parent},{from}⟩ -> {to} lands in an enabled window"
+            ),
+            TerminationObstacle::RootChain { from, to } => {
+                write!(
+                    f,
+                    "root transition {from} -> {to} lands in an enabled value"
+                )
+            }
+        }
+    }
+}
+
+/// Checks the hypotheses of the tree termination theorem; `Ok(())` means
+/// every computation of the protocol terminates on every rooted tree, with
+/// the per-node bound `moves(node) ≤ depth(node) + 1`.
+///
+/// # Errors
+///
+/// Returns the first [`TerminationObstacle`] found.
+pub fn certify_termination(protocol: &TreeProtocol) -> Result<(), TerminationObstacle> {
+    let space = protocol.space();
+    let d = protocol.domain().size() as Value;
+
+    for v in 0..d {
+        for &t in protocol.root_targets(v) {
+            if protocol.root_enabled(t) {
+                return Err(TerminationObstacle::RootChain { from: v, to: t });
+            }
+        }
+    }
+    for w in space.ids() {
+        let parent = space.value_at(w, 0);
+        let own = space.value_at(w, 1);
+        for &t in protocol.node_targets(w) {
+            let target = space.encode(&[parent, t]);
+            if !protocol.node_targets(target).is_empty() {
+                return Err(TerminationObstacle::NodeChain {
+                    parent,
+                    from: own,
+                    to: t,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `depth + 1` move bound per node implied by the theorem: an upper
+/// bound on the total number of transitions any computation on `shape` can
+/// take.
+pub fn move_bound(shape: &crate::shapes::TreeShape) -> usize {
+    (0..shape.len())
+        .map(|mut i| {
+            let mut depth = 0;
+            while let Some(p) = shape.parent(i) {
+                i = p;
+                depth += 1;
+            }
+            depth + 1
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::TreeShape;
+    use selfstab_protocol::Domain;
+
+    #[test]
+    fn agreement_is_certified() {
+        let p = TreeProtocol::builder(Domain::numeric("x", 3))
+            .node_action("x[r-1] != x[r] -> x[r] := x[r-1]")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        assert!(certify_termination(&p).is_ok());
+    }
+
+    #[test]
+    fn node_chains_are_detected() {
+        // ⟨0,0⟩ -> 1 lands in ⟨0,1⟩, which ⟨0,1⟩ -> 2 keeps enabled.
+        let p = TreeProtocol::builder(Domain::numeric("x", 3))
+            .node_action("x[r-1] == 0 && x[r] == 0 -> x[r] := 1")
+            .unwrap()
+            .node_action("x[r-1] == 0 && x[r] == 1 -> x[r] := 2")
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_silent_and_all_legit()
+            .build()
+            .unwrap();
+        let e = certify_termination(&p).unwrap_err();
+        assert_eq!(
+            e,
+            TerminationObstacle::NodeChain {
+                parent: 0,
+                from: 0,
+                to: 1
+            }
+        );
+        assert!(e.to_string().contains("enabled window"));
+    }
+
+    #[test]
+    fn root_chains_are_detected() {
+        let p = TreeProtocol::builder(Domain::numeric("x", 3))
+            .root_transition(0, 1)
+            .unwrap()
+            .root_transition(1, 2)
+            .unwrap()
+            .node_legit("x[r] == x[r-1]")
+            .unwrap()
+            .root_legit_values([2])
+            .build()
+            .unwrap();
+        let e = certify_termination(&p).unwrap_err();
+        assert_eq!(e, TerminationObstacle::RootChain { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn move_bound_shapes() {
+        assert_eq!(move_bound(&TreeShape::path(1)), 1);
+        assert_eq!(move_bound(&TreeShape::path(3)), 1 + 2 + 3);
+        assert_eq!(move_bound(&TreeShape::star(4)), 1 + 2 + 2 + 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Exhaustive cross-validation of the tree deadlock theorem: the local
+//! reachability verdict must agree with brute-force checking over **every**
+//! rooted tree shape up to a size bound.
+
+use proptest::prelude::*;
+use selfstab_protocol::{Domain, LocalStateId, LocalTransition, Protocol};
+use selfstab_tree::{parent_arrays, TreeDeadlockAnalysis, TreeInstance, TreeProtocol, TreeShape};
+
+/// Random tree protocol over domain size `d` with random node transitions,
+/// node predicate, root transitions and root predicate.
+fn arb_tree_protocol(d: usize) -> impl Strategy<Value = TreeProtocol> {
+    let nstates = d * d;
+    (
+        proptest::collection::vec((0..nstates as u32, 0..d as u8), 0..nstates),
+        proptest::collection::vec(any::<bool>(), nstates),
+        proptest::collection::vec((0..d as u8, 0..d as u8), 0..d),
+        proptest::collection::vec(any::<bool>(), d),
+    )
+        .prop_filter_map(
+            "predicates must be satisfiable",
+            move |(arcs, legit, roots, rlegit)| {
+                if !legit.iter().any(|&b| b) || !rlegit.iter().any(|&b| b) {
+                    return None;
+                }
+                // Build the node template through the ring-protocol builder.
+                let base = Protocol::builder(
+                    "n",
+                    Domain::numeric("x", d),
+                    selfstab_protocol::Locality::unidirectional(),
+                )
+                .legit_fn(|id, _| legit[id.index()])
+                .build()
+                .ok()?;
+                let sp = *base.space();
+                let ts: Vec<LocalTransition> = arcs
+                    .into_iter()
+                    .map(|(s, t)| LocalTransition::new(LocalStateId(s), t))
+                    .filter(|t| sp.value_at(t.source, 1) != t.target)
+                    .collect();
+                let node = base.with_transitions("n", ts).ok()?;
+
+                // Re-express through the TreeProtocol builder.
+                let mut b = TreeProtocol::builder(Domain::numeric("x", d));
+                for t in node.transitions() {
+                    let w = node.space().decode(t.source);
+                    b = b
+                        .node_action(&format!(
+                            "x[r-1] == {} && x[r] == {} -> x[r] := {}",
+                            w[0], w[1], t.target
+                        ))
+                        .ok()?;
+                }
+                let legit2 = legit.clone();
+                b = b.node_legit_from(move |id: LocalStateId| legit2[id.index()]);
+                for (f, t) in roots {
+                    if f != t {
+                        b = b.root_transition(f, t).ok()?;
+                    }
+                }
+                b.root_legit_values((0..d as u8).filter(|&v| rlegit[v as usize]))
+                    .build()
+                    .ok()
+            },
+        )
+}
+
+/// Ground truth: does ANY rooted tree of up to `max_nodes` nodes have a
+/// global deadlock outside I?
+fn brute_force_bad_deadlock(p: &TreeProtocol, max_nodes: usize) -> bool {
+    for n in 1..=max_nodes {
+        for shape in parent_arrays(n) {
+            let inst = TreeInstance::new(p, &shape);
+            if !inst.illegitimate_deadlocks().is_empty() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// d = 2: the witness path has at most d² + 1 = 5 nodes, so checking
+    /// every tree of up to 5 nodes decides ground truth exactly — the local
+    /// verdict must match in both directions.
+    #[test]
+    fn tree_theorem_exact_d2(p in arb_tree_protocol(2)) {
+        let a = TreeDeadlockAnalysis::analyze(&p);
+        let global = brute_force_bad_deadlock(&p, 5);
+        prop_assert_eq!(!a.is_free_for_all_trees(), global);
+        if let Some(w) = a.witness() {
+            // The witness realizes as a concrete bad deadlock on a path.
+            let shape = TreeShape::path(w.len());
+            let inst = TreeInstance::new(&p, &shape);
+            prop_assert!(inst.is_deadlock(&w.path_values));
+            prop_assert!(!inst.is_legit(&w.path_values));
+        }
+    }
+
+    /// d = 3: soundness direction (trees up to 5 nodes) plus witness
+    /// realization (witness paths can reach 10 nodes, beyond exhaustive
+    /// enumeration).
+    #[test]
+    fn tree_theorem_sound_d3(p in arb_tree_protocol(3)) {
+        let a = TreeDeadlockAnalysis::analyze(&p);
+        if a.is_free_for_all_trees() {
+            prop_assert!(!brute_force_bad_deadlock(&p, 5), "local FREE but a small tree deadlocks");
+        } else {
+            let w = a.witness().unwrap();
+            let shape = TreeShape::path(w.len());
+            let inst = TreeInstance::new(&p, &shape);
+            prop_assert!(inst.is_deadlock(&w.path_values));
+            prop_assert!(!inst.is_legit(&w.path_values));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Tree termination theorem**: a certified protocol's global
+    /// transition graph is acyclic on every shape of up to 5 nodes (so every
+    /// computation terminates — no livelocks on trees).
+    #[test]
+    fn certified_termination_implies_acyclic(p in arb_tree_protocol(2)) {
+        if selfstab_tree::certify_termination(&p).is_err() {
+            return Ok(());
+        }
+        for n in 1..=5usize {
+            for shape in parent_arrays(n) {
+                let inst = TreeInstance::new(&p, &shape);
+                prop_assert!(!inst.has_any_cycle(), "cycle on a {n}-node tree");
+            }
+        }
+    }
+
+    /// The converse direction sanity: cycle detection does find cycles for
+    /// chain protocols (whenever one exists on a small shape, the
+    /// certificate must have refused).
+    #[test]
+    fn cycles_imply_certificate_refusal(p in arb_tree_protocol(2)) {
+        let certified = selfstab_tree::certify_termination(&p).is_ok();
+        for n in 1..=4usize {
+            for shape in parent_arrays(n) {
+                let inst = TreeInstance::new(&p, &shape);
+                if inst.has_any_cycle() {
+                    prop_assert!(!certified, "certified protocol has a cycle");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-report soundness: a protocol proven self-stabilizing on all
+    /// trees passes the exhaustive global check on every shape of up to 5
+    /// nodes (no bad deadlocks, no cycles, closure holds).
+    #[test]
+    fn tree_report_sound(p in arb_tree_protocol(2)) {
+        let r = selfstab_tree::TreeStabilizationReport::analyze(&p);
+        if !r.is_self_stabilizing_for_all_trees() {
+            return Ok(());
+        }
+        for n in 1..=5usize {
+            for shape in parent_arrays(n) {
+                let inst = TreeInstance::new(&p, &shape);
+                prop_assert!(inst.illegitimate_deadlocks().is_empty());
+                prop_assert!(!inst.has_any_cycle());
+                prop_assert!(!inst.has_closure_violation());
+            }
+        }
+    }
+
+    /// Closure-check soundness alone: Ok(()) implies no global closure
+    /// violation on any small shape.
+    #[test]
+    fn tree_closure_sound(p in arb_tree_protocol(3)) {
+        if selfstab_tree::tree_closure_check(&p).is_err() {
+            return Ok(());
+        }
+        for n in 1..=4usize {
+            for shape in parent_arrays(n) {
+                let inst = TreeInstance::new(&p, &shape);
+                prop_assert!(!inst.has_closure_violation(), "closure broken on {n}-node tree");
+            }
+        }
+    }
+}

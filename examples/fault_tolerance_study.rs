@@ -1,0 +1,62 @@
+//! Fault-tolerance study (extension X1): how far can transient faults push
+//! a self-stabilizing protocol, and how long does recovery take — measured
+//! both adversarially (worst-case daemon) and on average (random daemon).
+//!
+//! Run with: `cargo run --example fault_tolerance_study`
+
+use selfstab::global::{faults, RingInstance, Scheduler, Simulator};
+use selfstab::protocols::{agreement, sum_not_two};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, protocol, k) in [
+        (
+            "binary agreement (t01)",
+            agreement::binary_agreement_one_sided(),
+            10usize,
+        ),
+        ("sum-not-two", sum_not_two::sum_not_two_solution(), 7),
+    ] {
+        let ring = RingInstance::symmetric(&protocol, k)?;
+        let wc_any = faults::worst_case_recovery(&ring).expect("these protocols strongly converge");
+        println!("\n=== {name}, K = {k} ===");
+        println!("worst-case recovery from an arbitrary state: {wc_any} steps");
+        println!(
+            "{:<8} {:>14} {:>16} {:>20} {:>20}",
+            "faults", "span states", "span fraction", "worst-case steps", "mean steps (sim)"
+        );
+
+        let mut sim = Simulator::new(&ring, 2024).with_scheduler(Scheduler::Random);
+        for f in 0..=4usize {
+            let span = faults::fault_span(&ring, f);
+            let starts: Vec<_> = ring.space().ids().filter(|s| span[s.index()]).collect();
+            let frac = starts.len() as f64 / ring.space().len() as f64;
+            let wc = faults::worst_case_recovery_from(&ring, starts.iter().copied())
+                .expect("span of a convergent protocol recovers");
+
+            // Random-daemon average over perturbed legitimate states.
+            let legit = ring
+                .space()
+                .ids()
+                .find(|&s| ring.is_legit(s))
+                .expect("non-empty I");
+            let trials = 300;
+            let mut total = 0usize;
+            for _ in 0..trials {
+                let start = sim.perturb(legit, f);
+                let out = sim.run_from(start, 1_000_000);
+                assert!(out.converged);
+                total += out.steps;
+            }
+            println!(
+                "{:<8} {:>14} {:>15.1}% {:>20} {:>20.2}",
+                f,
+                starts.len(),
+                100.0 * frac,
+                wc,
+                total as f64 / trials as f64
+            );
+        }
+    }
+    println!("\n(worst-case = longest adversarial schedule; the random daemon is much faster)");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # selfstab — self-stabilization of parameterized rings by local reasoning
+//!
+//! A verification and synthesis toolkit reproducing Farahat & Ebnenasir,
+//! *Local Reasoning for Global Convergence of Parameterized Rings*
+//! (ICDCS 2012 / Michigan Tech TR CS-TR-11-04).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`protocol`] — the parameterized-protocol model and guarded-command DSL.
+//! * [`core`] — the paper's contribution: Right Continuation Graphs,
+//!   Local Transition Graphs, the Theorem 4.2 deadlock-freedom check and the
+//!   Theorem 5.14 livelock-freedom certificate.
+//! * [`global`] — an explicit-state global model checker and simulator
+//!   (ground truth for fixed ring sizes).
+//! * [`synth`] — the Section 6 synthesis methodology, plus a fixed-`K`
+//!   global baseline synthesizer.
+//! * [`protocols`] — the paper's example protocols, ready to analyze.
+//! * [`tree`] — the oriented-tree extension (the paper's future work #1):
+//!   a reachability-based deadlock theorem for every rooted tree at once.
+//! * [`graph`] — the underlying graph algorithms.
+//!
+//! # Quickstart
+//!
+//! Verify that binary agreement with the single recovery action
+//! `x[r-1] == 1 && x[r] == 0 -> x[r] := 1` is self-stabilizing for *every*
+//! ring size:
+//!
+//! ```
+//! use selfstab::protocols::agreement;
+//! use selfstab::core::StabilizationReport;
+//!
+//! let p = agreement::binary_agreement_one_sided();
+//! let report = StabilizationReport::analyze(&p);
+//! assert!(report.deadlock.is_free_for_all_k());
+//! assert!(report.livelock.certified_free());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use selfstab_core as core;
+pub use selfstab_global as global;
+pub use selfstab_graph as graph;
+pub use selfstab_protocol as protocol;
+pub use selfstab_protocols as protocols;
+pub use selfstab_synth as synth;
+pub use selfstab_tree as tree;
