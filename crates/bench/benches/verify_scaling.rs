@@ -3,8 +3,9 @@
 //! This bench regenerates the crossover table of EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_bench::timing::{fmt_us, timed_min};
 use selfstab_core::report::StabilizationReport;
-use selfstab_global::{check, RingInstance};
+use selfstab_global::{check, EngineConfig, RingInstance};
 use selfstab_protocols::{agreement, sum_not_two};
 
 fn bench_local_verification(c: &mut Criterion) {
@@ -53,6 +54,101 @@ fn bench_livelock_detection(c: &mut Criterion) {
     g.finish();
 }
 
+/// The seed's sequential formulation of the full convergence check: three
+/// separate sweeps (legitimacy count, closure violations materialized,
+/// illegitimate deadlocks) plus the livelock DFS — with legitimacy
+/// evaluated the way the seed's `RingInstance::is_legit` did it, by running
+/// the local predicate over every process's freshly derived window (one
+/// `pow`-based `local_state_of` per digit). This is the exact work
+/// `ConvergenceReport::check` performed before the fused engine and its
+/// memoized class tables existed.
+fn seed_style_check(
+    p: &selfstab_protocol::Protocol,
+    ring: &RingInstance,
+) -> (u64, usize, bool, bool) {
+    let k = ring.ring_size();
+    let legit = |s: selfstab_global::GlobalStateId| {
+        (0..k).all(|i| p.legit().holds(ring.local_state_of(s, i)))
+    };
+    let legit_count = ring.space().ids().filter(|&s| legit(s)).count() as u64;
+    let closure = check::closure_violations_where(ring, legit);
+    let deadlocks = check::illegitimate_deadlocks_where(ring, legit);
+    let livelock = check::find_livelock_where(ring, legit);
+    (
+        legit_count,
+        deadlocks.len(),
+        closure.is_empty(),
+        livelock.is_none(),
+    )
+}
+
+/// Seed-vs-fused comparison at K=10, d=3 (59049 states), recording the
+/// measured speedups to `BENCH_verify_scaling.json` at the repo root.
+fn bench_engine_comparison(_c: &mut Criterion) {
+    let p = sum_not_two::sum_not_two_solution();
+    let k = 10;
+    let ring = RingInstance::symmetric(&p, k).unwrap();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // The engines must agree before their timings mean anything.
+    let seed = seed_style_check(&p, &ring);
+    for config in [
+        EngineConfig::sequential(),
+        EngineConfig::with_threads(threads),
+    ] {
+        let r = check::ConvergenceReport::check_with(&ring, &config);
+        assert_eq!(seed.0, r.legit_count);
+        assert_eq!(seed.1, r.illegitimate_deadlocks.len());
+        assert_eq!(seed.2, r.closure_violation.is_none());
+        assert_eq!(seed.3, r.livelock.is_none());
+    }
+
+    // Best-of-N: interference on a shared host only adds time, so the
+    // fastest observed run is the honest per-engine cost.
+    let reps = 5;
+    let seed_us = timed_min(reps, || {
+        std::hint::black_box(seed_style_check(&p, &ring));
+    });
+    let fused_seq_us = timed_min(reps, || {
+        std::hint::black_box(check::ConvergenceReport::check_with(
+            &ring,
+            &EngineConfig::sequential(),
+        ));
+    });
+    let fused_par_us = timed_min(reps, || {
+        std::hint::black_box(check::ConvergenceReport::check_with(
+            &ring,
+            &EngineConfig::with_threads(threads),
+        ));
+    });
+
+    let speedup_seq = seed_us / fused_seq_us;
+    let speedup_par = seed_us / fused_par_us;
+    println!(
+        "engine_comparison sum_not_two K={k}: seed {} | fused(seq) {} ({speedup_seq:.1}x) | \
+         fused({threads} threads) {} ({speedup_par:.1}x)",
+        fmt_us(seed_us),
+        fmt_us(fused_seq_us),
+        fmt_us(fused_par_us),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"verify_scaling/engine_comparison\",\n  \"protocol\": \"sum_not_two\",\n  \
+         \"ring_size\": {k},\n  \"domain_size\": 3,\n  \"states\": {},\n  \
+         \"seed_sequential_us\": {seed_us:.1},\n  \"fused_sequential_us\": {fused_seq_us:.1},\n  \
+         \"fused_parallel_us\": {fused_par_us:.1},\n  \"threads\": {threads},\n  \
+         \"speedup_fused_sequential\": {speedup_seq:.2},\n  \"speedup_fused_parallel\": {speedup_par:.2}\n}}\n",
+        ring.space().len(),
+    );
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_verify_scaling.json");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("could not write {}: {e}", out.display());
+    }
+}
+
 fn quick_config() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
@@ -65,6 +161,7 @@ criterion_group! {
     config = quick_config();
     targets = bench_local_verification,
     bench_global_verification,
-    bench_livelock_detection
+    bench_livelock_detection,
+    bench_engine_comparison
 }
 criterion_main!(benches);

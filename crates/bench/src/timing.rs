@@ -19,6 +19,20 @@ pub fn timed_mean(reps: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / reps.max(1) as f64
 }
 
+/// Times a closure over `reps` repetitions, returning the **minimum**
+/// elapsed microseconds of one run. The minimum is the right estimator on
+/// noisy or shared machines: interference only ever adds time, so the
+/// fastest observed run is the closest to the true cost.
+pub fn timed_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
 /// Formats microseconds compactly (`12.3us`, `4.5ms`, `6.7s`).
 pub fn fmt_us(us: f64) -> String {
     if us < 1_000.0 {

@@ -1,9 +1,10 @@
-//! `selfstab audit <file.stab> [--to K]` — the full battery: local proofs,
-//! global cross-checks at every size up to a bound, and trail
-//! reconstruction when the livelock certificate fails.
+//! `selfstab audit <file.stab> [--to K] [--threads T]` — the full battery:
+//! local proofs, global cross-checks at every size up to a bound, and trail
+//! reconstruction when the livelock certificate fails. `--threads`
+//! parallelizes the global cross-checks without changing any verdict.
 
 use selfstab_core::report::StabilizationReport;
-use selfstab_global::{check, RingInstance};
+use selfstab_global::{check, EngineConfig, RingInstance};
 use selfstab_synth::diagnose::reconstruct_trail;
 
 use crate::args::{load_protocol, Args};
@@ -12,6 +13,7 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let protocol = load_protocol(&args)?;
     let to = args.get_usize("to", 6)?;
+    let engine = EngineConfig::with_threads(args.get_usize("threads", 1)?);
 
     println!("{protocol}");
     println!("== local analysis (all ring sizes) ==");
@@ -30,7 +32,7 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut disagreements = 0;
     for k in 2..=to {
         let ring = RingInstance::symmetric(&protocol, k)?;
-        let g = check::ConvergenceReport::check(&ring);
+        let g = check::ConvergenceReport::check_with(&ring, &engine);
         let status = if g.self_stabilizing() {
             "self-stabilizing"
         } else {

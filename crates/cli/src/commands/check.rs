@@ -1,7 +1,11 @@
-//! `selfstab check <file.stab> --k N [--to M]` — explicit-state global
-//! model checking at fixed ring sizes.
+//! `selfstab check <file.stab> --k N [--to M] [--threads T]` —
+//! explicit-state global model checking at fixed ring sizes.
+//!
+//! `--threads` parallelizes the fused convergence scan; the verdict and
+//! every reported witness are identical for any thread count (default 1,
+//! fully sequential).
 
-use selfstab_global::{check::ConvergenceReport, RingInstance};
+use selfstab_global::{check::ConvergenceReport, EngineConfig, RingInstance};
 
 use crate::args::{load_protocol, Args};
 
@@ -13,12 +17,13 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if to < from {
         return Err("--to must be at least --k".into());
     }
+    let engine = EngineConfig::with_threads(args.get_usize("threads", 1)?);
 
     let mut all_ok = true;
     let mut json_rows = Vec::new();
     for k in from..=to {
         let ring = RingInstance::symmetric(&protocol, k)?;
-        let report = ConvergenceReport::check(&ring);
+        let report = ConvergenceReport::check_with(&ring, &engine);
         if args.flag("json") {
             json_rows.push(crate::json::convergence_report(&report));
             if !report.self_stabilizing() {

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! selfstab analyze    <file.stab>                  local proofs (Theorems 4.2 / 5.14)
-//! selfstab audit      <file.stab> [--to 6]          proofs + global cross-checks + reconstruction
-//! selfstab check      <file.stab> --k 5 [--to 8]   global model checking at fixed sizes
+//! selfstab audit      <file.stab> [--to 6] [--threads T]        proofs + global cross-checks + reconstruction
+//! selfstab check      <file.stab> --k 5 [--to 8] [--threads T]  global model checking at fixed sizes
 //! selfstab synthesize <file.stab> [--first]        Section 6 synthesis methodology
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
@@ -63,8 +63,8 @@ USAGE:
 
 SUBCOMMANDS:
     analyze     Theorem 4.2 / 5.14 local analysis (all ring sizes at once)
-    audit       local proofs + global cross-checks + trail reconstruction ([--to K])
-    check       explicit-state global check at fixed ring sizes (--k N [--to M])
+    audit       local proofs + global cross-checks + trail reconstruction ([--to K] [--threads T])
+    check       explicit-state global check at fixed ring sizes (--k N [--to M] [--threads T])
     synthesize  add convergence via the Section 6 methodology ([--first])
     sizes       exact deadlocked ring sizes ([--max N], default 20)
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X])

@@ -1,5 +1,6 @@
 //! Global model checking: deadlocks, livelocks, closure, convergence.
 
+use crate::engine::{fused_scan, EngineConfig};
 use crate::instance::{Move, RingInstance};
 use crate::state::GlobalStateId;
 
@@ -28,13 +29,49 @@ pub fn closure_violations(ring: &RingInstance) -> Vec<(GlobalStateId, Move)> {
         if !ring.is_legit(s) {
             continue;
         }
-        for m in ring.moves_from(s) {
+        ring.for_each_move(s, |m| {
             if !ring.is_legit(ring.apply(s, m)) {
                 out.push((s, m));
             }
-        }
+        });
     }
     out
+}
+
+/// The first closure violation in (state, process, target) order, or
+/// `None` if `I(K)` is closed. Unlike [`closure_violations`] this stops at
+/// the first witness, so it is the right call when only a yes/no answer
+/// (plus one counterexample) is needed.
+pub fn first_closure_violation(ring: &RingInstance) -> Option<(GlobalStateId, Move)> {
+    first_closure_violation_where(ring, |s| ring.is_legit(s))
+}
+
+/// Like [`first_closure_violation`], with an arbitrary legitimate-state
+/// predicate.
+pub fn first_closure_violation_where<F>(
+    ring: &RingInstance,
+    is_legit: F,
+) -> Option<(GlobalStateId, Move)>
+where
+    F: Fn(GlobalStateId) -> bool,
+{
+    for s in ring.space().ids() {
+        if !is_legit(s) {
+            continue;
+        }
+        for i in 0..ring.ring_size() {
+            for &t in ring.targets_of(s, i) {
+                let m = Move {
+                    process: i,
+                    target: t,
+                };
+                if !is_legit(ring.apply(s, m)) {
+                    return Some((s, m));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Searches for a livelock: a cycle of global transitions whose states all
@@ -64,49 +101,62 @@ where
     const BLACK: u8 = 2;
 
     let n = ring.space().len() as usize;
+    let k = ring.ring_size();
     let mut color = vec![WHITE; n];
+    // DFS frames: (state, next process to try, next target index within
+    // that process). Successors are enumerated lazily through the frame
+    // cursor, so no per-frame successor list is ever materialized.
+    let mut frames: Vec<(GlobalStateId, usize, usize)> = Vec::new();
 
     for root in ring.space().ids() {
         if color[root.index()] != WHITE || is_legit(root) {
             continue;
         }
-        // DFS frames: (state, successor iterator position).
-        let mut frames: Vec<(GlobalStateId, Vec<GlobalStateId>, usize)> = Vec::new();
-        let succs: Vec<GlobalStateId> = ring
-            .successors(root)
-            .into_iter()
-            .filter(|&t| !is_legit(t))
-            .collect();
         color[root.index()] = GRAY;
-        frames.push((root, succs, 0));
+        frames.clear();
+        frames.push((root, 0, 0));
 
-        while let Some((state, succs, pos)) = frames.last_mut() {
-            if *pos < succs.len() {
-                let next = succs[*pos];
-                *pos += 1;
-                match color[next.index()] {
+        while let Some(&mut (state, ref mut proc, ref mut tidx)) = frames.last_mut() {
+            // Advance the cursor to the next successor inside ¬I.
+            let mut next = None;
+            while *proc < k {
+                let targets = ring.targets_of(state, *proc);
+                if *tidx < targets.len() {
+                    let m = Move {
+                        process: *proc,
+                        target: targets[*tidx],
+                    };
+                    *tidx += 1;
+                    let succ = ring.apply(state, m);
+                    if !is_legit(succ) {
+                        next = Some(succ);
+                        break;
+                    }
+                } else {
+                    *proc += 1;
+                    *tidx = 0;
+                }
+            }
+            match next {
+                None => {
+                    color[state.index()] = BLACK;
+                    frames.pop();
+                }
+                Some(next) => match color[next.index()] {
                     WHITE => {
-                        let nsuccs: Vec<GlobalStateId> = ring
-                            .successors(next)
-                            .into_iter()
-                            .filter(|&t| !is_legit(t))
-                            .collect();
                         color[next.index()] = GRAY;
-                        frames.push((next, nsuccs, 0));
+                        frames.push((next, 0, 0));
                     }
                     GRAY => {
                         // Back edge: extract the cycle from the DFS stack.
                         let start = frames
                             .iter()
-                            .position(|(s, _, _)| *s == next)
+                            .position(|&(s, _, _)| s == next)
                             .expect("gray state must be on the stack");
-                        return Some(frames[start..].iter().map(|(s, _, _)| *s).collect());
+                        return Some(frames[start..].iter().map(|&(s, _, _)| s).collect());
                     }
                     _ => {}
-                }
-            } else {
-                color[state.index()] = BLACK;
-                frames.pop();
+                },
             }
         }
     }
@@ -155,11 +205,11 @@ where
         if !is_legit(s) {
             continue;
         }
-        for m in ring.moves_from(s) {
+        ring.for_each_move(s, |m| {
             if !is_legit(ring.apply(s, m)) {
                 out.push((s, m));
             }
-        }
+        });
     }
     out
 }
@@ -183,16 +233,27 @@ pub struct ConvergenceReport {
 
 impl ConvergenceReport {
     /// Runs the full check: closure, deadlock-freedom and livelock-freedom
-    /// outside `I(K)`.
+    /// outside `I(K)`. Sequential; see [`ConvergenceReport::check_with`]
+    /// for the parallel engine.
     pub fn check(ring: &RingInstance) -> Self {
-        let legit_count = ring.space().ids().filter(|&s| ring.is_legit(s)).count() as u64;
+        Self::check_with(ring, &EngineConfig::sequential())
+    }
+
+    /// Runs the full check through the fused engine: the legitimacy count,
+    /// illegitimate deadlocks and first closure violation come from one
+    /// scan over the state space ([`fused_scan`]), and the livelock search
+    /// reuses that scan's legitimacy bitmap. The report is identical for
+    /// every `config.threads` value.
+    pub fn check_with(ring: &RingInstance, config: &EngineConfig) -> Self {
+        let scan = fused_scan(ring, config);
+        let livelock = crate::engine::find_livelock_with(ring, &scan);
         ConvergenceReport {
             ring_size: ring.ring_size(),
             state_count: ring.space().len(),
-            legit_count,
-            closure_violation: closure_violations(ring).into_iter().next(),
-            illegitimate_deadlocks: illegitimate_deadlocks(ring),
-            livelock: find_livelock(ring),
+            legit_count: scan.legit_count,
+            closure_violation: scan.first_closure_violation,
+            illegitimate_deadlocks: scan.illegitimate_deadlocks,
+            livelock,
         }
     }
 
@@ -252,12 +313,12 @@ pub fn weakly_converges(ring: &RingInstance) -> bool {
         }
     }
     while let Some(s) = work.pop() {
-        for p in ring.predecessors(s) {
+        ring.for_each_predecessor(s, |p| {
             if !can_reach[p.index()] {
                 can_reach[p.index()] = true;
                 work.push(p);
             }
-        }
+        });
     }
     can_reach.into_iter().all(|b| b)
 }

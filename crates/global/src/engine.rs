@@ -1,0 +1,533 @@
+//! Fused, parallel, allocation-free convergence scanning.
+//!
+//! [`ConvergenceReport::check`](crate::check::ConvergenceReport::check)
+//! needs three facts about the global state space: the size of `I(K)`, the
+//! deadlocks outside `I(K)`, and whether `I(K)` is closed. The naive
+//! formulation makes three separate sweeps, each re-deriving every local
+//! state through [`GlobalSpace::value_at`](crate::state::GlobalSpace)
+//! (a `pow` per digit). [`fused_scan`] computes all three in **one** pass:
+//!
+//! * global ids are enumerated in dense ascending order while a mixed-radix
+//!   digit buffer is incremented in place, so no division or `pow` is spent
+//!   on decoding;
+//! * each state's `K` local window ids are assembled straight from the
+//!   digit buffer, and legitimacy/enabledness are memoized per-local-state
+//!   class bits ([`RingInstance`] builds the tables at construction);
+//! * the closure check for a legitimate state only re-encodes the ≤ `w`
+//!   windows that actually cover the written position;
+//! * the sweep also records a legitimacy bitmap that the livelock search
+//!   ([`find_livelock_with`]) reuses, making `is_legit` a single bit test
+//!   during the DFS.
+//!
+//! The id range is split into 64-aligned chunks handed to a scoped thread
+//! pool ([`EngineConfig::threads`]); each chunk produces an independent
+//! [`ChunkOut`]-style summary and the summaries are merged in ascending
+//! chunk order, so **the result is bit-for-bit identical for every thread
+//! count**, including the identity of the first closure violation and the
+//! order of the deadlock list.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use selfstab_protocol::{LocalStateId, Value};
+
+use crate::instance::{Move, RingInstance, CLS_ENABLED, CLS_LEGIT};
+use crate::state::GlobalStateId;
+
+/// Tuning knobs of the fused engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for the scan. `0` and `1` both mean sequential
+    /// (the default, so results are reproducible without opting in).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { threads: 1 }
+    }
+}
+
+impl EngineConfig {
+    /// A sequential configuration.
+    pub fn sequential() -> Self {
+        EngineConfig::default()
+    }
+
+    /// A configuration with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads }
+    }
+}
+
+/// The result of one fused sweep over the global state space.
+#[derive(Clone, Debug)]
+pub struct FusedScan {
+    /// Number of states in `I(K)`.
+    pub legit_count: u64,
+    /// All global deadlocks outside `I(K)`, in ascending id order.
+    pub illegitimate_deadlocks: Vec<GlobalStateId>,
+    /// The first closure violation in (state, process, target) order, if
+    /// `I(K)` is not closed.
+    pub first_closure_violation: Option<(GlobalStateId, Move)>,
+    /// Legitimacy bitmap: bit `id` is set iff `id ∈ I(K)`.
+    legit_bits: Vec<u64>,
+}
+
+impl FusedScan {
+    /// Bitmap lookup: `true` iff `gid ∈ I(K)`.
+    pub fn is_legit(&self, gid: GlobalStateId) -> bool {
+        self.legit_bits[(gid.0 / 64) as usize] >> (gid.0 % 64) & 1 == 1
+    }
+}
+
+/// Per-chunk accumulator; chunks merge associatively in ascending order.
+struct ChunkOut {
+    legit_count: u64,
+    deadlocks: Vec<GlobalStateId>,
+    violation: Option<(GlobalStateId, Move)>,
+    /// The bitmap words covering the chunk's (64-aligned) id range.
+    bits: Vec<u64>,
+}
+
+/// Precomputed window geometry shared by every chunk of one scan.
+struct ScanPlan {
+    ring_size: usize,
+    domain_size: u64,
+    window_width: usize,
+    /// `positions[i * w + idx]` = ring position read by window slot `idx`
+    /// of process `i` (wrap-around applied).
+    positions: Vec<usize>,
+    /// `weights[idx]` = `d^(w-1-idx)`, the significance of window slot
+    /// `idx` in the local state id.
+    weights: Vec<u32>,
+    /// `tables[i]` = transition-table index of process `i`.
+    tables: Vec<usize>,
+    /// `writers[i * w + idx]` = the process whose window slot `idx` reads
+    /// position `i` — i.e. the candidates whose local state changes when
+    /// `x_i` is written.
+    writers: Vec<usize>,
+    /// `state_weights[i]` = `d^(K-1-i)`, the significance of ring position
+    /// `i` in the global state id (matching [`GlobalSpace`]'s encoding).
+    state_weights: Vec<u64>,
+}
+
+impl ScanPlan {
+    fn new(ring: &RingInstance) -> Self {
+        let k = ring.ring_size();
+        let d = ring.space().domain_size() as u64;
+        let loc = ring.locality();
+        let w = loc.window_width();
+        let mut positions = Vec::with_capacity(k * w);
+        let mut writers = Vec::with_capacity(k * w);
+        for i in 0..k {
+            for idx in 0..w {
+                let off = loc.offset_of(idx);
+                positions.push((i as isize + off).rem_euclid(k as isize) as usize);
+                writers.push((i as isize - off).rem_euclid(k as isize) as usize);
+            }
+        }
+        let mut weights = vec![1u32; w];
+        for idx in (0..w.saturating_sub(1)).rev() {
+            weights[idx] = weights[idx + 1] * d as u32;
+        }
+        let mut state_weights = vec![1u64; k];
+        for i in (0..k.saturating_sub(1)).rev() {
+            state_weights[i] = state_weights[i + 1] * d;
+        }
+        ScanPlan {
+            ring_size: k,
+            domain_size: d,
+            window_width: w,
+            positions,
+            weights,
+            tables: (0..k).map(|i| ring.table_index(i)).collect(),
+            writers,
+            state_weights,
+        }
+    }
+
+    /// The local state id of process `i` given the digit buffer.
+    #[inline]
+    fn local_id(&self, digits: &[Value], i: usize) -> LocalStateId {
+        let w = self.window_width;
+        let mut id: u32 = 0;
+        for idx in 0..w {
+            id += self.weights[idx] * digits[self.positions[i * w + idx]] as u32;
+        }
+        LocalStateId(id)
+    }
+
+    /// Like [`ScanPlan::local_id`], with position `pos` overridden to `v`
+    /// (evaluating a window after a hypothetical write).
+    #[inline]
+    fn local_id_with(&self, digits: &[Value], i: usize, pos: usize, v: Value) -> LocalStateId {
+        let w = self.window_width;
+        let mut id: u32 = 0;
+        for idx in 0..w {
+            let p = self.positions[i * w + idx];
+            let digit = if p == pos { v } else { digits[p] };
+            id += self.weights[idx] * digit as u32;
+        }
+        LocalStateId(id)
+    }
+}
+
+/// Scans ids `start..end`, where `start` is 64-aligned (or 0).
+fn scan_chunk(ring: &RingInstance, plan: &ScanPlan, start: u64, end: u64) -> ChunkOut {
+    let k = plan.ring_size;
+    let d = plan.domain_size;
+    let mut digits = ring.space().decode(GlobalStateId(start));
+    let mut locals: Vec<LocalStateId> = vec![LocalStateId(0); k];
+
+    let mut out = ChunkOut {
+        legit_count: 0,
+        deadlocks: Vec::new(),
+        violation: None,
+        bits: vec![0u64; ((end - start) as usize).div_ceil(64)],
+    };
+
+    for gid in start..end {
+        let mut all_legit = true;
+        let mut any_enabled = false;
+        for (i, slot) in locals.iter_mut().enumerate() {
+            let ls = plan.local_id(&digits, i);
+            *slot = ls;
+            let c = ring.class_by_table(plan.tables[i], ls);
+            all_legit &= c & CLS_LEGIT != 0;
+            any_enabled |= c & CLS_ENABLED != 0;
+        }
+
+        if all_legit {
+            out.legit_count += 1;
+            out.bits[((gid - start) / 64) as usize] |= 1 << (gid % 64);
+            if out.violation.is_none() {
+                out.violation = first_violation_at(ring, plan, &digits, &locals, gid);
+            }
+        } else if !any_enabled {
+            out.deadlocks.push(GlobalStateId(gid));
+        }
+
+        // Mixed-radix increment: x_{K-1} is the least significant digit.
+        for slot in digits.iter_mut().rev() {
+            *slot += 1;
+            if (*slot as u64) < d {
+                break;
+            }
+            *slot = 0;
+        }
+    }
+    out
+}
+
+/// The first closure violation out of the legitimate state `gid`, in
+/// (process, target) order, or `None` if every move stays in `I(K)`.
+///
+/// Only the ≤ `w` processes whose window covers the written position are
+/// re-encoded; all others keep their (legitimate) local state.
+fn first_violation_at(
+    ring: &RingInstance,
+    plan: &ScanPlan,
+    digits: &[Value],
+    locals: &[LocalStateId],
+    gid: u64,
+) -> Option<(GlobalStateId, Move)> {
+    let w = plan.window_width;
+    for (i, &ls) in locals.iter().enumerate() {
+        for &t in ring.targets_by_table(plan.tables[i], ls) {
+            let stays_legit = (0..w).all(|idx| {
+                let j = plan.writers[i * w + idx];
+                let ls = plan.local_id_with(digits, j, i, t);
+                ring.class_by_table(plan.tables[j], ls) & CLS_LEGIT != 0
+            });
+            if !stays_legit {
+                return Some((
+                    GlobalStateId(gid),
+                    Move {
+                        process: i,
+                        target: t,
+                    },
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Runs the fused sweep. With `config.threads <= 1` the scan is a single
+/// sequential chunk; otherwise 64-aligned chunks are distributed over
+/// scoped worker threads and merged in ascending chunk order, so the
+/// result is identical to the sequential one.
+pub fn fused_scan(ring: &RingInstance, config: &EngineConfig) -> FusedScan {
+    let n = ring.space().len();
+    let plan = ScanPlan::new(ring);
+    let threads = config.threads.max(1);
+
+    if threads == 1 {
+        let out = scan_chunk(ring, &plan, 0, n);
+        return FusedScan {
+            legit_count: out.legit_count,
+            illegitimate_deadlocks: out.deadlocks,
+            first_closure_violation: out.violation,
+            legit_bits: out.bits,
+        };
+    }
+
+    // Aim for several chunks per worker so stragglers balance out, but
+    // keep chunks 64-aligned so each owns whole bitmap words.
+    let target = (n / (threads as u64 * 8)).max(4096);
+    let chunk = target.div_ceil(64) * 64;
+    let num_chunks = n.div_ceil(chunk) as usize;
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<(usize, ChunkOut)>> = Mutex::new(Vec::with_capacity(num_chunks));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(num_chunks) {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks as u64 {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                let out = scan_chunk(ring, &plan, start, end);
+                results.lock().unwrap().push((c as usize, out));
+            });
+        }
+    });
+
+    let mut parts = results.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(c, _)| *c);
+
+    let mut scan = FusedScan {
+        legit_count: 0,
+        illegitimate_deadlocks: Vec::new(),
+        first_closure_violation: None,
+        legit_bits: Vec::with_capacity((n as usize).div_ceil(64)),
+    };
+    for (_, part) in parts {
+        scan.legit_count += part.legit_count;
+        scan.illegitimate_deadlocks.extend(part.deadlocks);
+        if scan.first_closure_violation.is_none() {
+            scan.first_closure_violation = part.violation;
+        }
+        scan.legit_bits.extend(part.bits);
+    }
+    scan
+}
+
+/// Livelock search reusing a fused scan's legitimacy bitmap: the tricolor
+/// DFS of [`find_livelock_where`](crate::check::find_livelock_where) with
+/// `is_legit` reduced to a bit test.
+///
+/// On top of the bitmap, the DFS keeps a per-frame arena of ring digits and
+/// local window ids so a frame's enabled moves are slice lookups: a child
+/// frame's digits/locals are copied from its parent and patched in `O(w)`
+/// (only the ≤ `w` windows covering the written position change), and the
+/// successor's global id is `parent ± Δ·d^(K-1-i)` — no `pow`, and division
+/// only when decoding a DFS root. Visit order is identical to
+/// [`find_livelock_where`](crate::check::find_livelock_where), so both
+/// return the same cycle witness.
+pub fn find_livelock_with(ring: &RingInstance, scan: &FusedScan) -> Option<Vec<GlobalStateId>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+
+    let plan = ScanPlan::new(ring);
+    let k = plan.ring_size;
+    let w = plan.window_width;
+    let n = ring.space().len() as usize;
+    let mut color = vec![WHITE; n];
+    // DFS frames: (state, next process to try, next target index within
+    // that process). The parallel arenas hold each frame's `K` ring digits
+    // and `K` local window ids; they grow once and are reused thereafter.
+    let mut frames: Vec<(GlobalStateId, usize, usize)> = Vec::new();
+    let mut digits: Vec<Value> = Vec::new();
+    let mut locals: Vec<LocalStateId> = Vec::new();
+
+    for root in ring.space().ids() {
+        if color[root.index()] != WHITE || scan.is_legit(root) {
+            continue;
+        }
+        color[root.index()] = GRAY;
+        frames.clear();
+        digits.clear();
+        locals.clear();
+        frames.push((root, 0, 0));
+        digits.extend_from_slice(&ring.space().decode(root));
+        for i in 0..k {
+            locals.push(plan.local_id(&digits, i));
+        }
+
+        while !frames.is_empty() {
+            let base = (frames.len() - 1) * k;
+            let &mut (state, ref mut proc, ref mut tidx) =
+                frames.last_mut().expect("loop guard ensures a frame");
+            // Advance the cursor to the next successor inside ¬I.
+            let mut next = None;
+            while *proc < k {
+                let targets = ring.targets_by_table(plan.tables[*proc], locals[base + *proc]);
+                if *tidx < targets.len() {
+                    let t = targets[*tidx];
+                    *tidx += 1;
+                    let delta = t as i64 - digits[base + *proc] as i64;
+                    let succ = GlobalStateId(
+                        (state.0 as i64 + delta * plan.state_weights[*proc] as i64) as u64,
+                    );
+                    if !scan.is_legit(succ) {
+                        next = Some((succ, *proc, t));
+                        break;
+                    }
+                } else {
+                    *proc += 1;
+                    *tidx = 0;
+                }
+            }
+            match next {
+                None => {
+                    color[state.index()] = BLACK;
+                    frames.pop();
+                    digits.truncate(base);
+                    locals.truncate(base);
+                }
+                Some((succ, wi, t)) => match color[succ.index()] {
+                    WHITE => {
+                        color[succ.index()] = GRAY;
+                        // Child frame = parent's digits/locals with the
+                        // write at `wi` patched in.
+                        let delta = t as i32 - digits[base + wi] as i32;
+                        digits.extend_from_within(base..base + k);
+                        locals.extend_from_within(base..base + k);
+                        let child = base + k;
+                        digits[child + wi] = t;
+                        for idx in 0..w {
+                            let j = plan.writers[wi * w + idx];
+                            let lj = &mut locals[child + j];
+                            *lj = LocalStateId(
+                                (lj.0 as i32 + delta * plan.weights[idx] as i32) as u32,
+                            );
+                        }
+                        frames.push((succ, 0, 0));
+                    }
+                    GRAY => {
+                        // Back edge: extract the cycle from the DFS stack.
+                        let start = frames
+                            .iter()
+                            .position(|&(s, _, _)| s == succ)
+                            .expect("gray state must be on the stack");
+                        return Some(frames[start..].iter().map(|&(s, _, _)| s).collect());
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use selfstab_protocol::{Domain, Locality, Protocol};
+
+    fn agreement(actions: &[&str]) -> Protocol {
+        Protocol::builder("ag", Domain::numeric("x", 2), Locality::unidirectional())
+            .actions(actions.iter().copied())
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn assert_scan_matches_naive(ring: &RingInstance, threads: usize) {
+        let scan = fused_scan(ring, &EngineConfig::with_threads(threads));
+        let naive_legit = ring.space().ids().filter(|&s| ring.is_legit(s)).count() as u64;
+        assert_eq!(scan.legit_count, naive_legit, "legit count (t={threads})");
+        assert_eq!(
+            scan.illegitimate_deadlocks,
+            check::illegitimate_deadlocks(ring),
+            "deadlocks (t={threads})"
+        );
+        assert_eq!(
+            scan.first_closure_violation,
+            check::closure_violations(ring).into_iter().next(),
+            "closure witness (t={threads})"
+        );
+        for s in ring.space().ids() {
+            assert_eq!(scan.is_legit(s), ring.is_legit(s), "bitmap at {s}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_naive_sweeps() {
+        let protocols = [
+            agreement(&["x[r-1] == 1 && x[r] == 0 -> x[r] := 1"]),
+            agreement(&[
+                "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+                "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+            ]),
+        ];
+        for p in &protocols {
+            for k in 1..=6 {
+                let ring = RingInstance::symmetric(p, k).unwrap();
+                assert_scan_matches_naive(&ring, 1);
+                assert_scan_matches_naive(&ring, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_violation_witness_is_sequential_first() {
+        let p = Protocol::builder("bad", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 1 -> x[r] := 0")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 5).unwrap();
+        let seq = fused_scan(&ring, &EngineConfig::sequential());
+        for threads in [2, 3, 8] {
+            let par = fused_scan(&ring, &EngineConfig::with_threads(threads));
+            assert_eq!(par.first_closure_violation, seq.first_closure_violation);
+        }
+        assert_eq!(
+            seq.first_closure_violation,
+            check::closure_violations(&ring).into_iter().next()
+        );
+    }
+
+    #[test]
+    fn bidirectional_windows_scan_correctly() {
+        // w=3 > K=2 exercises window wrap-around in the fused path.
+        let p = Protocol::builder("bi", Domain::numeric("x", 2), Locality::bidirectional())
+            .action("x[r-1] == x[r+1] && x[r] != x[r-1] -> x[r] := x[r-1]")
+            .unwrap()
+            .legit("x[r] == x[r-1] && x[r] == x[r+1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        for k in 2..=5 {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            assert_scan_matches_naive(&ring, 1);
+            assert_scan_matches_naive(&ring, 3);
+        }
+    }
+
+    #[test]
+    fn livelock_with_bitmap_matches_plain() {
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        for k in 2..=6 {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            let scan = fused_scan(&ring, &EngineConfig::sequential());
+            let a = find_livelock_with(&ring, &scan);
+            let b = check::find_livelock(&ring);
+            assert_eq!(a, b, "K={k}");
+        }
+    }
+}

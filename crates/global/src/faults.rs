@@ -34,12 +34,12 @@ pub fn fault_span(ring: &RingInstance, max_faults: usize) -> Vec<bool> {
     }
     while let Some((s, budget)) = work.pop() {
         // Program transitions preserve the budget.
-        for t in ring.successors(s) {
+        ring.for_each_successor(s, |t| {
             if best[t.index()] == UNREACHED || best[t.index()] < budget {
                 best[t.index()] = budget;
                 work.push((t, budget));
             }
-        }
+        });
         // A fault corrupts one variable, consuming budget.
         if budget > 0 {
             let d = ring.space().domain_size() as u8;
@@ -96,16 +96,17 @@ where
                 // Combine successors.
                 let mut h = 0isize;
                 let mut bad = false;
-                let succs = ring.successors(s);
-                if succs.is_empty() {
-                    bad = true; // deadlock outside I
-                }
-                for t in succs {
+                let mut any = false;
+                ring.for_each_successor(s, |t| {
+                    any = true;
                     match height[t.index()] {
                         DIVERGES | IN_PROGRESS => bad = true,
                         v if v >= 0 => h = h.max(v + 1),
                         _ => bad = true, // unreached child: cannot happen
                     }
+                });
+                if !any {
+                    bad = true; // deadlock outside I
                 }
                 height[idx] = if bad { DIVERGES } else { h };
                 continue;
@@ -119,14 +120,14 @@ where
             }
             height[idx] = IN_PROGRESS;
             stack.push((s, true));
-            for t in ring.successors(s) {
+            ring.for_each_successor(s, |t| {
                 if height[t.index()] == UNKNOWN {
                     stack.push((t, false));
                 }
                 // An IN_PROGRESS child is a DFS ancestor, i.e. a cycle in
                 // ¬I; the expansion phase will see it still IN_PROGRESS
                 // (ancestors finish after us) and mark DIVERGES.
-            }
+            });
         }
         match height[start.index()] {
             v if v >= 0 => overall = overall.max(v as usize),

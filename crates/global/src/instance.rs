@@ -8,6 +8,11 @@ use crate::state::{GlobalSpace, GlobalStateId};
 /// Default bound on the number of global states an instance may have.
 pub const DEFAULT_MAX_STATES: u64 = 1 << 26;
 
+/// Class bit: the local state satisfies the process's legitimate predicate.
+pub(crate) const CLS_LEGIT: u8 = 1;
+/// Class bit: the local state has at least one outgoing transition.
+pub(crate) const CLS_ENABLED: u8 = 2;
+
 /// A move of the global transition system: process `process` writes
 /// `target` to its variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,8 +57,33 @@ pub struct RingInstance {
     table_of: Vec<usize>,
     /// Transition tables: `tables[t][local_state] = targets`.
     tables: Vec<Vec<Vec<Value>>>,
-    /// Local legitimate predicates, parallel to `tables`.
-    legits: Vec<LocalPredicate>,
+    /// Memoized classification, parallel to `tables`:
+    /// `classes[t][local_state]` is a [`CLS_LEGIT`] | [`CLS_ENABLED`]
+    /// bit set, so legitimacy and enabledness are table lookups.
+    classes: Vec<Vec<u8>>,
+}
+
+fn classify(tables: &[Vec<Vec<Value>>], legits: &[LocalPredicate]) -> Vec<Vec<u8>> {
+    tables
+        .iter()
+        .zip(legits)
+        .map(|(table, legit)| {
+            table
+                .iter()
+                .enumerate()
+                .map(|(ls, targets)| {
+                    let mut c = 0;
+                    if legit.holds(LocalStateId(ls as u32)) {
+                        c |= CLS_LEGIT;
+                    }
+                    if !targets.is_empty() {
+                        c |= CLS_ENABLED;
+                    }
+                    c
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl RingInstance {
@@ -78,13 +108,16 @@ impl RingInstance {
         max_states: u64,
     ) -> Result<Self, GlobalError> {
         let space = GlobalSpace::new(protocol.domain().size(), k, max_states)?;
+        let tables = vec![table_of_protocol(protocol)];
+        let legits = vec![protocol.legit().clone()];
+        let classes = classify(&tables, &legits);
         Ok(RingInstance {
             space,
             locality: protocol.locality(),
             local_space: *protocol.space(),
             table_of: vec![0; k],
-            tables: vec![table_of_protocol(protocol)],
-            legits: vec![protocol.legit().clone()],
+            tables,
+            classes,
         })
     }
 
@@ -113,13 +146,16 @@ impl RingInstance {
             }
         }
         let space = GlobalSpace::new(first.domain().size(), processes.len(), max_states)?;
+        let tables: Vec<_> = processes.iter().map(|p| table_of_protocol(p)).collect();
+        let legits: Vec<_> = processes.iter().map(|p| p.legit().clone()).collect();
+        let classes = classify(&tables, &legits);
         Ok(RingInstance {
             space,
             locality: first.locality(),
             local_space: *first.space(),
             table_of: (0..processes.len()).collect(),
-            tables: processes.iter().map(|p| table_of_protocol(p)).collect(),
-            legits: processes.iter().map(|p| p.legit().clone()).collect(),
+            tables,
+            classes,
         })
     }
 
@@ -185,16 +221,37 @@ impl RingInstance {
         moves
     }
 
+    /// The classification bits of process `i`'s local state in `gid`.
+    pub(crate) fn class_of(&self, gid: GlobalStateId, i: usize) -> u8 {
+        self.classes[self.table_of[i]][self.local_state_of(gid, i).index()]
+    }
+
+    /// The classification bits of local state `ls` under table `t`
+    /// (engine-internal: avoids re-deriving the window).
+    pub(crate) fn class_by_table(&self, t: usize, ls: LocalStateId) -> u8 {
+        self.classes[t][ls.index()]
+    }
+
+    /// The transition targets of local state `ls` under table `t`.
+    pub(crate) fn targets_by_table(&self, t: usize, ls: LocalStateId) -> &[Value] {
+        &self.tables[t][ls.index()]
+    }
+
+    /// The table index of process `i`.
+    pub(crate) fn table_index(&self, i: usize) -> usize {
+        self.table_of[i]
+    }
+
     /// Number of *enabled processes* in `gid` (the `|E|` of Lemma 5.5).
     pub fn enabled_process_count(&self, gid: GlobalStateId) -> usize {
         (0..self.ring_size())
-            .filter(|&i| !self.targets_of(gid, i).is_empty())
+            .filter(|&i| self.class_of(gid, i) & CLS_ENABLED != 0)
             .count()
     }
 
     /// Returns `true` if process `i` is enabled in `gid`.
     pub fn is_process_enabled(&self, gid: GlobalStateId, i: usize) -> bool {
-        !self.targets_of(gid, i).is_empty()
+        self.class_of(gid, i) & CLS_ENABLED != 0
     }
 
     /// Applies a move (asserting nothing about enabledness; use
@@ -208,19 +265,38 @@ impl RingInstance {
         self.targets_of(gid, m.process).contains(&m.target)
     }
 
-    /// The successor states of `gid` (one per enabled move; may contain
-    /// duplicates if distinct moves coincide, which cannot happen on rings
-    /// of size ≥ 2).
+    /// Visits every successor of `gid` (one call per enabled move, in
+    /// (process, target) order) without allocating. When the ring is
+    /// smaller than the read window, distinct moves may coincide on the
+    /// same successor state and the duplicates are still visited — use
+    /// [`RingInstance::successors`] for a deduplicated list.
+    pub fn for_each_successor<F: FnMut(GlobalStateId)>(&self, gid: GlobalStateId, mut f: F) {
+        self.for_each_move(gid, |m| f(self.apply(gid, m)));
+    }
+
+    /// The successor states of `gid`, deduplicated (one per distinct state
+    /// reachable in a single move).
+    ///
+    /// On rings at least as large as the read window, distinct moves always
+    /// produce distinct states unless a process rewrites its current value;
+    /// on sub-window rings (`K < w`) several window positions alias the
+    /// same variable and coinciding successors are common, so the list is
+    /// explicitly deduplicated in first-visit order.
     pub fn successors(&self, gid: GlobalStateId) -> Vec<GlobalStateId> {
-        let mut out = Vec::new();
-        self.for_each_move(gid, |m| out.push(self.apply(gid, m)));
+        let mut out: Vec<GlobalStateId> = Vec::new();
+        self.for_each_successor(gid, |s| {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        });
         out
     }
 
-    /// The predecessor states of `gid` under the global transition relation,
-    /// computed without materializing the graph.
-    pub fn predecessors(&self, gid: GlobalStateId) -> Vec<GlobalStateId> {
-        let mut preds = Vec::new();
+    /// Visits every predecessor of `gid` under the global transition
+    /// relation (one call per inverse move) without materializing the
+    /// graph. A predecessor reachable by several inverse moves is visited
+    /// once per move.
+    pub fn for_each_predecessor<F: FnMut(GlobalStateId)>(&self, gid: GlobalStateId, mut f: F) {
         for i in 0..self.ring_size() {
             let cur = self.space.value_at(gid, i as isize);
             for v_old in 0..self.space.domain_size() as Value {
@@ -229,29 +305,38 @@ impl RingInstance {
                 }
                 let cand = self.space.with_value(gid, i as isize, v_old);
                 if self.targets_of(cand, i).contains(&cur) {
-                    preds.push(cand);
+                    f(cand);
                 }
             }
         }
+    }
+
+    /// The predecessor states of `gid`, deduplicated in first-visit order.
+    pub fn predecessors(&self, gid: GlobalStateId) -> Vec<GlobalStateId> {
+        let mut preds: Vec<GlobalStateId> = Vec::new();
+        self.for_each_predecessor(gid, |p| {
+            if !preds.contains(&p) {
+                preds.push(p);
+            }
+        });
         preds
     }
 
     /// Returns `true` if `gid` is a global deadlock (no process enabled).
     pub fn is_deadlock(&self, gid: GlobalStateId) -> bool {
-        (0..self.ring_size()).all(|i| self.targets_of(gid, i).is_empty())
+        (0..self.ring_size()).all(|i| self.class_of(gid, i) & CLS_ENABLED == 0)
     }
 
     /// Returns `true` if `gid ∈ I(K)`, i.e. every process satisfies its
     /// local legitimate predicate.
     pub fn is_legit(&self, gid: GlobalStateId) -> bool {
-        (0..self.ring_size())
-            .all(|i| self.legits[self.table_of[i]].holds(self.local_state_of(gid, i)))
+        (0..self.ring_size()).all(|i| self.class_of(gid, i) & CLS_LEGIT != 0)
     }
 
     /// Counts the processes in illegitimate local states (0 iff legit).
     pub fn corruption_count(&self, gid: GlobalStateId) -> usize {
         (0..self.ring_size())
-            .filter(|&i| !self.legits[self.table_of[i]].holds(self.local_state_of(gid, i)))
+            .filter(|&i| self.class_of(gid, i) & CLS_LEGIT == 0)
             .count()
     }
 }
@@ -355,6 +440,34 @@ mod tests {
         );
         assert!(ring.is_deadlock(s0));
         assert!(ring.is_legit(s0));
+    }
+
+    #[test]
+    fn sub_window_successors_are_deduplicated() {
+        // K=1 is the smallest sub-window ring (window width 2 > K): the
+        // single process reads its own variable at both window positions.
+        // Every listed successor must be distinct and reachable by a move.
+        let p = Protocol::builder("flip", Domain::numeric("x", 3), Locality::unidirectional())
+            .action("x[r-1] == x[r] -> x[r] := 0 | 1 | 2")
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 1).unwrap();
+        for gid in ring.space().ids() {
+            let succs = ring.successors(gid);
+            let mut sorted = succs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(succs.len(), sorted.len(), "duplicate successor of {gid}");
+            // The identity write is rejected at build time, so each of the
+            // other two domain values is reachable.
+            assert_eq!(succs.len(), 2);
+            // Visit order (process, target) is preserved by the dedup.
+            let mut visited = Vec::new();
+            ring.for_each_successor(gid, |s| visited.push(s));
+            assert_eq!(succs, visited);
+        }
     }
 
     #[test]

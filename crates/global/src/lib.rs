@@ -18,6 +18,9 @@
 //!   token ring that have a distinguished process);
 //! * [`check`] — deadlock detection, livelock detection (a cycle of
 //!   `Δ_p | ¬I`), closure, and strong/weak convergence with counterexamples;
+//! * [`engine`] — the fused single-pass scan behind the convergence check:
+//!   one sweep computes legitimacy counts, deadlocks and closure at once,
+//!   optionally in parallel, with verdicts independent of the thread count;
 //! * [`sim`] — a random/round-robin simulator with transient-fault
 //!   injection and convergence-time measurement;
 //! * [`schedule`] — computation schedules, replay, the livelock-induced
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod instance;
@@ -55,6 +59,7 @@ pub mod sim;
 pub mod state;
 
 pub use check::{find_livelock, global_deadlocks, ConvergenceReport};
+pub use engine::{fused_scan, EngineConfig, FusedScan};
 pub use error::GlobalError;
 pub use instance::{Move, RingInstance};
 pub use schedule::Schedule;

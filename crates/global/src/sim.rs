@@ -118,8 +118,26 @@ impl<'a> Simulator<'a> {
     fn pick_move(&mut self, s: GlobalStateId) -> Option<Move> {
         match self.scheduler {
             Scheduler::Random => {
-                let moves = self.ring.moves_from(s);
-                moves.as_slice().choose(&mut self.rng).copied()
+                // Reservoir-free uniform pick without materializing the
+                // move list: count enabled moves, then walk to the chosen
+                // one (targets_of is a cheap table lookup per process).
+                let k = self.ring.ring_size();
+                let total: usize = (0..k).map(|i| self.ring.targets_of(s, i).len()).sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut pick = self.rng.gen_range(0..total);
+                for i in 0..k {
+                    let targets = self.ring.targets_of(s, i);
+                    if pick < targets.len() {
+                        return Some(Move {
+                            process: i,
+                            target: targets[pick],
+                        });
+                    }
+                    pick -= targets.len();
+                }
+                unreachable!("pick is bounded by the move count")
             }
             Scheduler::RoundRobin => {
                 let k = self.ring.ring_size();

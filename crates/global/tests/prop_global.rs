@@ -3,7 +3,7 @@
 //! unidirectional rings).
 
 use proptest::prelude::*;
-use selfstab_global::{check, schedule, RingInstance, Simulator};
+use selfstab_global::{check, schedule, EngineConfig, RingInstance, Simulator};
 use selfstab_protocol::{Domain, LocalStateId, LocalTransition, Locality, Protocol};
 
 /// A random unidirectional protocol over domain size `d` with transitions
@@ -79,8 +79,7 @@ fn is_locally_closed(p: &Protocol) -> bool {
                     continue;
                 }
                 for &t in p.transitions_from(w) {
-                    if !p.legit().holds(sp.encode(&[a, t]))
-                        || !p.legit().holds(sp.encode(&[t, c]))
+                    if !p.legit().holds(sp.encode(&[a, t])) || !p.legit().holds(sp.encode(&[t, c]))
                     {
                         return false;
                     }
@@ -250,6 +249,40 @@ proptest! {
         // from a legitimate one, when I is non-empty).
         if ring.space().ids().any(|s| ring.is_legit(s)) {
             prop_assert!(prev.iter().all(|&b| b));
+        }
+    }
+
+    /// The parallel fused engine and the sequential one produce identical
+    /// convergence reports — same counts, same witnesses, same order — on
+    /// random protocols across ring sizes.
+    #[test]
+    fn parallel_engine_matches_sequential(p in arb_protocol(2), k in 2usize..=7, threads in 2usize..=8) {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        let seq = check::ConvergenceReport::check_with(&ring, &EngineConfig::sequential());
+        let par = check::ConvergenceReport::check_with(&ring, &EngineConfig::with_threads(threads));
+        prop_assert_eq!(seq.ring_size, par.ring_size);
+        prop_assert_eq!(seq.state_count, par.state_count);
+        prop_assert_eq!(seq.legit_count, par.legit_count);
+        prop_assert_eq!(seq.closure_violation, par.closure_violation);
+        prop_assert_eq!(seq.illegitimate_deadlocks, par.illegitimate_deadlocks);
+        prop_assert_eq!(seq.livelock, par.livelock);
+    }
+
+    /// Successor/predecessor inversion also holds on heterogeneous rings,
+    /// where each process runs its own random behavior.
+    #[test]
+    fn heterogeneous_successors_predecessors_inverse(
+        ps in proptest::collection::vec(arb_protocol(2), 2..=4),
+    ) {
+        let refs: Vec<&Protocol> = ps.iter().collect();
+        let ring = RingInstance::heterogeneous(&refs, 1 << 20).unwrap();
+        for gid in ring.space().ids() {
+            for succ in ring.successors(gid) {
+                prop_assert!(ring.predecessors(succ).contains(&gid));
+            }
+            for pred in ring.predecessors(gid) {
+                prop_assert!(ring.successors(pred).contains(&gid));
+            }
         }
     }
 

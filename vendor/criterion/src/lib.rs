@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset used by `crates/bench/benches/*`: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurements are simple
+//! wall-clock means (warm-up followed by timed batches); there is no
+//! statistical machinery, plotting, or baseline storage.
+//!
+//! Set `SELFSTAB_BENCH_QUICK=1` to cap every benchmark at a handful of
+//! iterations (used by CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples (scales the iteration budget).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_text(), self.warm_up, self.measurement, |b| f(b));
+        self
+    }
+}
+
+/// A named parameterized benchmark identifier.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like upstream criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (labels come from the group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group (accepted, unused: the harness
+    /// is time-budgeted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_text());
+        run_one(&label, self.warm_up, self.measurement, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_text());
+        run_one(&label, self.warm_up, self.measurement, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Conversion of names/ids to display text.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark label.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_owned()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("SELFSTAB_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    // Warm-up & calibration: run single iterations until the warm-up budget
+    // is spent, tracking the mean to size the measurement batches.
+    let warm_budget = if quick_mode() {
+        Duration::from_millis(1)
+    } else {
+        warm_up
+    };
+    let mut calib_iters = 0u64;
+    let calib_start = Instant::now();
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut bench);
+        calib_iters += 1;
+        if calib_start.elapsed() >= warm_budget || calib_iters >= 1_000 {
+            break;
+        }
+    }
+    let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+
+    // Measurement: one batch sized to fill the measurement budget.
+    let budget = if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        measurement
+    };
+    let iters = ((budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+    bench.iters = iters;
+    f(&mut bench);
+    let mean_us = bench.elapsed.as_secs_f64() * 1e6 / iters as f64;
+    println!("bench {label}: {mean_us:.2} us/iter ({iters} iters)");
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        std::env::set_var("SELFSTAB_BENCH_QUICK", "1");
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("t");
+        g.bench_function("id", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

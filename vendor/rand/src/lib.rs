@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! path crate provides the small API subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`],
+//! and [`seq::SliceRandom`] (`choose` / `shuffle`).
+//!
+//! The generator is SplitMix64 — statistically fine for simulations and
+//! property tests, deterministic per seed, and *not* cryptographic. Stream
+//! values differ from the real `rand::rngs::StdRng` (ChaCha12); nothing in
+//! the workspace depends on the exact stream, only on per-seed determinism.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the subset used: from a `u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform draw from `lo..hi` (requires `lo < hi`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_sample {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_sample!(u8, u16, u32, u64, usize);
+
+/// High-level draws; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for the real `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one u64 of
+            // state, never yields a fixed point.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers (`choose`, `shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u8..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover() {
+        let mut r = StdRng::seed_from_u64(2);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*xs.as_slice().choose(&mut r).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut v: Vec<usize> = (0..10).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_choose_is_none() {
+        let mut r = StdRng::seed_from_u64(3);
+        let xs: [u8; 0] = [];
+        assert!(xs.as_slice().choose(&mut r).is_none());
+    }
+}
