@@ -1,0 +1,88 @@
+//! Campaign throughput: the work-stealing job pool versus a single worker
+//! on the full `specs/` corpus. Writes `BENCH_campaign.json` at the repo
+//! root, and asserts along the way that every worker count renders the
+//! byte-identical canonical report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selfstab_bench::timing::{fmt_us, timed_min};
+use selfstab_campaign::{run_campaign, CampaignConfig, Manifest};
+
+fn bench_campaign_throughput(_c: &mut Criterion) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let manifest = Manifest::from_json_text(
+        r#"{"specs": ["specs/*.stab"], "k_from": 2, "k_to": 9}"#,
+        &root,
+    )
+    .expect("corpus manifest parses");
+    let jobs = manifest.jobs().len();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Always run the multi-worker side with at least 4 workers so the
+    // work-stealing pool is exercised even on small hosts; the `cores`
+    // field below says how much hardware the speedup had to work with.
+    let workers = cores.max(4);
+
+    let config_for = |w: usize| CampaignConfig {
+        workers: w,
+        ..CampaignConfig::default()
+    };
+
+    // Determinism first: the timings below only compare equal work.
+    let baseline = run_campaign(&manifest, &config_for(1)).unwrap();
+    let multi = run_campaign(&manifest, &config_for(workers)).unwrap();
+    assert_eq!(
+        baseline.rendered_report, multi.rendered_report,
+        "1-worker and {workers}-worker reports must be byte-identical"
+    );
+
+    let reps = 5;
+    let one_us = timed_min(reps, || {
+        std::hint::black_box(run_campaign(&manifest, &config_for(1)).unwrap());
+    });
+    let multi_us = timed_min(reps, || {
+        std::hint::black_box(run_campaign(&manifest, &config_for(workers)).unwrap());
+    });
+
+    let speedup = one_us / multi_us;
+    let jobs_per_s_one = jobs as f64 / (one_us / 1e6);
+    let jobs_per_s_multi = jobs as f64 / (multi_us / 1e6);
+    println!(
+        "campaign_throughput {} specs × K=2..=9 = {jobs} jobs: 1 worker {} | {workers} workers {} ({speedup:.1}x)",
+        manifest.specs.len(),
+        fmt_us(one_us),
+        fmt_us(multi_us),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_throughput/specs_corpus\",\n  \
+         \"specs\": {},\n  \"k_from\": 2,\n  \"k_to\": 9,\n  \"jobs\": {jobs},\n  \
+         \"states_swept\": {},\n  \
+         \"one_worker_us\": {one_us:.1},\n  \"multi_worker_us\": {multi_us:.1},\n  \
+         \"workers\": {workers},\n  \"cores\": {cores},\n  \
+         \"jobs_per_second_one_worker\": {jobs_per_s_one:.1},\n  \
+         \"jobs_per_second_multi_worker\": {jobs_per_s_multi:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"reports_byte_identical\": true\n}}\n",
+        manifest.specs.len(),
+        baseline.report["states_swept"],
+    );
+    let out = root.join("BENCH_campaign.json");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("could not write {}: {e}", out.display());
+    }
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_campaign_throughput
+}
+criterion_main!(benches);

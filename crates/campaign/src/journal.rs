@@ -1,0 +1,254 @@
+//! The append-only JSONL event journal — the campaign's log *and* its
+//! checkpoint.
+//!
+//! Every line is one self-contained JSON object with an `ev` tag:
+//!
+//! ```text
+//! {"ev":"campaign","fingerprint":"9a6b…","jobs":70}
+//! {"ev":"analyzed","local":"proven","spec":"specs/agreement.stab"}
+//! {"ev":"queued","k":2,"spec":"specs/agreement.stab"}
+//! {"ev":"started","k":2,"spec":"specs/agreement.stab","worker":1}
+//! {"ev":"finished","duration_us":184,"k":2,"legit":2,"outcome":"verified",
+//!  "spec":"specs/agreement.stab","states":4,"worker":1}
+//! ```
+//!
+//! Lines are appended under a mutex and flushed one at a time, so an
+//! interrupted campaign always leaves a valid prefix. [`replay`] folds a
+//! journal back into the set of completed jobs and per-spec local verdicts;
+//! everything else (`queued`, `started`, timing fields) is telemetry and is
+//! deliberately ignored on resume, which is what makes the final report
+//! independent of scheduling.
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde_json::{json, Value};
+
+use crate::job::{JobResult, LocalVerdict};
+use crate::runner::CampaignError;
+
+/// A live, append-only JSONL journal.
+#[derive(Debug)]
+pub struct Journal {
+    writer: Mutex<BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] if the file cannot be created.
+    pub fn create(path: &Path) -> Result<Self, CampaignError> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CampaignError::Io(format!("cannot create `{}`: {e}", path.display())))?;
+        Ok(Journal {
+            writer: Mutex::new(BufWriter::new(file)),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing journal for appending (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] if the file cannot be opened.
+    pub fn append(path: &Path) -> Result<Self, CampaignError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| CampaignError::Io(format!("cannot open `{}`: {e}", path.display())))?;
+        Ok(Journal {
+            writer: Mutex::new(BufWriter::new(file)),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal's location on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line and flushes it, so a crash after `event`
+    /// returns can lose at most events that were never reported written.
+    pub fn event(&self, v: &Value) {
+        let mut w = self.writer.lock().expect("journal writer poisoned");
+        // A write failure must not take the whole campaign down mid-job;
+        // the journal degrades to telemetry and the report is still built
+        // from in-memory results.
+        let _ = writeln!(w, "{v}");
+        let _ = w.flush();
+    }
+}
+
+/// Builds the `campaign` header event.
+pub fn campaign_event(fingerprint: &str, jobs: usize) -> Value {
+    json!({"ev": "campaign", "fingerprint": fingerprint, "jobs": jobs})
+}
+
+/// Builds an `analyzed` event carrying a spec's shared local verdict.
+pub fn analyzed_event(spec: &str, verdict: &LocalVerdict) -> Value {
+    json!({"ev": "analyzed", "spec": spec, "local": verdict.tag()})
+}
+
+/// Builds a `queued` event.
+pub fn queued_event(spec: &str, k: usize) -> Value {
+    json!({"ev": "queued", "spec": spec, "k": k})
+}
+
+/// Builds a `started` event.
+pub fn started_event(spec: &str, k: usize, worker: usize) -> Value {
+    json!({"ev": "started", "spec": spec, "k": k, "worker": worker})
+}
+
+/// Builds a `finished` event: the job's full result (so replay can rebuild
+/// the report without re-running anything) plus telemetry that the report
+/// never copies (worker id, duration).
+pub fn finished_event(result: &JobResult, worker: usize, duration: Duration) -> Value {
+    let mut row = result.report_row();
+    let Value::Object(map) = &mut row else {
+        unreachable!("report_row returns an object");
+    };
+    map.insert("ev".into(), json!("finished"));
+    map.insert("worker".into(), json!(worker));
+    map.insert("duration_us".into(), json!(duration.as_micros() as u64));
+    row
+}
+
+/// A journal folded back into campaign state.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The fingerprint from the `campaign` header, if one was recorded.
+    pub fingerprint: Option<String>,
+    /// Completed jobs keyed by `(spec, k)`.
+    pub completed: BTreeMap<(String, usize), JobResult>,
+    /// Replayed per-spec local verdicts.
+    pub locals: BTreeMap<String, LocalVerdict>,
+}
+
+/// Replays a journal file. Unparseable or truncated trailing lines are
+/// skipped (an interrupt can land mid-line); a later `finished` for the
+/// same `(spec, k)` wins, making replay idempotent.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Io`] only if the journal cannot be read at all;
+/// a missing file replays as empty.
+pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
+    let mut out = Replay::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => {
+            return Err(CampaignError::Io(format!(
+                "cannot read journal `{}`: {e}",
+                path.display()
+            )))
+        }
+    };
+    for line in text.lines() {
+        let Ok(ev) = serde_json::from_str(line) else {
+            continue;
+        };
+        match ev["ev"].as_str() {
+            Some("campaign") => {
+                if let Some(fp) = ev["fingerprint"].as_str() {
+                    out.fingerprint = Some(fp.to_owned());
+                }
+            }
+            Some("analyzed") => {
+                if let Some(spec) = ev["spec"].as_str() {
+                    let verdict = match ev["local"].as_str() {
+                        Some("proven") => LocalVerdict::Proven,
+                        Some("unproven") => LocalVerdict::Unproven,
+                        _ => LocalVerdict::Error,
+                    };
+                    out.locals.insert(spec.to_owned(), verdict);
+                }
+            }
+            Some("finished") => {
+                if let Some(result) = JobResult::from_event(&ev) {
+                    out.completed
+                        .insert((result.spec.clone(), result.k), result);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Outcome;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("selfstab-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn journal_roundtrips_through_replay() {
+        let path = tmp("roundtrip.jsonl");
+        let j = Journal::create(&path).unwrap();
+        j.event(&campaign_event("deadbeef", 2));
+        j.event(&analyzed_event("a.stab", &LocalVerdict::Proven));
+        j.event(&queued_event("a.stab", 2));
+        j.event(&started_event("a.stab", 2, 0));
+        let result = JobResult {
+            spec: "a.stab".into(),
+            k: 2,
+            outcome: Outcome::Verified,
+            states: 4,
+            legit: 2,
+        };
+        j.event(&finished_event(&result, 0, Duration::from_micros(55)));
+        drop(j);
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.fingerprint.as_deref(), Some("deadbeef"));
+        assert_eq!(replayed.completed.len(), 1);
+        assert_eq!(replayed.completed[&("a.stab".into(), 2)], result);
+        assert_eq!(replayed.locals["a.stab"], LocalVerdict::Proven);
+    }
+
+    #[test]
+    fn replay_skips_truncated_tail_and_missing_files() {
+        let path = tmp("truncated.jsonl");
+        let full = format!(
+            "{}\n{}\n{{\"ev\":\"finis",
+            campaign_event("fp", 1),
+            finished_event(
+                &JobResult {
+                    spec: "a.stab".into(),
+                    k: 3,
+                    outcome: Outcome::OverBudget {
+                        reason: "states".into()
+                    },
+                    states: 0,
+                    legit: 0,
+                },
+                1,
+                Duration::ZERO,
+            )
+        );
+        std::fs::write(&path, full).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.completed.len(), 1);
+        assert_eq!(
+            replayed.completed[&("a.stab".into(), 3)].outcome.tag(),
+            "over_budget"
+        );
+
+        let missing = replay(&tmp("never-written.jsonl")).unwrap();
+        assert!(missing.completed.is_empty());
+        assert!(missing.fingerprint.is_none());
+    }
+}

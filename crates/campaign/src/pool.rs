@@ -1,0 +1,126 @@
+//! A small work-stealing pool of scoped worker threads.
+//!
+//! Campaign jobs are wildly uneven — `d^K` grows geometrically in `K`, so
+//! the last job of a spec can dwarf the rest of its row put together. A
+//! fixed pre-partition would leave workers idle behind one straggler;
+//! instead each worker owns a deque seeded round-robin with job indices,
+//! pops work from its own front (LIFO-ish locality on the seeded prefix),
+//! and when empty **steals from the back** of a sibling's deque — the
+//! classic split that keeps owner and thief on opposite ends and the big
+//! trailing jobs spread across the pool.
+//!
+//! The pool is deliberately oblivious to what a job *is*: it runs
+//! `run(worker, job_index)` for every index exactly once and returns the
+//! results indexed by job, so callers get determinism-by-construction —
+//! scheduling can never reorder results.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `jobs` closures on `workers` scoped threads with work stealing.
+///
+/// Returns one result per job, in job-index order regardless of which
+/// worker ran what. `workers == 0` is treated as 1; a single worker runs
+/// everything inline in seed order.
+pub fn run_jobs<T, F>(workers: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(jobs.max(1));
+    // Seed round-robin: job j starts on deque j % workers, so every worker
+    // begins with a share of every spec's K-row (cheap small-K jobs first,
+    // the heavy tail interleaved across the pool).
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..jobs)
+                    .filter(|j| j % workers == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || loop {
+                let job = next_job(deques, w);
+                let Some(job) = job else {
+                    break;
+                };
+                let result = run(w, job);
+                *slots[job].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index is claimed exactly once")
+        })
+        .collect()
+}
+
+/// Pops the next job for worker `w`: own front first, then steal from the
+/// back of the first non-empty sibling deque (scanning from `w + 1`).
+fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(job) = deques[w].lock().expect("deque poisoned").pop_front() {
+        return Some(job);
+    }
+    for offset in 1..deques.len() {
+        let victim = (w + offset) % deques.len();
+        if let Some(job) = deques[victim].lock().expect("deque poisoned").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_job_runs_exactly_once_in_index_order() {
+        for workers in [1, 2, 4, 7] {
+            let counter = AtomicUsize::new(0);
+            let results = run_jobs(workers, 23, |_w, job| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                job * 10
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 23, "workers={workers}");
+            assert_eq!(
+                results,
+                (0..23).map(|j| j * 10).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_drains_uneven_loads() {
+        // One giant job seeded on worker 0; the rest tiny. With stealing,
+        // the tiny jobs all finish even though worker 0 is stuck.
+        let results = run_jobs(4, 16, |_w, job| {
+            if job == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            job
+        });
+        assert_eq!(results.len(), 16);
+    }
+
+    #[test]
+    fn zero_workers_and_zero_jobs_are_fine() {
+        assert!(run_jobs(0, 0, |_w, j| j).is_empty());
+        assert_eq!(run_jobs(0, 3, |_w, j| j), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Campaign execution: budgets, shared local analysis, resume, merge.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use selfstab_core::report::StabilizationReport;
+use selfstab_global::check::ConvergenceReport;
+use selfstab_global::{CancelToken, EngineConfig, GlobalError, RingInstance};
+use selfstab_protocol::Protocol;
+use serde_json::Value;
+
+use crate::job::{JobResult, JobSpec, LocalVerdict, Outcome};
+use crate::journal::{self, Journal};
+use crate::manifest::Manifest;
+use crate::{pool, report};
+
+/// Errors of the campaign subsystem.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem trouble (manifest, spec, or journal IO).
+    Io(String),
+    /// The manifest is malformed.
+    Manifest(String),
+    /// The journal cannot be resumed (e.g. fingerprint mismatch).
+    Journal(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(m) => write!(f, "{m}"),
+            CampaignError::Manifest(m) => write!(f, "manifest error: {m}"),
+            CampaignError::Journal(m) => write!(f, "journal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Knobs of one campaign invocation (the manifest holds the semantics;
+/// this holds the mechanics, none of which can change a verdict).
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Job-level worker threads (the work-stealing pool size).
+    pub workers: usize,
+    /// Override of the manifest's per-job engine threads, if any.
+    pub engine_threads: Option<usize>,
+    /// Journal file; `None` runs without journaling (not resumable).
+    pub journal_path: Option<PathBuf>,
+    /// Replay the journal first and run only jobs it does not complete.
+    pub resume: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: 1,
+            engine_threads: None,
+            journal_path: None,
+            resume: false,
+        }
+    }
+}
+
+/// Everything a finished campaign hands back.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// All job results in manifest order (resumed and fresh merged).
+    pub results: Vec<JobResult>,
+    /// Per-spec local verdicts.
+    pub locals: BTreeMap<String, LocalVerdict>,
+    /// The canonical report document.
+    pub report: Value,
+    /// The canonical rendering of `report` (pretty JSON + final newline);
+    /// byte-identical for every worker count and resume split.
+    pub rendered_report: String,
+    /// How many jobs actually executed in this invocation (the rest were
+    /// replayed from the journal).
+    pub executed: usize,
+    /// Wall-clock time of this invocation — telemetry only, never part of
+    /// `rendered_report`.
+    pub elapsed: Duration,
+}
+
+/// A spec's shared preparation: parsed protocol + local verdict, computed
+/// once per spec and shared by all of its K-jobs, or the error that made
+/// the spec unusable.
+type SpecData = Result<(Arc<Protocol>, LocalVerdict), String>;
+
+/// Runs (or resumes) the campaign described by `manifest`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] on journal IO failures or a resume against a
+/// journal written by a different manifest. Per-job failures (parse
+/// errors, budget exhaustion, failed verification) never abort the
+/// campaign — they are recorded as job outcomes.
+pub fn run_campaign(
+    manifest: &Manifest,
+    config: &CampaignConfig,
+) -> Result<CampaignOutcome, CampaignError> {
+    let started = Instant::now();
+    let jobs = manifest.jobs();
+    let fingerprint = manifest.fingerprint();
+
+    // Replay the checkpoint.
+    let replay = match (&config.journal_path, config.resume) {
+        (Some(path), true) => journal::replay(path)?,
+        _ => journal::Replay::default(),
+    };
+    if let Some(fp) = &replay.fingerprint {
+        if *fp != fingerprint {
+            return Err(CampaignError::Journal(format!(
+                "journal was written by a different campaign \
+                 (journal fingerprint {fp}, manifest fingerprint {fingerprint}); \
+                 delete it or run without --resume"
+            )));
+        }
+    }
+
+    // Open the journal and stamp the header on a fresh file.
+    let journal = match &config.journal_path {
+        Some(path) if config.resume => Some(Journal::append(path)?),
+        Some(path) => Some(Journal::create(path)?),
+        None => None,
+    };
+    if let Some(j) = &journal {
+        if replay.fingerprint.is_none() {
+            j.event(&journal::campaign_event(&fingerprint, jobs.len()));
+        }
+    }
+
+    // Queue what the checkpoint does not already complete.
+    let pending: Vec<&JobSpec> = jobs
+        .iter()
+        .filter(|job| !replay.completed.contains_key(&(job.spec.clone(), job.k)))
+        .collect();
+    if let Some(j) = &journal {
+        for job in &pending {
+            j.event(&journal::queued_event(&job.spec, job.k));
+        }
+    }
+
+    // One shared preparation slot per spec: the first worker to need a
+    // spec parses and locally analyzes it; every other K-job of that spec
+    // reuses the Arc.
+    let slots: Vec<OnceLock<SpecData>> =
+        (0..manifest.specs.len()).map(|_| OnceLock::new()).collect();
+    let engine = EngineConfig::with_threads(
+        config
+            .engine_threads
+            .unwrap_or(manifest.engine_threads)
+            .max(1),
+    );
+
+    let fresh: Vec<JobResult> = pool::run_jobs(config.workers, pending.len(), |worker, idx| {
+        let job = pending[idx];
+        if let Some(j) = &journal {
+            j.event(&journal::started_event(&job.spec, job.k, worker));
+        }
+        let job_started = Instant::now();
+        let data = slots[job.spec_index].get_or_init(|| {
+            let data = prepare_spec(manifest, job.spec_index);
+            if let Some(j) = &journal {
+                let verdict = match &data {
+                    Ok((_, verdict)) => verdict.clone(),
+                    Err(_) => LocalVerdict::Error,
+                };
+                j.event(&journal::analyzed_event(&job.spec, &verdict));
+            }
+            data
+        });
+        let result = execute_job(manifest, job, data, &engine);
+        if let Some(j) = &journal {
+            j.event(&journal::finished_event(
+                &result,
+                worker,
+                job_started.elapsed(),
+            ));
+        }
+        result
+    });
+
+    // Merge in manifest order: replayed results win their cell, fresh
+    // results fill the rest.
+    let mut fresh_by_cell: BTreeMap<(String, usize), JobResult> = fresh
+        .into_iter()
+        .map(|r| ((r.spec.clone(), r.k), r))
+        .collect();
+    let executed = fresh_by_cell.len();
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let cell = (job.spec.clone(), job.k);
+        let result = replay
+            .completed
+            .get(&cell)
+            .cloned()
+            .or_else(|| fresh_by_cell.remove(&cell))
+            .expect("every job is replayed or freshly executed");
+        results.push(result);
+    }
+
+    // Local verdicts: replayed first, then whatever this invocation
+    // computed, then a lazy fill for specs whose jobs were all replayed
+    // from a journal predating the `analyzed` events.
+    let mut locals = replay.locals;
+    for (spec_index, slot) in slots.iter().enumerate() {
+        if let Some(data) = slot.get() {
+            let verdict = match data {
+                Ok((_, verdict)) => verdict.clone(),
+                Err(_) => LocalVerdict::Error,
+            };
+            locals.insert(manifest.specs[spec_index].clone(), verdict);
+        }
+    }
+    for (spec_index, spec) in manifest.specs.iter().enumerate() {
+        if !locals.contains_key(spec) {
+            let verdict = match prepare_spec(manifest, spec_index) {
+                Ok((_, verdict)) => verdict,
+                Err(_) => LocalVerdict::Error,
+            };
+            locals.insert(spec.clone(), verdict);
+        }
+    }
+
+    let report = report::build(manifest, &fingerprint, &results, &locals);
+    let rendered_report = report::render(&report);
+    Ok(CampaignOutcome {
+        results,
+        locals,
+        report,
+        rendered_report,
+        executed,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Parses and locally analyzes one spec (the once-per-spec shared work).
+fn prepare_spec(manifest: &Manifest, spec_index: usize) -> SpecData {
+    let path = manifest.spec_path(spec_index);
+    let source = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let protocol = selfstab_protocol::file::parse_protocol_file(&source)
+        .map_err(|e| format!("{}: {e}", manifest.specs[spec_index]))?;
+    let local = StabilizationReport::analyze(&protocol);
+    let verdict = if local.is_self_stabilizing_for_all_k() {
+        LocalVerdict::Proven
+    } else {
+        LocalVerdict::Unproven
+    };
+    Ok((Arc::new(protocol), verdict))
+}
+
+/// Runs one job within its budgets, degrading gracefully on every failure
+/// mode: parse errors, `d^K` over the state budget, and blown deadlines
+/// all become outcomes, never panics or campaign aborts.
+fn execute_job(
+    manifest: &Manifest,
+    job: &JobSpec,
+    data: &SpecData,
+    engine: &EngineConfig,
+) -> JobResult {
+    let mut result = JobResult {
+        spec: job.spec.clone(),
+        k: job.k,
+        outcome: Outcome::Verified,
+        states: 0,
+        legit: 0,
+    };
+    let protocol = match data {
+        Ok((protocol, _)) => protocol,
+        Err(message) => {
+            result.outcome = Outcome::Error {
+                message: message.clone(),
+            };
+            return result;
+        }
+    };
+
+    // State budget: reject d^K > max_states before allocating anything.
+    let d = protocol.domain().size() as u64;
+    let within_budget = (d.checked_pow(job.k as u32))
+        .map(|states| states <= manifest.max_states)
+        .unwrap_or(false);
+    if !within_budget {
+        result.outcome = Outcome::OverBudget {
+            reason: "states".into(),
+        };
+        return result;
+    }
+    let ring = match RingInstance::symmetric_with_limit(protocol, job.k, manifest.max_states) {
+        Ok(ring) => ring,
+        Err(GlobalError::StateSpaceTooLarge { .. }) => {
+            result.outcome = Outcome::OverBudget {
+                reason: "states".into(),
+            };
+            return result;
+        }
+        Err(e) => {
+            result.outcome = Outcome::Error {
+                message: e.to_string(),
+            };
+            return result;
+        }
+    };
+
+    // Wall-clock deadline: cooperative, engine-polled.
+    let token = match manifest.timeout_ms {
+        Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    match ConvergenceReport::check_bounded(&ring, engine, &token) {
+        Ok(check) => {
+            result.states = check.state_count;
+            result.legit = check.legit_count;
+            result.outcome = if check.self_stabilizing() {
+                Outcome::Verified
+            } else {
+                Outcome::Failed {
+                    closure_ok: check.closure_violation.is_none(),
+                    deadlocks: check.illegitimate_deadlocks.len() as u64,
+                    livelock_len: check.livelock.as_ref().map(|c| c.len() as u64),
+                }
+            };
+        }
+        Err(_) => {
+            result.outcome = Outcome::OverBudget {
+                reason: "deadline".into(),
+            };
+        }
+    }
+    result
+}

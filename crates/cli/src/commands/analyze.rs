@@ -4,7 +4,7 @@ use selfstab_core::report::StabilizationReport;
 
 use crate::args::{load_protocol, Args};
 
-pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let protocol = load_protocol(&args)?;
     let report = StabilizationReport::analyze(&protocol);
@@ -13,7 +13,7 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "{}",
             serde_json::to_string_pretty(&crate::json::stabilization_report(&protocol, &report))?
         );
-        return Ok(());
+        return Ok(true);
     }
     println!("{protocol}");
     println!("{report}");
@@ -38,5 +38,5 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(trail) = report.livelock.trail() {
         println!("  blocking trail: {}", trail.display(&protocol));
     }
-    Ok(())
+    Ok(true)
 }

@@ -9,7 +9,7 @@ use selfstab_global::{check::ConvergenceReport, EngineConfig, RingInstance};
 
 use crate::args::{load_protocol, Args};
 
-pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let protocol = load_protocol(&args)?;
     let from = args.require_usize("k")?;
@@ -36,13 +36,7 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let rendered: Vec<String> = cycle
                 .iter()
                 .take(12)
-                .map(|&s| {
-                    ring.space()
-                        .decode(s)
-                        .iter()
-                        .map(|&v| protocol.domain().label(v).chars().next().unwrap_or('?'))
-                        .collect()
-                })
+                .map(|&s| protocol.domain().format_values(&ring.space().decode(s)))
                 .collect();
             println!(
                 "  livelock cycle: {}{}",
@@ -61,10 +55,8 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     } else if all_ok {
         println!("strongly self-stabilizing at every checked size");
-    }
-    if all_ok {
-        Ok(())
     } else {
-        Err("some checked size fails".into())
+        println!("some checked size fails");
     }
+    Ok(all_ok)
 }

@@ -5,7 +5,7 @@ use selfstab_core::{ltg::Ltg, rcg::Rcg};
 
 use crate::args::{load_protocol, Args};
 
-pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let protocol = load_protocol(&args)?;
 
@@ -32,5 +32,5 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         None => print!("{dot}"),
     }
-    Ok(())
+    Ok(true)
 }

@@ -7,4 +7,5 @@ pub mod dot;
 pub mod fmt;
 pub mod simulate;
 pub mod sizes;
+pub mod sweep;
 pub mod synthesize;

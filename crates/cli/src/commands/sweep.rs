@@ -1,0 +1,117 @@
+//! `selfstab sweep <manifest.json> [--jobs J] [--threads T] [--resume]
+//! [--journal FILE] [-o report.json] [--json]` — batch verification of a
+//! whole spec corpus.
+//!
+//! The manifest names the specs (paths or `*` globs), the `K` range, and
+//! the per-job budgets; the campaign runs the full spec × K matrix on a
+//! work-stealing pool of `--jobs` workers, journaling every event to a
+//! JSONL file that doubles as the checkpoint for `--resume`. The report is
+//! canonical JSON — byte-identical for every worker count and resume
+//! split — so it can be diffed, archived, and gated on in CI.
+//!
+//! Exit code 0 means every job verified; 2 means some job failed, errored,
+//! or contradicted its local proof (over-budget jobs are inconclusive and
+//! do not fail the sweep).
+
+use std::path::{Path, PathBuf};
+
+use selfstab_campaign::{report, run_campaign, CampaignConfig, Manifest};
+
+use crate::args::Args;
+
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let manifest_path: &Path = args
+        .file()
+        .map_err(|_| "missing <manifest.json> argument")?
+        .as_ref();
+    let manifest = Manifest::from_file(manifest_path)?;
+
+    let engine_threads = match args.get("threads") {
+        None => None,
+        Some(_) => Some(args.get_usize("threads", 1)?),
+    };
+    let journal_path: PathBuf = match args.get("journal") {
+        Some(path) => path.into(),
+        None => manifest_path.with_extension("journal.jsonl"),
+    };
+    let config = CampaignConfig {
+        workers: args.get_usize("jobs", 1)?,
+        engine_threads,
+        journal_path: Some(journal_path.clone()),
+        resume: args.flag("resume"),
+    };
+
+    let outcome = run_campaign(&manifest, &config)?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &outcome.rendered_report)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if args.flag("json") {
+        print!("{}", outcome.rendered_report);
+        return Ok(report::is_clean(&outcome.report));
+    }
+
+    let r = &outcome.report;
+    println!(
+        "campaign {}: {} spec(s) × K={}..={} = {} job(s)",
+        r["campaign"]["fingerprint"].as_str().unwrap_or("?"),
+        manifest.specs.len(),
+        manifest.k_from,
+        manifest.k_to,
+        r["campaign"]["job_count"]
+    );
+    println!(
+        "  executed {} job(s) this run ({} replayed from {}), {:.2}s wall clock",
+        outcome.executed,
+        outcome.results.len() - outcome.executed,
+        journal_path.display(),
+        outcome.elapsed.as_secs_f64()
+    );
+    println!(
+        "  verified {}  failed {}  over budget {}  errors {}  ({} states swept)",
+        r["totals"]["verified"],
+        r["totals"]["failed"],
+        r["totals"]["over_budget"],
+        r["totals"]["error"],
+        r["states_swept"]
+    );
+    for row in r["jobs"].as_array().into_iter().flatten() {
+        if row["outcome"] == "verified" {
+            continue;
+        }
+        let detail = match row["outcome"].as_str() {
+            Some("over_budget") => format!("budget: {}", row["reason"].as_str().unwrap_or("?")),
+            Some("error") => row["message"].as_str().unwrap_or("?").to_owned(),
+            _ => format!(
+                "deadlocks¬I {}, livelock {}, closure {}",
+                row["deadlocks"],
+                !row["livelock_len"].is_null(),
+                row["closure_ok"]
+            ),
+        };
+        println!(
+            "  {} K={}: {} ({detail})",
+            row["spec"].as_str().unwrap_or("?"),
+            row["k"],
+            row["outcome"].as_str().unwrap_or("?")
+        );
+    }
+    let disagreements = r["soundness"]["disagreements"]
+        .as_array()
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    if disagreements.is_empty() {
+        println!("  soundness: local verdicts and global outcomes agree on every job");
+    } else {
+        for d in disagreements {
+            eprintln!(
+                "  SOUNDNESS VIOLATION: {} proven locally but fails globally at K={} — please report this",
+                d["spec"].as_str().unwrap_or("?"),
+                d["k"]
+            );
+        }
+    }
+    Ok(report::is_clean(r))
+}

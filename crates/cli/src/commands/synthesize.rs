@@ -6,7 +6,7 @@ use selfstab_synth::{LocalSynthesizer, SynthesisConfig};
 
 use crate::args::{load_protocol, Args};
 
-pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let protocol = load_protocol(&args)?;
     let config = SynthesisConfig {
@@ -48,5 +48,5 @@ pub fn run(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "{} solution(s); each is strongly self-stabilizing for EVERY ring size",
         outcome.solutions().len()
     );
-    Ok(())
+    Ok(true)
 }

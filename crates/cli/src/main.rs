@@ -4,12 +4,18 @@
 //! selfstab analyze    <file.stab>                  local proofs (Theorems 4.2 / 5.14)
 //! selfstab audit      <file.stab> [--to 6] [--threads T]        proofs + global cross-checks + reconstruction
 //! selfstab check      <file.stab> --k 5 [--to 8] [--threads T]  global model checking at fixed sizes
+//! selfstab sweep      <manifest.json> [--jobs J] [--threads T]  batch campaign over a spec corpus
 //! selfstab synthesize <file.stab> [--first]        Section 6 synthesis methodology
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
 //! selfstab dot        <file.stab> [--ltg] [-o F]   Graphviz export of the RCG/LTG
 //! selfstab fmt        <file.stab>                  reprint the canonical .stab form
 //! ```
+//!
+//! Verification subcommands distinguish "I could not run" from "I ran and
+//! the protocol is not self-stabilizing" in the exit code: `0` means
+//! verified, `1` means a usage or IO error, `2` means verification failed
+//! (or, for `audit`/`sweep`, a soundness disagreement was detected).
 
 mod args;
 mod commands;
@@ -17,10 +23,14 @@ mod json;
 
 use std::process::ExitCode;
 
+/// Exit code for "the tool ran, but verification failed".
+const EXIT_UNVERIFIED: u8 = 2;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(EXIT_UNVERIFIED),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -28,7 +38,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+/// Dispatches one subcommand. `Ok(true)` means verified (exit 0),
+/// `Ok(false)` means the command ran but verification failed (exit 2),
+/// `Err` means usage or IO trouble (exit 1).
+fn run(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let Some(cmd) = argv.first() else {
         print_usage();
         return Err("missing subcommand".into());
@@ -38,6 +51,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "analyze" => commands::analyze::run(rest),
         "audit" => commands::audit::run(rest),
         "check" => commands::check::run(rest),
+        "sweep" => commands::sweep::run(rest),
         "synthesize" => commands::synthesize::run(rest),
         "sizes" => commands::sizes::run(rest),
         "simulate" => commands::simulate::run(rest),
@@ -45,7 +59,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "fmt" => commands::fmt::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
-            Ok(())
+            Ok(true)
         }
         other => {
             print_usage();
@@ -63,13 +77,23 @@ USAGE:
 
 SUBCOMMANDS:
     analyze     Theorem 4.2 / 5.14 local analysis (all ring sizes at once)
-    audit       local proofs + global cross-checks + trail reconstruction ([--to K] [--threads T])
+    audit       local proofs + global cross-checks + trail reconstruction ([--to K] [--threads T] [--json])
     check       explicit-state global check at fixed ring sizes (--k N [--to M] [--threads T])
+    sweep       batch campaign over a manifest's spec × K matrix
+                (--jobs J worker threads, --threads T engine threads per job,
+                 --resume to continue from the journal, --journal FILE, [-o report.json] [--json])
     synthesize  add convergence via the Section 6 methodology ([--first])
-    sizes       exact deadlocked ring sizes ([--max N], default 20)
-    simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X])
+    sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
+    simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])
     dot         Graphviz export of the RCG ([--ltg] for the LTG, [-o FILE])
     fmt         reprint the canonical .stab form
-    help        this message"
+    help        this message
+
+EXIT CODES:
+    0   verified (or nothing to verify)
+    1   usage or IO error
+    2   verification failed — a checked size is not self-stabilizing, a
+        campaign job failed or errored, or a soundness disagreement between
+        the local proof and the global check was detected"
     );
 }

@@ -67,8 +67,36 @@ fn check_passes_and_fails_appropriately() {
         "--k",
         "4",
     ]);
-    assert!(!bad.status.success());
+    // "ran, but verification failed" is exit 2, distinct from usage errors.
+    assert_eq!(bad.status.code(), Some(2), "{}", stderr(&bad));
     assert!(stdout(&bad).contains("livelock"));
+}
+
+#[test]
+fn check_renders_colliding_labels_unambiguously() {
+    // `red` and `ready` share an initial; the compact rendering must keep
+    // them distinguishable (shortest unique prefixes, not first letters).
+    let dir = std::env::temp_dir().join("selfstab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("red_ready.stab");
+    std::fs::write(
+        &path,
+        "protocol red-ready\n\
+         domain x { red ready }\n\
+         locality unidirectional\n\
+         legit x[r] == x[r-1]\n\
+         action x[r-1] == red && x[r] == ready -> x[r] := red\n\
+         action x[r-1] == ready && x[r] == red -> x[r] := ready\n",
+    )
+    .unwrap();
+    let out = selfstab(&["check", path.to_str().unwrap(), "--k", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    assert!(text.contains("livelock cycle:"), "{text}");
+    assert!(text.contains("red") && text.contains("rea"), "{text}");
+    // The regression: both labels collapsing to `r` made states like
+    // `red,ready,ready` and `ready,red,red` print identically.
+    assert!(!text.contains("r,r,r"), "{text}");
 }
 
 #[test]
@@ -173,7 +201,9 @@ fn audit_combines_everything() {
         "--to",
         "4",
     ]);
-    assert!(out.status.success(), "{}", stderr(&out));
+    // The protocol is not self-stabilizing, so the audit exits 2 — but it
+    // still prints the full battery first.
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("blocking trail"));
     assert!(text.contains("trail reconstructs: livelock"));
@@ -220,14 +250,151 @@ fn json_output_is_valid() {
 #[test]
 fn helpful_errors() {
     let out = selfstab(&["frobnicate"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("unknown subcommand"));
+    assert!(stderr(&out).contains("EXIT CODES"));
 
     let out = selfstab(&["analyze", "/nonexistent/file.stab"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("cannot read"));
 
     let out = selfstab(&["check", spec("agreement.stab").to_str().unwrap()]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("--k"));
+}
+
+#[test]
+fn audit_sizes_simulate_emit_json() {
+    let out = selfstab(&[
+        "audit",
+        spec("agreement.stab").to_str().unwrap(),
+        "--to",
+        "4",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["proven_for_all_k"], true);
+    assert_eq!(v["soundness_disagreements"], 0u64);
+    assert_eq!(v["global"].as_array().unwrap().len(), 3);
+    assert_eq!(v["local"]["self_stabilizing_for_all_k"], true);
+
+    let out = selfstab(&[
+        "sizes",
+        spec("matching_non_generalizable.stab").to_str().unwrap(),
+        "--max",
+        "10",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["free_for_all_k"], false);
+    assert_eq!(v["deadlocked_sizes"][0], 4u64);
+    assert_eq!(v["free_sizes"].as_array().unwrap().len(), 4);
+
+    let out = selfstab(&[
+        "simulate",
+        spec("agreement.stab").to_str().unwrap(),
+        "--k",
+        "6",
+        "--trials",
+        "50",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["converged"], 50u64);
+    assert_eq!(v["failed"], 0u64);
+    assert!(!v["worst_case_recovery"].is_null());
+}
+
+fn write_sweep_manifest(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn sweep_runs_a_campaign_and_exits_by_cleanliness() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    // A failing corpus member (agreement_both livelocks) → exit 2.
+    let manifest = write_sweep_manifest(
+        "mixed.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab", "{}/agreement_both.stab"], "k_from": 2, "k_to": 4}}"#,
+            specs_dir.display(),
+            specs_dir.display()
+        ),
+    );
+    let out = selfstab(&["sweep", manifest.to_str().unwrap(), "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("verified 4"), "{text}");
+    assert!(text.contains("failed 2"), "{text}");
+    // agreement_both fails *by livelock*; the detail line must say so.
+    assert!(text.contains("livelock true"), "{text}");
+    assert!(text.contains("soundness: local verdicts and global outcomes agree"));
+
+    // A clean corpus → exit 0, and --json prints the canonical report.
+    let manifest = write_sweep_manifest(
+        "clean.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab"], "k_from": 2, "k_to": 5}}"#,
+            specs_dir.display()
+        ),
+    );
+    let out = selfstab(&["sweep", manifest.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["totals"]["verified"], 4u64);
+    assert_eq!(v["totals"]["failed"], 0u64);
+    assert_eq!(v["soundness"]["disagreements"].as_array().unwrap().len(), 0);
+}
+
+#[test]
+fn sweep_resume_reuses_the_journal_and_reports_identically() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let manifest = write_sweep_manifest(
+        "resume.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab", "{}/flip_token.stab"], "k_from": 2, "k_to": 6}}"#,
+            specs_dir.display(),
+            specs_dir.display()
+        ),
+    );
+    let report_a = std::env::temp_dir().join("selfstab-sweep-test/report_a.json");
+    let report_b = std::env::temp_dir().join("selfstab-sweep-test/report_b.json");
+    let journal = manifest.with_extension("journal.jsonl");
+
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "-o",
+        report_a.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(journal.is_file(), "journal written next to the manifest");
+
+    // Interrupt simulation: drop the second half of the journal, resume.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    std::fs::write(&journal, format!("{}\n", lines[..keep].join("\n"))).unwrap();
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--resume",
+        "--jobs",
+        "4",
+        "-o",
+        report_b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("replayed"), "{}", stdout(&out));
+
+    let a = std::fs::read_to_string(&report_a).unwrap();
+    let b = std::fs::read_to_string(&report_b).unwrap();
+    assert_eq!(a, b, "resumed report must be byte-identical");
 }

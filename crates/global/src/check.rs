@@ -1,6 +1,6 @@
 //! Global model checking: deadlocks, livelocks, closure, convergence.
 
-use crate::engine::{fused_scan, EngineConfig};
+use crate::engine::{fused_scan, CancelToken, Cancelled, EngineConfig};
 use crate::instance::{Move, RingInstance};
 use crate::state::GlobalStateId;
 
@@ -255,6 +255,32 @@ impl ConvergenceReport {
             illegitimate_deadlocks: scan.illegitimate_deadlocks,
             livelock,
         }
+    }
+
+    /// Like [`ConvergenceReport::check_with`], aborting early if `cancel`
+    /// fires (explicitly or by wall-clock deadline) mid-check. A completed
+    /// check is identical to an unbounded one; a cancelled check yields
+    /// [`Cancelled`] and no partial report, so callers can degrade to an
+    /// "over budget" outcome instead of wedging on an oversized instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token fired before the check finished.
+    pub fn check_bounded(
+        ring: &RingInstance,
+        config: &EngineConfig,
+        cancel: &CancelToken,
+    ) -> Result<Self, Cancelled> {
+        let scan = crate::engine::fused_scan_bounded(ring, config, cancel)?;
+        let livelock = crate::engine::find_livelock_bounded(ring, &scan, cancel)?;
+        Ok(ConvergenceReport {
+            ring_size: ring.ring_size(),
+            state_count: ring.space().len(),
+            legit_count: scan.legit_count,
+            closure_violation: scan.first_closure_violation,
+            illegitimate_deadlocks: scan.illegitimate_deadlocks,
+            livelock,
+        })
     }
 
     /// `true` iff the protocol strongly converges to `I(K)` at this size

@@ -26,13 +26,86 @@
 //! count**, including the identity of the first closure violation and the
 //! order of the deadlock list.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use selfstab_protocol::{LocalStateId, Value};
 
 use crate::instance::{Move, RingInstance, CLS_ENABLED, CLS_LEGIT};
 use crate::state::GlobalStateId;
+
+/// How many states/DFS steps a scan processes between cancellation polls.
+/// Large enough that the poll (one relaxed load, occasionally a clock read)
+/// is invisible in profiles, small enough that cancellation lands within
+/// microseconds.
+const CANCEL_STRIDE: u64 = 4096;
+
+/// Cooperative cancellation for long-running scans: an explicit flag
+/// (settable from any thread, e.g. a Ctrl-C handler) combined with an
+/// optional wall-clock deadline. Scans poll the token every
+/// [`CANCEL_STRIDE`] states and bail out with [`Cancelled`].
+#[derive(Debug)]
+pub struct CancelToken {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires unless [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: AtomicBool::new(false),
+            deadline: None,
+        }
+    }
+
+    /// A token that fires once `deadline` passes (or on explicit cancel).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Fires the token; every in-flight scan polling it will abort.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token has fired or its deadline has passed. A passed
+    /// deadline latches the flag so later polls skip the clock read.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A scan was aborted by its [`CancelToken`] before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scan cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Tuning knobs of the fused engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -173,8 +246,15 @@ impl ScanPlan {
     }
 }
 
-/// Scans ids `start..end`, where `start` is 64-aligned (or 0).
-fn scan_chunk(ring: &RingInstance, plan: &ScanPlan, start: u64, end: u64) -> ChunkOut {
+/// Scans ids `start..end`, where `start` is 64-aligned (or 0). Returns
+/// `None` if the token fired mid-chunk.
+fn scan_chunk(
+    ring: &RingInstance,
+    plan: &ScanPlan,
+    start: u64,
+    end: u64,
+    cancel: &CancelToken,
+) -> Option<ChunkOut> {
     let k = plan.ring_size;
     let d = plan.domain_size;
     let mut digits = ring.space().decode(GlobalStateId(start));
@@ -188,6 +268,9 @@ fn scan_chunk(ring: &RingInstance, plan: &ScanPlan, start: u64, end: u64) -> Chu
     };
 
     for gid in start..end {
+        if gid % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+            return None;
+        }
         let mut all_legit = true;
         let mut any_enabled = false;
         for (i, slot) in locals.iter_mut().enumerate() {
@@ -217,7 +300,7 @@ fn scan_chunk(ring: &RingInstance, plan: &ScanPlan, start: u64, end: u64) -> Chu
             *slot = 0;
         }
     }
-    out
+    Some(out)
 }
 
 /// The first closure violation out of the legitimate state `gid`, in
@@ -259,18 +342,34 @@ fn first_violation_at(
 /// scoped worker threads and merged in ascending chunk order, so the
 /// result is identical to the sequential one.
 pub fn fused_scan(ring: &RingInstance, config: &EngineConfig) -> FusedScan {
+    fused_scan_bounded(ring, config, &CancelToken::new())
+        .expect("a fresh token never cancels the scan")
+}
+
+/// Like [`fused_scan`], aborting early with [`Cancelled`] if `cancel` fires
+/// (explicitly or by deadline) before the sweep completes. A completed
+/// sweep is identical to an unbounded one.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before the scan finished.
+pub fn fused_scan_bounded(
+    ring: &RingInstance,
+    config: &EngineConfig,
+    cancel: &CancelToken,
+) -> Result<FusedScan, Cancelled> {
     let n = ring.space().len();
     let plan = ScanPlan::new(ring);
     let threads = config.threads.max(1);
 
     if threads == 1 {
-        let out = scan_chunk(ring, &plan, 0, n);
-        return FusedScan {
+        let out = scan_chunk(ring, &plan, 0, n, cancel).ok_or(Cancelled)?;
+        return Ok(FusedScan {
             legit_count: out.legit_count,
             illegitimate_deadlocks: out.deadlocks,
             first_closure_violation: out.violation,
             legit_bits: out.bits,
-        };
+        });
     }
 
     // Aim for several chunks per worker so stragglers balance out, but
@@ -285,18 +384,23 @@ pub fn fused_scan(ring: &RingInstance, config: &EngineConfig) -> FusedScan {
         for _ in 0..threads.min(num_chunks) {
             scope.spawn(|| loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= num_chunks as u64 {
+                if c >= num_chunks as u64 || cancel.is_cancelled() {
                     break;
                 }
                 let start = c * chunk;
                 let end = (start + chunk).min(n);
-                let out = scan_chunk(ring, &plan, start, end);
-                results.lock().unwrap().push((c as usize, out));
+                match scan_chunk(ring, &plan, start, end, cancel) {
+                    Some(out) => results.lock().unwrap().push((c as usize, out)),
+                    None => break,
+                }
             });
         }
     });
 
     let mut parts = results.into_inner().unwrap();
+    if parts.len() != num_chunks {
+        return Err(Cancelled);
+    }
     parts.sort_unstable_by_key(|(c, _)| *c);
 
     let mut scan = FusedScan {
@@ -313,7 +417,7 @@ pub fn fused_scan(ring: &RingInstance, config: &EngineConfig) -> FusedScan {
         }
         scan.legit_bits.extend(part.bits);
     }
-    scan
+    Ok(scan)
 }
 
 /// Livelock search reusing a fused scan's legitimacy bitmap: the tricolor
@@ -329,6 +433,22 @@ pub fn fused_scan(ring: &RingInstance, config: &EngineConfig) -> FusedScan {
 /// [`find_livelock_where`](crate::check::find_livelock_where), so both
 /// return the same cycle witness.
 pub fn find_livelock_with(ring: &RingInstance, scan: &FusedScan) -> Option<Vec<GlobalStateId>> {
+    find_livelock_bounded(ring, scan, &CancelToken::new())
+        .expect("a fresh token never cancels the search")
+}
+
+/// Like [`find_livelock_with`], aborting early with [`Cancelled`] if
+/// `cancel` fires before the search completes. A completed search returns
+/// the same witness as the unbounded one.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before the search finished.
+pub fn find_livelock_bounded(
+    ring: &RingInstance,
+    scan: &FusedScan,
+    cancel: &CancelToken,
+) -> Result<Option<Vec<GlobalStateId>>, Cancelled> {
     const WHITE: u8 = 0;
     const GRAY: u8 = 1;
     const BLACK: u8 = 2;
@@ -344,6 +464,7 @@ pub fn find_livelock_with(ring: &RingInstance, scan: &FusedScan) -> Option<Vec<G
     let mut frames: Vec<(GlobalStateId, usize, usize)> = Vec::new();
     let mut digits: Vec<Value> = Vec::new();
     let mut locals: Vec<LocalStateId> = Vec::new();
+    let mut steps: u64 = 0;
 
     for root in ring.space().ids() {
         if color[root.index()] != WHITE || scan.is_legit(root) {
@@ -360,6 +481,10 @@ pub fn find_livelock_with(ring: &RingInstance, scan: &FusedScan) -> Option<Vec<G
         }
 
         while !frames.is_empty() {
+            if steps.is_multiple_of(CANCEL_STRIDE) && cancel.is_cancelled() {
+                return Err(Cancelled);
+            }
+            steps += 1;
             let base = (frames.len() - 1) * k;
             let &mut (state, ref mut proc, ref mut tidx) =
                 frames.last_mut().expect("loop guard ensures a frame");
@@ -415,14 +540,14 @@ pub fn find_livelock_with(ring: &RingInstance, scan: &FusedScan) -> Option<Vec<G
                             .iter()
                             .position(|&(s, _, _)| s == succ)
                             .expect("gray state must be on the stack");
-                        return Some(frames[start..].iter().map(|&(s, _, _)| s).collect());
+                        return Ok(Some(frames[start..].iter().map(|&(s, _, _)| s).collect()));
                     }
                     _ => {}
                 },
             }
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -514,6 +639,44 @@ mod tests {
             assert_scan_matches_naive(&ring, 1);
             assert_scan_matches_naive(&ring, 3);
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_scan_and_search() {
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        let ring = RingInstance::symmetric(&p, 6).unwrap();
+        let fired = CancelToken::new();
+        fired.cancel();
+        for threads in [1, 3] {
+            assert_eq!(
+                fused_scan_bounded(&ring, &EngineConfig::with_threads(threads), &fired).err(),
+                Some(Cancelled)
+            );
+        }
+        let scan = fused_scan(&ring, &EngineConfig::sequential());
+        assert_eq!(find_livelock_bounded(&ring, &scan, &fired), Err(Cancelled));
+        // An expired deadline behaves like an explicit cancel.
+        let expired = CancelToken::with_deadline(Instant::now());
+        assert!(expired.is_cancelled());
+        assert!(fused_scan_bounded(&ring, &EngineConfig::sequential(), &expired).is_err());
+    }
+
+    #[test]
+    fn unfired_token_leaves_results_identical() {
+        let p = agreement(&["x[r-1] == 1 && x[r] == 0 -> x[r] := 1"]);
+        let ring = RingInstance::symmetric(&p, 5).unwrap();
+        let token = CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(60));
+        let bounded = fused_scan_bounded(&ring, &EngineConfig::sequential(), &token).unwrap();
+        let plain = fused_scan(&ring, &EngineConfig::sequential());
+        assert_eq!(bounded.legit_count, plain.legit_count);
+        assert_eq!(bounded.illegitimate_deadlocks, plain.illegitimate_deadlocks);
+        assert_eq!(
+            find_livelock_bounded(&ring, &bounded, &token).unwrap(),
+            find_livelock_with(&ring, &plain)
+        );
     }
 
     #[test]

@@ -116,6 +116,51 @@ impl Domain {
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.size()).map(|v| v as Value)
     }
+
+    /// The shortest prefix of each label that no *other* label shares, in
+    /// value order — `red`/`ready` compact to `red`/`rea`, not both to `r`.
+    /// When a label is a full prefix of another (`a`/`ab`), no prefix of it
+    /// is unique and the whole label is returned for that value.
+    pub fn unique_prefixes(&self) -> Vec<String> {
+        self.labels
+            .iter()
+            .map(|label| {
+                let mut prefix = String::new();
+                for c in label.chars() {
+                    prefix.push(c);
+                    let shared = self
+                        .labels
+                        .iter()
+                        .any(|other| other != label && other.starts_with(&prefix));
+                    if !shared {
+                        break;
+                    }
+                }
+                prefix
+            })
+            .collect()
+    }
+
+    /// Formats a slice of values compactly and unambiguously: when every
+    /// shortest-unique prefix is a single character the prefixes are
+    /// concatenated (the paper's `lls`-style notation); otherwise the
+    /// prefixes are joined with `,` so colliding labels like `red`/`ready`
+    /// stay distinguishable (`red,rea` rather than `rr`).
+    pub fn format_values(&self, values: &[Value]) -> String {
+        let prefixes = self.unique_prefixes();
+        if prefixes.iter().all(|p| p.chars().count() == 1) {
+            values
+                .iter()
+                .map(|&v| prefixes[v as usize].as_str())
+                .collect()
+        } else {
+            values
+                .iter()
+                .map(|&v| prefixes[v as usize].as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +182,31 @@ mod tests {
         assert_eq!(d.label(3), "3");
         assert_eq!(d.value_of("0"), Some(0));
         assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unique_prefixes_separate_colliding_labels() {
+        // `red` and `ready` share the first two characters; first-letter
+        // compaction would render both as `r`.
+        let d = Domain::named("c", ["red", "ready", "green"]);
+        assert_eq!(d.unique_prefixes(), vec!["red", "rea", "g"]);
+        assert_eq!(d.format_values(&[0, 1, 2]), "red,rea,g");
+    }
+
+    #[test]
+    fn unique_prefixes_fall_back_to_full_labels() {
+        // `a` is a prefix of `ab`, so no proper prefix of it is unique.
+        let d = Domain::named("c", ["a", "ab"]);
+        assert_eq!(d.unique_prefixes(), vec!["a", "ab"]);
+        assert_eq!(d.format_values(&[1, 0]), "ab,a");
+    }
+
+    #[test]
+    fn format_values_concatenates_distinct_initials() {
+        let d = Domain::named("m", ["left", "right", "self"]);
+        assert_eq!(d.format_values(&[0, 2, 1]), "lsr");
+        let n = Domain::numeric("x", 3);
+        assert_eq!(n.format_values(&[2, 0, 1]), "201");
     }
 
     #[test]

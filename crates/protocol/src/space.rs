@@ -167,27 +167,12 @@ impl LocalStateSpace {
         format!("⟨{}⟩", labels.join(","))
     }
 
-    /// Formats a local state as a compact string of first label letters,
-    /// matching the paper's `lls`-style notation when labels have distinct
-    /// initials (falls back to full labels joined by `,` otherwise).
+    /// Formats a local state as a compact window string, matching the
+    /// paper's `lls`-style notation when labels have distinct initials and
+    /// falling back to `,`-joined shortest-unique prefixes otherwise (see
+    /// [`Domain::format_values`]).
     pub fn format_compact(&self, id: LocalStateId, domain: &Domain) -> String {
-        let initials: Vec<char> = domain
-            .values()
-            .filter_map(|v| domain.label(v).chars().next())
-            .collect();
-        let mut unique = initials.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        let values = self.decode(id);
-        if unique.len() == domain.size() {
-            values.iter().map(|&v| initials[v as usize]).collect()
-        } else {
-            values
-                .iter()
-                .map(|&v| domain.label(v))
-                .collect::<Vec<_>>()
-                .join(",")
-        }
+        domain.format_values(&self.decode(id))
     }
 }
 
@@ -268,10 +253,10 @@ mod tests {
     }
 
     #[test]
-    fn format_compact_falls_back_on_ambiguous_initials() {
+    fn format_compact_uses_unique_prefixes_on_ambiguous_initials() {
         let d = Domain::named("m", ["alpha", "apex"]);
         let s = LocalStateSpace::new(&d, Locality::unidirectional());
         let id = s.encode(&[0, 1]);
-        assert_eq!(s.format_compact(id, &d), "alpha,apex");
+        assert_eq!(s.format_compact(id, &d), "al,ap");
     }
 }
