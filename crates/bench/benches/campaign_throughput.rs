@@ -1,11 +1,12 @@
 //! Campaign throughput: the work-stealing job pool versus a single worker
-//! on the full `specs/` corpus. Writes `BENCH_campaign.json` at the repo
-//! root, and asserts along the way that every worker count renders the
-//! byte-identical canonical report.
+//! on the full `specs/` corpus, plus the overhead of the CRC-framed,
+//! batch-fsynced journal relative to an unjournaled run. Writes
+//! `BENCH_campaign.json` at the repo root, and asserts along the way that
+//! every worker count renders the byte-identical canonical report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use selfstab_bench::timing::{fmt_us, timed_min};
-use selfstab_campaign::{run_campaign, CampaignConfig, Manifest};
+use selfstab_campaign::{run_campaign, CampaignConfig, FsyncPolicy, Manifest};
 
 fn bench_campaign_throughput(_c: &mut Criterion) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -44,14 +45,41 @@ fn bench_campaign_throughput(_c: &mut Criterion) {
         std::hint::black_box(run_campaign(&manifest, &config_for(workers)).unwrap());
     });
 
+    // Journal overhead: the same multi-worker sweep, but with every event
+    // CRC-framed and written through the batch-fsync journal.
+    let journal_path = std::env::temp_dir().join(format!(
+        "selfstab-bench-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let journaled_config = CampaignConfig {
+        workers,
+        journal_path: Some(journal_path.clone()),
+        fsync: FsyncPolicy::Batch,
+        ..CampaignConfig::default()
+    };
+    let journaled = run_campaign(&manifest, &journaled_config).unwrap();
+    assert_eq!(
+        baseline.rendered_report, journaled.rendered_report,
+        "journaling must not change the report"
+    );
+    let journaled_us = timed_min(reps, || {
+        std::hint::black_box(run_campaign(&manifest, &journaled_config).unwrap());
+    });
+    let journal_bytes = std::fs::metadata(&journal_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+    std::fs::remove_file(&journal_path).ok();
+    let journal_overhead = journaled_us / multi_us;
+
     let speedup = one_us / multi_us;
     let jobs_per_s_one = jobs as f64 / (one_us / 1e6);
     let jobs_per_s_multi = jobs as f64 / (multi_us / 1e6);
     println!(
-        "campaign_throughput {} specs × K=2..=9 = {jobs} jobs: 1 worker {} | {workers} workers {} ({speedup:.1}x)",
+        "campaign_throughput {} specs × K=2..=9 = {jobs} jobs: 1 worker {} | {workers} workers {} ({speedup:.1}x) | journaled {} ({journal_overhead:.2}x, {journal_bytes} B)",
         manifest.specs.len(),
         fmt_us(one_us),
         fmt_us(multi_us),
+        fmt_us(journaled_us),
     );
 
     let json = format!(
@@ -63,6 +91,9 @@ fn bench_campaign_throughput(_c: &mut Criterion) {
          \"jobs_per_second_one_worker\": {jobs_per_s_one:.1},\n  \
          \"jobs_per_second_multi_worker\": {jobs_per_s_multi:.1},\n  \
          \"speedup\": {speedup:.2},\n  \
+         \"journaled_multi_worker_us\": {journaled_us:.1},\n  \
+         \"journal_overhead\": {journal_overhead:.3},\n  \
+         \"journal_bytes\": {journal_bytes},\n  \
          \"reports_byte_identical\": true\n}}\n",
         manifest.specs.len(),
         baseline.report["states_swept"],

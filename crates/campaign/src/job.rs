@@ -18,13 +18,16 @@ pub struct JobSpec {
 /// The outcome lattice of a job, ordered from best to worst:
 ///
 /// ```text
-///   Verified  <  Failed  <  OverBudget  <  Error
+///   Verified  <  Failed ≈ Panicked  <  OverBudget  <  Error
 /// ```
 ///
 /// `Verified`/`Failed` are definite verdicts from a completed global check;
-/// `OverBudget` means the job was skipped or aborted by its budget (the
-/// verdict at that size is unknown but the campaign is unharmed); `Error`
-/// means the spec could not even be parsed or instantiated.
+/// `Panicked` means every attempt of the job crashed (a toolchain fault,
+/// reported under the `failed` tag so the sweep exits non-zero, but never
+/// counted as a *verification* refutation); `OverBudget` means the job was
+/// skipped or aborted by its budget (the verdict at that size is unknown
+/// but the campaign is unharmed); `Error` means the spec could not even be
+/// parsed or instantiated.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
     /// The global check completed: strongly self-stabilizing at this size.
@@ -37,6 +40,18 @@ pub enum Outcome {
         deadlocks: u64,
         /// Length of the livelock cycle witness, if one was found.
         livelock_len: Option<u64>,
+    },
+    /// Every attempt of the job panicked; the panic was caught and the
+    /// failure recorded instead of unwinding the worker pool. Degrades to
+    /// the `failed` report tag (with `panic`/`attempts` detail fields), so
+    /// an exhausted retry budget fails the sweep rather than aborting it.
+    /// The journal records only `job_panicked` telemetry — never a
+    /// `finished` event — so a resumed campaign retries the job afresh.
+    Panicked {
+        /// Attempts made (1 + the configured retries).
+        attempts: u64,
+        /// The rendered panic payload of the last attempt.
+        message: String,
     },
     /// The job exceeded its state budget or wall-clock deadline.
     OverBudget {
@@ -52,10 +67,13 @@ pub enum Outcome {
 
 impl Outcome {
     /// The canonical snake_case tag used in journal events and reports.
+    /// `Panicked` deliberately shares the `failed` tag: a job that crashed
+    /// on every attempt is a failure of the sweep (exit code 2), told apart
+    /// in the report row by its `panic` field.
     pub fn tag(&self) -> &'static str {
         match self {
             Outcome::Verified => "verified",
-            Outcome::Failed { .. } => "failed",
+            Outcome::Failed { .. } | Outcome::Panicked { .. } => "failed",
             Outcome::OverBudget { .. } => "over_budget",
             Outcome::Error { .. } => "error",
         }
@@ -102,6 +120,10 @@ impl JobResult {
                 map.insert("deadlocks".into(), json!(*deadlocks));
                 map.insert("livelock_len".into(), json!(*livelock_len));
             }
+            Outcome::Panicked { attempts, message } => {
+                map.insert("attempts".into(), json!(*attempts));
+                map.insert("panic".into(), json!(message.as_str()));
+            }
             Outcome::OverBudget { reason } => {
                 map.insert("reason".into(), json!(reason.as_str()));
             }
@@ -121,6 +143,12 @@ impl JobResult {
         let legit = ev["legit"].as_u64().unwrap_or(0);
         let outcome = match ev["outcome"].as_str()? {
             "verified" => Outcome::Verified,
+            // `failed` covers both genuine refutations and panicked-out
+            // jobs; the `panic` detail field tells them apart.
+            "failed" if ev["panic"].as_str().is_some() => Outcome::Panicked {
+                attempts: ev["attempts"].as_u64().unwrap_or(1),
+                message: ev["panic"].as_str().unwrap_or("unknown").to_owned(),
+            },
             "failed" => Outcome::Failed {
                 closure_ok: ev["closure_ok"].as_bool().unwrap_or(true),
                 deadlocks: ev["deadlocks"].as_u64().unwrap_or(0),
@@ -212,6 +240,16 @@ mod tests {
                 states: 0,
                 legit: 0,
             },
+            JobResult {
+                spec: "e.stab".into(),
+                k: 5,
+                outcome: Outcome::Panicked {
+                    attempts: 3,
+                    message: "index out of bounds".into(),
+                },
+                states: 0,
+                legit: 0,
+            },
         ];
         for r in &results {
             let row = r.report_row();
@@ -232,6 +270,15 @@ mod tests {
             }
             .tag(),
             "over_budget"
+        );
+        // Panicked degrades to the `failed` tag (the sweep must exit 2).
+        assert_eq!(
+            Outcome::Panicked {
+                attempts: 2,
+                message: "boom".into()
+            }
+            .tag(),
+            "failed"
         );
         assert_eq!(LocalVerdict::Proven.tag(), "proven");
     }

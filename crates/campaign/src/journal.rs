@@ -1,23 +1,44 @@
-//! The append-only JSONL event journal — the campaign's log *and* its
-//! checkpoint.
+//! The append-only, torn-write-safe event journal — the campaign's log
+//! *and* its checkpoint.
 //!
-//! Every line is one self-contained JSON object with an `ev` tag:
+//! Every record is one line with a self-describing frame around a compact
+//! JSON payload (the vendored renderer escapes control characters, so a
+//! payload never contains a raw newline):
+//!
+//! ```text
+//! <len:08x> <crc32:08x> <payload-json>\n
+//! ```
+//!
+//! * `len` — byte length of the payload;
+//! * `crc32` — CRC-32 (IEEE) of the payload bytes;
+//! * the trailing newline is part of the frame: a record without it is a
+//!   torn tail, not a record.
+//!
+//! The payload is one self-contained JSON object with an `ev` tag:
 //!
 //! ```text
 //! {"ev":"campaign","fingerprint":"9a6b…","jobs":70}
 //! {"ev":"analyzed","local":"proven","spec":"specs/agreement.stab"}
 //! {"ev":"queued","k":2,"spec":"specs/agreement.stab"}
-//! {"ev":"started","k":2,"spec":"specs/agreement.stab","worker":1}
+//! {"ev":"started","attempt":0,"k":2,"spec":"specs/agreement.stab","worker":1}
+//! {"ev":"job_panicked","attempt":0,"error":"…","k":2,"spec":"specs/agreement.stab"}
 //! {"ev":"finished","duration_us":184,"k":2,"legit":2,"outcome":"verified",
 //!  "spec":"specs/agreement.stab","states":4,"worker":1}
 //! ```
 //!
-//! Lines are appended under a mutex and flushed one at a time, so an
-//! interrupted campaign always leaves a valid prefix. [`replay`] folds a
-//! journal back into the set of completed jobs and per-spec local verdicts;
-//! everything else (`queued`, `started`, timing fields) is telemetry and is
-//! deliberately ignored on resume, which is what makes the final report
-//! independent of scheduling.
+//! Records are appended under a mutex and flushed one at a time; fsync is
+//! governed by [`FsyncPolicy`]. A crash — even one that tears a record in
+//! half, or a stray bit flip — can therefore only damage a *suffix* of the
+//! file: [`replay`] validates each frame in order and **truncates at the
+//! first corrupt or partial record**, never erroring on a torn tail, and
+//! [`Journal::append`] physically truncates the file to that valid prefix
+//! so resumed appends cannot merge into torn garbage.
+//!
+//! [`replay`] folds the valid prefix back into the set of completed jobs
+//! and per-spec local verdicts; everything else (`queued`, `started`,
+//! `job_panicked`, timing fields) is telemetry and is deliberately ignored
+//! on resume, which is what makes the final report independent of
+//! scheduling, retries, and fault injection.
 
 use std::collections::BTreeMap;
 use std::io::{BufWriter, Write};
@@ -30,11 +51,97 @@ use serde_json::{json, Value};
 use crate::job::{JobResult, LocalVerdict};
 use crate::runner::CampaignError;
 
-/// A live, append-only JSONL journal.
+/// How often [`FsyncPolicy::Batch`] forces records to stable storage.
+const BATCH_SYNC_EVERY: usize = 64;
+
+/// When the journal calls `fsync`.
+///
+/// Every policy still *flushes* each record to the OS as it is written (so
+/// a process crash loses nothing); fsync only matters for power loss and
+/// kernel crashes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: maximum durability, one syscall per job
+    /// event.
+    Always,
+    /// `fsync` every [`BATCH_SYNC_EVERY`] records and on [`Journal::sync`]
+    /// (the campaign syncs at the end of every run and on interrupt).
+    #[default]
+    Batch,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time — no external hash dependencies.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) checksum of `bytes`, as used by the record framing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frames one event as a full journal line (including the trailing
+/// newline): `len crc payload\n`.
+pub fn frame(v: &Value) -> String {
+    let payload = v.to_string();
+    format!(
+        "{:08x} {:08x} {payload}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Parses one journal line (without its newline). Returns the payload on a
+/// valid frame, `None` on anything torn or corrupt.
+fn unframe(line: &str) -> Option<Value> {
+    // "llllllll cccccccc " is 18 bytes of frame header.
+    if line.len() < 18 || line.as_bytes()[8] != b' ' || line.as_bytes()[17] != b' ' {
+        return None;
+    }
+    let len = usize::from_str_radix(&line[..8], 16).ok()?;
+    let crc = u32::from_str_radix(&line[9..17], 16).ok()?;
+    let payload = &line[18..];
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
+}
+
+/// State behind the journal's mutex: the buffered writer plus the count of
+/// records flushed but not yet fsynced (for [`FsyncPolicy::Batch`]).
+#[derive(Debug)]
+struct Inner {
+    writer: BufWriter<std::fs::File>,
+    unsynced: usize,
+}
+
+/// A live, append-only framed journal.
 #[derive(Debug)]
 pub struct Journal {
-    writer: Mutex<BufWriter<std::fs::File>>,
+    inner: Mutex<Inner>,
     path: PathBuf,
+    fsync: FsyncPolicy,
 }
 
 impl Journal {
@@ -43,29 +150,47 @@ impl Journal {
     /// # Errors
     ///
     /// Returns [`CampaignError::Io`] if the file cannot be created.
-    pub fn create(path: &Path) -> Result<Self, CampaignError> {
+    pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Self, CampaignError> {
         let file = std::fs::File::create(path)
             .map_err(|e| CampaignError::Io(format!("cannot create `{}`: {e}", path.display())))?;
         Ok(Journal {
-            writer: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(Inner {
+                writer: BufWriter::new(file),
+                unsynced: 0,
+            }),
             path: path.to_path_buf(),
+            fsync,
         })
     }
 
-    /// Opens an existing journal for appending (creating it if absent).
+    /// Opens an existing journal for appending (creating it if absent),
+    /// first truncating it to `valid_len` — the byte length of the valid
+    /// record prefix reported by [`replay`] — so a torn tail left by a
+    /// crash can never merge with freshly appended records.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::Io`] if the file cannot be opened.
-    pub fn append(path: &Path) -> Result<Self, CampaignError> {
+    /// Returns [`CampaignError::Io`] if the file cannot be opened or
+    /// truncated.
+    pub fn append(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> Result<Self, CampaignError> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| CampaignError::Io(format!("cannot open `{}`: {e}", path.display())))?;
+        file.set_len(valid_len).map_err(|e| {
+            CampaignError::Io(format!(
+                "cannot drop torn tail of `{}`: {e}",
+                path.display()
+            ))
+        })?;
         Ok(Journal {
-            writer: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(Inner {
+                writer: BufWriter::new(file),
+                unsynced: 0,
+            }),
             path: path.to_path_buf(),
+            fsync,
         })
     }
 
@@ -74,15 +199,36 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one event line and flushes it, so a crash after `event`
-    /// returns can lose at most events that were never reported written.
+    /// Appends one framed event line and flushes it, so a crash after
+    /// `event` returns can lose at most events that were never reported
+    /// written; fsyncs per the journal's [`FsyncPolicy`].
     pub fn event(&self, v: &Value) {
-        let mut w = self.writer.lock().expect("journal writer poisoned");
+        let line = frame(v);
+        let mut inner = self.inner.lock().expect("journal writer poisoned");
         // A write failure must not take the whole campaign down mid-job;
         // the journal degrades to telemetry and the report is still built
         // from in-memory results.
-        let _ = writeln!(w, "{v}");
-        let _ = w.flush();
+        let _ = inner.writer.write_all(line.as_bytes());
+        let _ = inner.writer.flush();
+        inner.unsynced += 1;
+        let due = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => inner.unsynced >= BATCH_SYNC_EVERY,
+        };
+        if due {
+            let _ = inner.writer.get_ref().sync_data();
+            inner.unsynced = 0;
+        }
+    }
+
+    /// Flushes and fsyncs everything written so far. Called by the runner
+    /// at the end of every campaign and when a sweep is interrupted, so a
+    /// subsequent `--resume` loses no completed job.
+    pub fn sync(&self) {
+        let mut inner = self.inner.lock().expect("journal writer poisoned");
+        let _ = inner.writer.flush();
+        let _ = inner.writer.get_ref().sync_data();
+        inner.unsynced = 0;
     }
 }
 
@@ -101,9 +247,17 @@ pub fn queued_event(spec: &str, k: usize) -> Value {
     json!({"ev": "queued", "spec": spec, "k": k})
 }
 
-/// Builds a `started` event.
-pub fn started_event(spec: &str, k: usize, worker: usize) -> Value {
-    json!({"ev": "started", "spec": spec, "k": k, "worker": worker})
+/// Builds a `started` event (re-emitted per retry attempt).
+pub fn started_event(spec: &str, k: usize, worker: usize, attempt: u32) -> Value {
+    json!({"ev": "started", "spec": spec, "k": k, "worker": worker, "attempt": attempt})
+}
+
+/// Builds a `job_panicked` event: a worker panic was caught and isolated
+/// instead of unwinding the pool. Telemetry only — replay never treats a
+/// panicked attempt as completing its job, so a resumed campaign retries
+/// it from scratch.
+pub fn panic_event(spec: &str, k: usize, attempt: u32, error: &str) -> Value {
+    json!({"ev": "job_panicked", "spec": spec, "k": k, "attempt": attempt, "error": error})
 }
 
 /// Builds a `finished` event: the job's full result (so replay can rebuild
@@ -129,11 +283,20 @@ pub struct Replay {
     pub completed: BTreeMap<(String, usize), JobResult>,
     /// Replayed per-spec local verdicts.
     pub locals: BTreeMap<String, LocalVerdict>,
+    /// Caught worker panics per `(spec, k)` — telemetry; panicked attempts
+    /// never complete a job, so these cells re-execute on resume.
+    pub panics: BTreeMap<(String, usize), u64>,
+    /// Byte length of the valid framed prefix. Everything beyond it is a
+    /// torn or corrupt tail that [`Journal::append`] drops before
+    /// appending.
+    pub valid_len: u64,
 }
 
-/// Replays a journal file. Unparseable or truncated trailing lines are
-/// skipped (an interrupt can land mid-line); a later `finished` for the
-/// same `(spec, k)` wins, making replay idempotent.
+/// Replays a journal file, validating each record's frame (length +
+/// CRC-32) in order and stopping at the first torn or corrupt record — a
+/// crash mid-write, a `SIGKILL`, or a chaos-injected truncation leaves a
+/// valid prefix that replays cleanly, never an error. A later `finished`
+/// for the same `(spec, k)` wins, making replay idempotent.
 ///
 /// # Errors
 ///
@@ -151,9 +314,12 @@ pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
             )))
         }
     };
-    for line in text.lines() {
-        let Ok(ev) = serde_json::from_str(line) else {
-            continue;
+    for chunk in text.split_inclusive('\n') {
+        let Some(line) = chunk.strip_suffix('\n') else {
+            break; // torn tail: the final record never got its newline
+        };
+        let Some(ev) = unframe(line) else {
+            break; // corrupt record: everything at and past it is dropped
         };
         match ev["ev"].as_str() {
             Some("campaign") => {
@@ -171,6 +337,11 @@ pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
                     out.locals.insert(spec.to_owned(), verdict);
                 }
             }
+            Some("job_panicked") => {
+                if let (Some(spec), Some(k)) = (ev["spec"].as_str(), ev["k"].as_u64()) {
+                    *out.panics.entry((spec.to_owned(), k as usize)).or_default() += 1;
+                }
+            }
             Some("finished") => {
                 if let Some(result) = JobResult::from_event(&ev) {
                     out.completed
@@ -179,6 +350,7 @@ pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
             }
             _ => {}
         }
+        out.valid_len += chunk.len() as u64;
     }
     Ok(out)
 }
@@ -194,22 +366,54 @@ mod tests {
         dir.join(name)
     }
 
-    #[test]
-    fn journal_roundtrips_through_replay() {
-        let path = tmp("roundtrip.jsonl");
-        let j = Journal::create(&path).unwrap();
-        j.event(&campaign_event("deadbeef", 2));
-        j.event(&analyzed_event("a.stab", &LocalVerdict::Proven));
-        j.event(&queued_event("a.stab", 2));
-        j.event(&started_event("a.stab", 2, 0));
-        let result = JobResult {
-            spec: "a.stab".into(),
-            k: 2,
+    fn result(spec: &str, k: usize) -> JobResult {
+        JobResult {
+            spec: spec.into(),
+            k,
             outcome: Outcome::Verified,
             states: 4,
             legit: 2,
-        };
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let ev = queued_event("a.stab", 2);
+        let line = frame(&ev);
+        assert!(line.ends_with('\n'));
+        let back = unframe(line.strip_suffix('\n').unwrap()).expect("valid frame");
+        assert_eq!(back, ev);
+
+        // Flip one payload byte: the CRC catches it.
+        let mut bad = line.strip_suffix('\n').unwrap().to_owned();
+        let last = bad.pop().unwrap();
+        bad.push(if last == '}' { ')' } else { '}' });
+        assert!(unframe(&bad).is_none());
+        // Truncate mid-payload: the length catches it.
+        assert!(unframe(&line[..line.len() - 4]).is_none());
+        // A legacy unframed JSON line is not a record.
+        assert!(unframe(&ev.to_string()).is_none());
+    }
+
+    #[test]
+    fn journal_roundtrips_through_replay() {
+        let path = tmp("roundtrip.jsonl");
+        let j = Journal::create(&path, FsyncPolicy::Always).unwrap();
+        j.event(&campaign_event("deadbeef", 2));
+        j.event(&analyzed_event("a.stab", &LocalVerdict::Proven));
+        j.event(&queued_event("a.stab", 2));
+        j.event(&started_event("a.stab", 2, 0, 0));
+        j.event(&panic_event("a.stab", 2, 0, "chaos"));
+        let result = result("a.stab", 2);
         j.event(&finished_event(&result, 0, Duration::from_micros(55)));
+        j.sync();
         drop(j);
 
         let replayed = replay(&path).unwrap();
@@ -217,38 +421,72 @@ mod tests {
         assert_eq!(replayed.completed.len(), 1);
         assert_eq!(replayed.completed[&("a.stab".into(), 2)], result);
         assert_eq!(replayed.locals["a.stab"], LocalVerdict::Proven);
+        assert_eq!(replayed.panics[&("a.stab".into(), 2)], 1);
+        assert_eq!(
+            replayed.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "a clean journal is valid to its last byte"
+        );
     }
 
     #[test]
-    fn replay_skips_truncated_tail_and_missing_files() {
+    fn replay_truncates_at_torn_tail_and_handles_missing_files() {
         let path = tmp("truncated.jsonl");
-        let full = format!(
-            "{}\n{}\n{{\"ev\":\"finis",
-            campaign_event("fp", 1),
-            finished_event(
-                &JobResult {
-                    spec: "a.stab".into(),
-                    k: 3,
-                    outcome: Outcome::OverBudget {
-                        reason: "states".into()
-                    },
-                    states: 0,
-                    legit: 0,
-                },
-                1,
-                Duration::ZERO,
-            )
+        let good = format!(
+            "{}{}",
+            frame(&campaign_event("fp", 2)),
+            frame(&finished_event(&result("a.stab", 3), 1, Duration::ZERO))
         );
-        std::fs::write(&path, full).unwrap();
+        let torn = frame(&finished_event(&result("a.stab", 4), 1, Duration::ZERO));
+        std::fs::write(&path, format!("{good}{}", &torn[..torn.len() / 2])).unwrap();
         let replayed = replay(&path).unwrap();
         assert_eq!(replayed.completed.len(), 1);
-        assert_eq!(
-            replayed.completed[&("a.stab".into(), 3)].outcome.tag(),
-            "over_budget"
-        );
+        assert!(replayed.completed.contains_key(&("a.stab".into(), 3)));
+        assert_eq!(replayed.valid_len as usize, good.len());
 
         let missing = replay(&tmp("never-written.jsonl")).unwrap();
         assert!(missing.completed.is_empty());
         assert!(missing.fingerprint.is_none());
+        assert_eq!(missing.valid_len, 0);
+    }
+
+    #[test]
+    fn replay_stops_at_a_corrupt_middle_record() {
+        // A bit flip in the middle invalidates that record AND the valid
+        // records after it: resume-safety demands a contiguous prefix, so
+        // later records are deliberately dropped and re-executed.
+        let path = tmp("bitflip.jsonl");
+        let first = frame(&finished_event(&result("a.stab", 2), 0, Duration::ZERO));
+        let second = frame(&finished_event(&result("a.stab", 3), 0, Duration::ZERO));
+        let third = frame(&finished_event(&result("a.stab", 4), 0, Duration::ZERO));
+        let mut bytes = format!("{first}{second}{third}").into_bytes();
+        bytes[first.len() + 30] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.completed.len(), 1);
+        assert!(replayed.completed.contains_key(&("a.stab".into(), 2)));
+        assert_eq!(replayed.valid_len as usize, first.len());
+    }
+
+    #[test]
+    fn append_drops_the_torn_tail_before_writing() {
+        let path = tmp("append-truncates.jsonl");
+        let good = frame(&finished_event(&result("a.stab", 2), 0, Duration::ZERO));
+        std::fs::write(&path, format!("{good}01234567 89abcdef torn")).unwrap();
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.valid_len as usize, good.len());
+        let j = Journal::append(&path, replayed.valid_len, FsyncPolicy::Batch).unwrap();
+        j.event(&finished_event(&result("a.stab", 3), 0, Duration::ZERO));
+        j.sync();
+        drop(j);
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.completed.len(), 2, "torn tail gone, both jobs in");
+        assert_eq!(
+            replayed.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "no garbage left behind the appended record"
+        );
     }
 }

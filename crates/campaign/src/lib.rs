@@ -11,7 +11,18 @@
 //! JSONL [`Journal`] that doubles as the checkpoint: replaying the journal
 //! ([`journal::replay`]) recovers the set of completed jobs, so an
 //! interrupted campaign resumes from where it stopped and re-executes only
-//! the remainder.
+//! the remainder. Each record is length- and CRC32-framed, so replay
+//! tolerates a torn tail from a mid-write crash — it truncates at the
+//! first corrupt record instead of erroring (see [`journal`]).
+//!
+//! The runner is chaos-hardened: a panicking job is caught
+//! (`catch_unwind`), journaled as `job_panicked` telemetry, retried up to
+//! [`CampaignConfig::retries`] times with deterministic exponential
+//! backoff, and finally degraded to a failed [`Outcome::Panicked`] rather
+//! than aborting the sweep. A campaign-wide interrupt token
+//! ([`CampaignConfig::interrupt`]) winds the pool down cooperatively — the
+//! SIGINT path of the CLI and the forced-cancel path of the deterministic
+//! fault-injection harness ([`chaos`]) share it.
 //!
 //! The final [`report`] is canonical JSON: jobs are merged in manifest
 //! order and no wall-clock time is stamped into the body, so the rendered
@@ -34,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod job;
 pub mod journal;
 pub mod manifest;
@@ -41,7 +53,8 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 
+pub use chaos::ChaosPlan;
 pub use job::{JobResult, JobSpec, LocalVerdict, Outcome};
-pub use journal::{Journal, Replay};
+pub use journal::{FsyncPolicy, Journal, Replay};
 pub use manifest::Manifest;
 pub use runner::{run_campaign, CampaignConfig, CampaignError, CampaignOutcome};

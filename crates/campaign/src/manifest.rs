@@ -88,6 +88,13 @@ impl Manifest {
             }
             specs.append(&mut expanded);
         }
+        if specs.is_empty() {
+            // An empty matrix would sweep nothing and still render a clean
+            // report — a silent no-op is worse than a loud refusal.
+            return Err(CampaignError::Manifest(
+                "manifest matched no spec files (`specs` expanded to nothing)".into(),
+            ));
+        }
         let k_from = v["k_from"]
             .as_u64()
             .ok_or_else(|| CampaignError::Manifest("manifest needs numeric `k_from`".into()))?
@@ -283,6 +290,14 @@ mod tests {
         let dir = specs_dir();
         assert!(Manifest::from_json_text("{", &dir).is_err());
         assert!(Manifest::from_json_text(r#"{"specs": []}"#, &dir).is_err());
+        // An empty expansion must fail loudly even when the K range is
+        // well-formed — a zero-job campaign would render a clean report.
+        let empty = Manifest::from_json_text(r#"{"specs": [], "k_from": 2, "k_to": 3}"#, &dir)
+            .expect_err("empty spec expansion is an error");
+        assert!(
+            empty.to_string().contains("matched no spec files"),
+            "diagnostic names the problem: {empty}"
+        );
         assert!(Manifest::from_json_text(
             r#"{"specs": ["specs/*.stab"], "k_from": 5, "k_to": 2}"#,
             &dir

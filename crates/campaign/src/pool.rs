@@ -13,8 +13,18 @@
 //! `run(worker, job_index)` for every index exactly once and returns the
 //! results indexed by job, so callers get determinism-by-construction —
 //! scheduling can never reorder results.
+//!
+//! **Panic isolation**: a panicking job must not poison the pool. Each
+//! `run` call is wrapped in `catch_unwind`; a caught panic is stashed and
+//! the worker moves on to its next job, so every other job still executes
+//! exactly once. The first caught payload is re-raised (`resume_unwind`)
+//! only after the pool drains — callers that want panics to become data
+//! (the campaign runner does) catch them inside their own closure, and
+//! then the pool-level net never fires.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Runs `jobs` closures on `workers` scoped threads with work stealing.
@@ -22,6 +32,12 @@ use std::sync::Mutex;
 /// Returns one result per job, in job-index order regardless of which
 /// worker ran what. `workers == 0` is treated as 1; a single worker runs
 /// everything inline in seed order.
+///
+/// # Panics
+///
+/// If `run` panics for some job, every *other* job still runs to
+/// completion and the first caught panic payload is then re-raised from
+/// the calling thread.
 pub fn run_jobs<T, F>(workers: usize, jobs: usize, run: F) -> Vec<T>
 where
     T: Send,
@@ -41,22 +57,35 @@ where
         })
         .collect();
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let deques = &deques;
             let slots = &slots;
             let run = &run;
+            let panicked = &panicked;
             scope.spawn(move || loop {
                 let job = next_job(deques, w);
                 let Some(job) = job else {
                     break;
                 };
-                let result = run(w, job);
-                *slots[job].lock().expect("result slot poisoned") = Some(result);
+                match catch_unwind(AssertUnwindSafe(|| run(w, job))) {
+                    Ok(result) => {
+                        *slots[job].lock().expect("result slot poisoned") = Some(result);
+                    }
+                    Err(payload) => {
+                        let mut first = panicked.lock().expect("panic slot poisoned");
+                        first.get_or_insert(payload);
+                    }
+                }
             });
         }
     });
+
+    if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
+        resume_unwind(payload);
+    }
 
     slots
         .into_iter()
@@ -122,5 +151,35 @@ mod tests {
     fn zero_workers_and_zero_jobs_are_fine() {
         assert!(run_jobs(0, 0, |_w, j| j).is_empty());
         assert_eq!(run_jobs(0, 3, |_w, j| j), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_its_siblings() {
+        // Job 7 panics; every other job must still run exactly once, on
+        // every pool size (including the single inline worker), and the
+        // panic payload must resurface afterwards from the calling thread.
+        for workers in [1, 4] {
+            let ran = AtomicUsize::new(0);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_jobs(workers, 23, |_w, job| {
+                    if job == 7 {
+                        panic!("job 7 exploded");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    job
+                })
+            }))
+            .expect_err("the stashed panic re-raises after the drain");
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                22,
+                "workers={workers}: all surviving jobs ran"
+            );
+            assert_eq!(
+                caught.downcast_ref::<&str>().copied(),
+                Some("job 7 exploded"),
+                "workers={workers}: original payload preserved"
+            );
+        }
     }
 }

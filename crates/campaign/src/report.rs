@@ -231,6 +231,57 @@ mod tests {
     }
 
     #[test]
+    fn panicked_jobs_fail_the_sweep_but_are_not_disagreements() {
+        // A panicked-out job on a locally-proven spec: the sweep is dirty
+        // (exit 2), but a toolchain crash is no *verification* refutation,
+        // so the soundness section must stay empty.
+        let m = manifest();
+        let locals = BTreeMap::from([
+            ("a.stab".to_string(), LocalVerdict::Proven),
+            ("b.stab".to_string(), LocalVerdict::Proven),
+        ]);
+        let rs = vec![
+            JobResult {
+                spec: "a.stab".into(),
+                k: 2,
+                outcome: Outcome::Verified,
+                states: 4,
+                legit: 2,
+            },
+            JobResult {
+                spec: "a.stab".into(),
+                k: 3,
+                outcome: Outcome::Panicked {
+                    attempts: 3,
+                    message: "chaos: injected worker panic (attempt 2)".into(),
+                },
+                states: 0,
+                legit: 0,
+            },
+        ];
+        let report = build(&m, "fp", &rs, &locals);
+        assert_eq!(report["totals"]["failed"], 1u64);
+        assert!(!is_clean(&report));
+        assert_eq!(
+            report["soundness"]["disagreements"]
+                .as_array()
+                .unwrap()
+                .len(),
+            0,
+            "a panic is not a soundness disagreement"
+        );
+        assert_eq!(
+            report["soundness"]["cross_tab"]["local_proven"]["failed"],
+            1u64
+        );
+        // The row carries the panic detail for diagnosis.
+        let row = &report["jobs"][1];
+        assert_eq!(row["outcome"], "failed");
+        assert_eq!(row["attempts"], 3u64);
+        assert!(row["panic"].as_str().unwrap().contains("chaos"));
+    }
+
+    #[test]
     fn clean_report_is_clean() {
         let m = manifest();
         let locals = BTreeMap::from([

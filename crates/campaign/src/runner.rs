@@ -1,7 +1,11 @@
-//! Campaign execution: budgets, shared local analysis, resume, merge.
+//! Campaign execution: budgets, shared local analysis, resume, merge —
+//! plus the crash-resilience layer: panic isolation with deterministic
+//! retry/backoff, cooperative interruption (SIGINT or chaos-injected
+//! forced cancel), and journal durability.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -12,8 +16,9 @@ use selfstab_global::{CancelToken, EngineConfig, GlobalError, RingInstance};
 use selfstab_protocol::Protocol;
 use serde_json::Value;
 
+use crate::chaos::ChaosPlan;
 use crate::job::{JobResult, JobSpec, LocalVerdict, Outcome};
-use crate::journal::{self, Journal};
+use crate::journal::{self, FsyncPolicy, Journal};
 use crate::manifest::Manifest;
 use crate::{pool, report};
 
@@ -40,6 +45,11 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Longest exponent of the retry backoff: `backoff * 2^min(attempt, CAP)`.
+/// Caps the deterministic schedule so a large `--retries` cannot multiply
+/// the base into an overflow or an hours-long sleep.
+const BACKOFF_EXPONENT_CAP: u32 = 6;
+
 /// Knobs of one campaign invocation (the manifest holds the semantics;
 /// this holds the mechanics, none of which can change a verdict).
 #[derive(Clone, Debug)]
@@ -52,6 +62,22 @@ pub struct CampaignConfig {
     pub journal_path: Option<PathBuf>,
     /// Replay the journal first and run only jobs it does not complete.
     pub resume: bool,
+    /// Retries for transiently-failed (panicked) jobs: a job makes up to
+    /// `retries + 1` attempts before degrading to a failed outcome.
+    pub retries: u32,
+    /// Base delay of the deterministic exponential backoff between retry
+    /// attempts (`backoff * 2^attempt`, exponent capped). Pure mechanics:
+    /// never recorded in the report.
+    pub backoff: Duration,
+    /// Journal durability policy (`fsync` per record or batched).
+    pub fsync: FsyncPolicy,
+    /// External interrupt token. When it fires (a SIGINT hook, a chaos
+    /// forced-cancel), in-flight jobs abort via linked per-job tokens,
+    /// queued jobs are skipped, the journal is synced, and the outcome
+    /// comes back with [`CampaignOutcome::interrupted`] set.
+    pub interrupt: Option<Arc<CancelToken>>,
+    /// Deterministic fault injection (hidden `--chaos` flag / test API).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for CampaignConfig {
@@ -61,6 +87,11 @@ impl Default for CampaignConfig {
             engine_threads: None,
             journal_path: None,
             resume: false,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            fsync: FsyncPolicy::Batch,
+            interrupt: None,
+            chaos: None,
         }
     }
 }
@@ -68,18 +99,28 @@ impl Default for CampaignConfig {
 /// Everything a finished campaign hands back.
 #[derive(Debug)]
 pub struct CampaignOutcome {
-    /// All job results in manifest order (resumed and fresh merged).
+    /// All job results in manifest order (resumed and fresh merged). On an
+    /// interrupted run, jobs that never completed are absent.
     pub results: Vec<JobResult>,
     /// Per-spec local verdicts.
     pub locals: BTreeMap<String, LocalVerdict>,
-    /// The canonical report document.
+    /// The canonical report document (partial if `interrupted`).
     pub report: Value,
     /// The canonical rendering of `report` (pretty JSON + final newline);
-    /// byte-identical for every worker count and resume split.
+    /// byte-identical for every worker count, resume split, retry budget
+    /// and fault-injection seed — provided the run was not interrupted.
     pub rendered_report: String,
     /// How many jobs actually executed in this invocation (the rest were
     /// replayed from the journal).
     pub executed: usize,
+    /// `true` when the interrupt token fired (SIGINT or chaos cancel)
+    /// before every job completed. The journal is synced, so a `--resume`
+    /// continues from exactly the completed set; the partial report should
+    /// not be published.
+    pub interrupted: bool,
+    /// Worker panics caught (and isolated) during this invocation —
+    /// telemetry, never part of `rendered_report`.
+    pub panics_caught: u64,
     /// Wall-clock time of this invocation — telemetry only, never part of
     /// `rendered_report`.
     pub elapsed: Duration,
@@ -90,14 +131,27 @@ pub struct CampaignOutcome {
 /// the spec unusable.
 type SpecData = Result<(Arc<Protocol>, LocalVerdict), String>;
 
+/// How one job attempt ended, before retry bookkeeping.
+enum Attempt {
+    /// The job ran to a recordable outcome (including budget exhaustion).
+    Done(Box<JobResult>),
+    /// The campaign's interrupt token fired mid-job; nothing is recorded
+    /// and the job re-executes on resume.
+    Interrupted,
+}
+
 /// Runs (or resumes) the campaign described by `manifest`.
+///
+/// Per-job failures degrade instead of aborting: parse errors, budget
+/// exhaustion and failed verification become outcomes, and a worker panic
+/// is caught (`catch_unwind`), journaled as a `job_panicked` event, and
+/// retried up to [`CampaignConfig::retries`] times with deterministic
+/// exponential backoff before degrading to a failed outcome.
 ///
 /// # Errors
 ///
 /// Returns [`CampaignError`] on journal IO failures or a resume against a
-/// journal written by a different manifest. Per-job failures (parse
-/// errors, budget exhaustion, failed verification) never abort the
-/// campaign — they are recorded as job outcomes.
+/// journal written by a different manifest.
 pub fn run_campaign(
     manifest: &Manifest,
     config: &CampaignConfig,
@@ -105,6 +159,8 @@ pub fn run_campaign(
     let started = Instant::now();
     let jobs = manifest.jobs();
     let fingerprint = manifest.fingerprint();
+    let interrupt = config.interrupt.clone();
+    let is_interrupted = || interrupt.as_deref().is_some_and(CancelToken::is_cancelled);
 
     // Replay the checkpoint.
     let replay = match (&config.journal_path, config.resume) {
@@ -121,10 +177,11 @@ pub fn run_campaign(
         }
     }
 
-    // Open the journal and stamp the header on a fresh file.
+    // Open the journal — dropping any torn tail first — and stamp the
+    // header on a fresh file.
     let journal = match &config.journal_path {
-        Some(path) if config.resume => Some(Journal::append(path)?),
-        Some(path) => Some(Journal::create(path)?),
+        Some(path) if config.resume => Some(Journal::append(path, replay.valid_len, config.fsync)?),
+        Some(path) => Some(Journal::create(path, config.fsync)?),
         None => None,
     };
     if let Some(j) = &journal {
@@ -156,56 +213,132 @@ pub fn run_campaign(
             .max(1),
     );
 
-    let fresh: Vec<JobResult> = pool::run_jobs(config.workers, pending.len(), |worker, idx| {
-        let job = pending[idx];
-        if let Some(j) = &journal {
-            j.event(&journal::started_event(&job.spec, job.k, worker));
-        }
-        let job_started = Instant::now();
-        let data = slots[job.spec_index].get_or_init(|| {
-            let data = prepare_spec(manifest, job.spec_index);
-            if let Some(j) = &journal {
-                let verdict = match &data {
-                    Ok((_, verdict)) => verdict.clone(),
-                    Err(_) => LocalVerdict::Error,
-                };
-                j.event(&journal::analyzed_event(&job.spec, &verdict));
+    let panics_caught = std::sync::atomic::AtomicU64::new(0);
+    let fresh: Vec<Option<JobResult>> =
+        pool::run_jobs(config.workers, pending.len(), |worker, idx| {
+            let job = pending[idx];
+            if is_interrupted() {
+                return None; // fast drain: skip everything still queued
             }
-            data
+            if let Some(chaos) = &config.chaos {
+                if chaos.should_cancel(&job.spec, job.k) {
+                    if let Some(t) = &interrupt {
+                        t.cancel();
+                    }
+                    return None;
+                }
+            }
+            let mut attempt: u32 = 0;
+            loop {
+                if is_interrupted() {
+                    return None;
+                }
+                if let Some(j) = &journal {
+                    j.event(&journal::started_event(&job.spec, job.k, worker, attempt));
+                }
+                let job_started = Instant::now();
+                // The panic net: nothing a job does — chaos injection, an
+                // engine bug, a poisoned OnceLock initializer — may unwind
+                // into the pool.
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(chaos) = &config.chaos {
+                        if chaos.should_panic(&job.spec, job.k, attempt) {
+                            panic!("chaos: injected worker panic (attempt {attempt})");
+                        }
+                    }
+                    let data = slots[job.spec_index].get_or_init(|| {
+                        let data = prepare_spec(manifest, job.spec_index);
+                        if let Some(j) = &journal {
+                            let verdict = match &data {
+                                Ok((_, verdict)) => verdict.clone(),
+                                Err(_) => LocalVerdict::Error,
+                            };
+                            j.event(&journal::analyzed_event(&job.spec, &verdict));
+                        }
+                        data
+                    });
+                    execute_job(manifest, job, data, &engine, interrupt.as_ref())
+                }));
+                match ran {
+                    Ok(Attempt::Done(result)) => {
+                        if let Some(j) = &journal {
+                            j.event(&journal::finished_event(
+                                &result,
+                                worker,
+                                job_started.elapsed(),
+                            ));
+                        }
+                        return Some(*result);
+                    }
+                    Ok(Attempt::Interrupted) => return None,
+                    Err(payload) => {
+                        panics_caught.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let message = panic_message(payload.as_ref());
+                        if let Some(j) = &journal {
+                            j.event(&journal::panic_event(&job.spec, job.k, attempt, &message));
+                        }
+                        if attempt < config.retries {
+                            // Deterministic exponential backoff: a pure
+                            // function of the attempt index, no jitter, no
+                            // clock in any recorded artifact.
+                            let delay =
+                                config.backoff * (1u32 << attempt.min(BACKOFF_EXPONENT_CAP));
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            attempt += 1;
+                            continue;
+                        }
+                        // Retries exhausted: degrade to a failed outcome.
+                        // Deliberately NOT journaled as `finished` — a
+                        // panic is a toolchain fault, so a resumed
+                        // campaign gets to retry the job from scratch.
+                        return Some(JobResult {
+                            spec: job.spec.clone(),
+                            k: job.k,
+                            outcome: Outcome::Panicked {
+                                attempts: attempt as u64 + 1,
+                                message,
+                            },
+                            states: 0,
+                            legit: 0,
+                        });
+                    }
+                }
+            }
         });
-        let result = execute_job(manifest, job, data, &engine);
-        if let Some(j) = &journal {
-            j.event(&journal::finished_event(
-                &result,
-                worker,
-                job_started.elapsed(),
-            ));
-        }
-        result
-    });
+
+    let interrupted = is_interrupted();
 
     // Merge in manifest order: replayed results win their cell, fresh
-    // results fill the rest.
+    // results fill the rest. On an interrupted run, cells that never
+    // completed are simply absent.
     let mut fresh_by_cell: BTreeMap<(String, usize), JobResult> = fresh
         .into_iter()
+        .flatten()
         .map(|r| ((r.spec.clone(), r.k), r))
         .collect();
     let executed = fresh_by_cell.len();
     let mut results = Vec::with_capacity(jobs.len());
     for job in &jobs {
         let cell = (job.spec.clone(), job.k);
-        let result = replay
+        match replay
             .completed
             .get(&cell)
             .cloned()
             .or_else(|| fresh_by_cell.remove(&cell))
-            .expect("every job is replayed or freshly executed");
-        results.push(result);
+        {
+            Some(result) => results.push(result),
+            None if interrupted => {}
+            None => unreachable!("every job is replayed or freshly executed"),
+        }
     }
 
     // Local verdicts: replayed first, then whatever this invocation
     // computed, then a lazy fill for specs whose jobs were all replayed
-    // from a journal predating the `analyzed` events.
+    // from a journal predating the `analyzed` events. An interrupted run
+    // skips the lazy fill — winding down fast matters more than report
+    // completeness, and the partial report is not published anyway.
     let mut locals = replay.locals;
     for (spec_index, slot) in slots.iter().enumerate() {
         if let Some(data) = slot.get() {
@@ -216,14 +349,22 @@ pub fn run_campaign(
             locals.insert(manifest.specs[spec_index].clone(), verdict);
         }
     }
-    for (spec_index, spec) in manifest.specs.iter().enumerate() {
-        if !locals.contains_key(spec) {
-            let verdict = match prepare_spec(manifest, spec_index) {
-                Ok((_, verdict)) => verdict,
-                Err(_) => LocalVerdict::Error,
-            };
-            locals.insert(spec.clone(), verdict);
+    if !interrupted {
+        for (spec_index, spec) in manifest.specs.iter().enumerate() {
+            if !locals.contains_key(spec) {
+                let verdict = match prepare_spec(manifest, spec_index) {
+                    Ok((_, verdict)) => verdict,
+                    Err(_) => LocalVerdict::Error,
+                };
+                locals.insert(spec.clone(), verdict);
+            }
         }
+    }
+
+    // Durability point: everything journaled so far survives a kill, so a
+    // `--resume` after SIGINT/SIGKILL loses no completed job.
+    if let Some(j) = &journal {
+        j.sync();
     }
 
     let report = report::build(manifest, &fingerprint, &results, &locals);
@@ -234,8 +375,22 @@ pub fn run_campaign(
         report,
         rendered_report,
         executed,
+        interrupted,
+        panics_caught: panics_caught.into_inner(),
         elapsed: started.elapsed(),
     })
+}
+
+/// Renders a caught panic payload (the `&str`/`String` payloads `panic!`
+/// produces, or a placeholder for exotic types).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// Parses and locally analyzes one spec (the once-per-spec shared work).
@@ -256,13 +411,16 @@ fn prepare_spec(manifest: &Manifest, spec_index: usize) -> SpecData {
 
 /// Runs one job within its budgets, degrading gracefully on every failure
 /// mode: parse errors, `d^K` over the state budget, and blown deadlines
-/// all become outcomes, never panics or campaign aborts.
+/// all become outcomes, never campaign aborts. A fired interrupt token is
+/// the one non-outcome: the attempt reports [`Attempt::Interrupted`] and
+/// the job is left for the resumed campaign.
 fn execute_job(
     manifest: &Manifest,
     job: &JobSpec,
     data: &SpecData,
     engine: &EngineConfig,
-) -> JobResult {
+    interrupt: Option<&Arc<CancelToken>>,
+) -> Attempt {
     let mut result = JobResult {
         spec: job.spec.clone(),
         k: job.k,
@@ -276,7 +434,7 @@ fn execute_job(
             result.outcome = Outcome::Error {
                 message: message.clone(),
             };
-            return result;
+            return Attempt::Done(Box::new(result));
         }
     };
 
@@ -289,7 +447,7 @@ fn execute_job(
         result.outcome = Outcome::OverBudget {
             reason: "states".into(),
         };
-        return result;
+        return Attempt::Done(Box::new(result));
     }
     let ring = match RingInstance::symmetric_with_limit(protocol, job.k, manifest.max_states) {
         Ok(ring) => ring,
@@ -297,20 +455,27 @@ fn execute_job(
             result.outcome = Outcome::OverBudget {
                 reason: "states".into(),
             };
-            return result;
+            return Attempt::Done(Box::new(result));
         }
         Err(e) => {
             result.outcome = Outcome::Error {
                 message: e.to_string(),
             };
-            return result;
+            return Attempt::Done(Box::new(result));
         }
     };
 
-    // Wall-clock deadline: cooperative, engine-polled.
-    let token = match manifest.timeout_ms {
-        Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
-        None => CancelToken::new(),
+    // The per-job token: the manifest's wall-clock deadline, linked to the
+    // campaign-wide interrupt so one SIGINT (or chaos cancel) aborts every
+    // in-flight scan within a poll stride.
+    let deadline = manifest
+        .timeout_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let token = match (interrupt, deadline) {
+        (Some(parent), Some(d)) => CancelToken::linked_with_deadline(Arc::clone(parent), d),
+        (Some(parent), None) => CancelToken::linked(Arc::clone(parent)),
+        (None, Some(d)) => CancelToken::with_deadline(d),
+        (None, None) => CancelToken::new(),
     };
     match ConvergenceReport::check_bounded(&ring, engine, &token) {
         Ok(check) => {
@@ -327,10 +492,13 @@ fn execute_job(
             };
         }
         Err(_) => {
+            if interrupt.is_some_and(|t| t.is_cancelled()) {
+                return Attempt::Interrupted;
+            }
             result.outcome = Outcome::OverBudget {
                 reason: "deadline".into(),
             };
         }
     }
-    result
+    Attempt::Done(Box::new(result))
 }

@@ -1,8 +1,13 @@
 //! End-to-end campaign tests over the real `specs/` corpus.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
-use selfstab_campaign::{journal, report, run_campaign, CampaignConfig, Manifest, Outcome};
+use selfstab_campaign::{
+    journal, report, run_campaign, CampaignConfig, ChaosPlan, Manifest, Outcome,
+};
+use selfstab_global::CancelToken;
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -169,7 +174,7 @@ fn resume_refuses_a_foreign_journal() {
     let journal_path = tmp("foreign.jsonl");
     std::fs::write(
         &journal_path,
-        format!("{}\n", journal::campaign_event("0000000000000000", 1)),
+        journal::frame(&journal::campaign_event("0000000000000000", 1)),
     )
     .unwrap();
     let err = run_campaign(
@@ -210,6 +215,118 @@ fn unreadable_spec_becomes_an_error_outcome() {
         outcome.report["soundness"]["local_verdicts"]["broken.stab"],
         "error"
     );
+}
+
+#[test]
+fn always_panicking_job_fails_after_retries_instead_of_aborting() {
+    // The acceptance adversary: every attempt of every job panics. The
+    // sweep must complete (no pool abort), mark each job failed with
+    // `retries + 1` attempts, and journal only telemetry — never a
+    // `finished` event — so a later resume retries from scratch.
+    let m = manifest(r#"{"specs": ["specs/agreement.stab"], "k_from": 2, "k_to": 4}"#);
+    let journal_path = tmp("always-panic.jsonl");
+    let retries = 2u32;
+    let outcome = run_campaign(
+        &m,
+        &CampaignConfig {
+            workers: 2,
+            journal_path: Some(journal_path.clone()),
+            retries,
+            backoff: Duration::ZERO,
+            chaos: Some(ChaosPlan::always_panic()),
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.results.len(), 3);
+    for r in &outcome.results {
+        assert!(
+            matches!(
+                &r.outcome,
+                Outcome::Panicked { attempts, message }
+                    if *attempts == (retries as u64 + 1) && message.contains("chaos")
+            ),
+            "got {:?}",
+            r.outcome
+        );
+    }
+    assert_eq!(
+        outcome.report["totals"]["failed"].as_u64().unwrap(),
+        3,
+        "panicked jobs count as failed so the sweep exits 2"
+    );
+    assert!(!report::is_clean(&outcome.report));
+    assert_eq!(outcome.panics_caught, 3 * (retries as u64 + 1));
+    // Panicked jobs are a toolchain fault, not a verdict: they never count
+    // as soundness disagreements.
+    assert_eq!(
+        outcome.report["soundness"]["disagreements"]
+            .as_array()
+            .unwrap()
+            .len(),
+        0
+    );
+
+    let replayed = journal::replay(&journal_path).unwrap();
+    assert_eq!(
+        replayed.completed.len(),
+        0,
+        "no finished events for panicked-out jobs"
+    );
+    assert_eq!(
+        replayed.panics.values().sum::<u64>(),
+        3 * (retries as u64 + 1)
+    );
+
+    // A resume without the chaos plan re-runs everything and converges to
+    // the fault-free report.
+    let reference = run_campaign(&m, &CampaignConfig::default()).unwrap();
+    let healed = run_campaign(
+        &m,
+        &CampaignConfig {
+            journal_path: Some(journal_path),
+            resume: true,
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(healed.executed, 3);
+    assert_eq!(healed.rendered_report, reference.rendered_report);
+}
+
+#[test]
+fn a_fired_interrupt_token_stops_the_sweep_resumably() {
+    let m = manifest(CORPUS);
+    let journal_path = tmp("interrupted.jsonl");
+    let token = Arc::new(CancelToken::new());
+    token.cancel(); // SIGINT before the first job
+    let outcome = run_campaign(
+        &m,
+        &CampaignConfig {
+            journal_path: Some(journal_path.clone()),
+            interrupt: Some(token),
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(outcome.interrupted);
+    assert_eq!(outcome.executed, 0);
+    assert!(outcome.results.is_empty());
+
+    // The journal is valid and resumable: a fresh run completes the matrix
+    // and matches the never-interrupted reference byte for byte.
+    let reference = run_campaign(&m, &CampaignConfig::default()).unwrap();
+    let resumed = run_campaign(
+        &m,
+        &CampaignConfig {
+            journal_path: Some(journal_path),
+            resume: true,
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.rendered_report, reference.rendered_report);
 }
 
 #[test]

@@ -1,23 +1,34 @@
 //! `selfstab sweep <manifest.json> [--jobs J] [--threads T] [--resume]
-//! [--journal FILE] [-o report.json] [--json]` — batch verification of a
-//! whole spec corpus.
+//! [--journal FILE] [--retries N] [--backoff-ms MS] [--fsync always|batch]
+//! [-o report.json] [--json]` — batch verification of a whole spec corpus.
 //!
 //! The manifest names the specs (paths or `*` globs), the `K` range, and
 //! the per-job budgets; the campaign runs the full spec × K matrix on a
 //! work-stealing pool of `--jobs` workers, journaling every event to a
-//! JSONL file that doubles as the checkpoint for `--resume`. The report is
-//! canonical JSON — byte-identical for every worker count and resume
-//! split — so it can be diffed, archived, and gated on in CI.
+//! CRC-framed JSONL file that doubles as the checkpoint for `--resume`.
+//! The report is canonical JSON — byte-identical for every worker count,
+//! resume split and retry budget — so it can be diffed, archived, and
+//! gated on in CI.
+//!
+//! Resilience: a panicking job is isolated and retried `--retries` times
+//! with exponential backoff (base `--backoff-ms`) before degrading to a
+//! failed outcome; `--fsync always` makes every journal record durable the
+//! moment it is written (batched fsync is the default). A SIGINT syncs the
+//! journal, prints a resume hint, and exits 130 — `--resume` then loses no
+//! completed job. The hidden `--chaos SEED` flag runs the sweep under the
+//! deterministic fault-injection harness (see `selfstab_campaign::chaos`).
 //!
 //! Exit code 0 means every job verified; 2 means some job failed, errored,
-//! or contradicted its local proof (over-budget jobs are inconclusive and
-//! do not fail the sweep).
+//! panicked out of its retry budget, or contradicted its local proof
+//! (over-budget jobs are inconclusive and do not fail the sweep).
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use selfstab_campaign::{report, run_campaign, CampaignConfig, Manifest};
+use selfstab_campaign::{report, run_campaign, CampaignConfig, ChaosPlan, FsyncPolicy, Manifest};
 
 use crate::args::Args;
+use crate::signal;
 
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
@@ -35,14 +46,43 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         Some(path) => path.into(),
         None => manifest_path.with_extension("journal.jsonl"),
     };
+    let fsync = match args.get("fsync") {
+        None => FsyncPolicy::default(),
+        Some("always") => FsyncPolicy::Always,
+        Some("batch") => FsyncPolicy::Batch,
+        Some(other) => {
+            return Err(format!("option --fsync expects `always` or `batch`, got `{other}`").into())
+        }
+    };
+    let chaos = match args.get("chaos") {
+        None => None,
+        Some(_) => Some(ChaosPlan::from_seed(args.get_u64("chaos", 0)?)),
+    };
     let config = CampaignConfig {
         workers: args.get_usize("jobs", 1)?,
         engine_threads,
         journal_path: Some(journal_path.clone()),
         resume: args.flag("resume"),
+        retries: args.get_usize("retries", 0)? as u32,
+        backoff: Duration::from_millis(args.get_u64("backoff-ms", 100)?),
+        fsync,
+        interrupt: Some(signal::interrupt_token()),
+        chaos,
     };
 
     let outcome = run_campaign(&manifest, &config)?;
+    if outcome.interrupted {
+        // The journal is synced; nothing completed is lost. Skip the
+        // report (it is partial and must not overwrite a published one)
+        // and exit with the conventional SIGINT code.
+        eprintln!(
+            "interrupted: {} job(s) completed and journaled to {}; \
+             rerun with --resume to continue",
+            outcome.results.len(),
+            journal_path.display()
+        );
+        std::process::exit(signal::EXIT_SIGINT as i32);
+    }
     if let Some(path) = args.get("out") {
         std::fs::write(path, &outcome.rendered_report)
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -77,6 +117,13 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         r["totals"]["error"],
         r["states_swept"]
     );
+    if outcome.panics_caught > 0 {
+        eprintln!(
+            "  caught {} worker panic(s); see job_panicked events in {}",
+            outcome.panics_caught,
+            journal_path.display()
+        );
+    }
     for row in r["jobs"].as_array().into_iter().flatten() {
         if row["outcome"] == "verified" {
             continue;
@@ -84,6 +131,11 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         let detail = match row["outcome"].as_str() {
             Some("over_budget") => format!("budget: {}", row["reason"].as_str().unwrap_or("?")),
             Some("error") => row["message"].as_str().unwrap_or("?").to_owned(),
+            _ if row["panic"].as_str().is_some() => format!(
+                "panicked on all {} attempt(s): {}",
+                row["attempts"],
+                row["panic"].as_str().unwrap_or("?")
+            ),
             _ => format!(
                 "deadlocks¬I {}, livelock {}, closure {}",
                 row["deadlocks"],

@@ -20,6 +20,7 @@
 mod args;
 mod commands;
 mod json;
+mod signal;
 
 use std::process::ExitCode;
 
@@ -81,7 +82,12 @@ SUBCOMMANDS:
     check       explicit-state global check at fixed ring sizes (--k N [--to M] [--threads T])
     sweep       batch campaign over a manifest's spec × K matrix
                 (--jobs J worker threads, --threads T engine threads per job,
-                 --resume to continue from the journal, --journal FILE, [-o report.json] [--json])
+                 --resume to continue from the journal, --journal FILE,
+                 --retries N retry panicked jobs with exponential backoff,
+                 --backoff-ms MS base retry delay (default 100),
+                 --fsync always|batch journal durability (default batch),
+                 [-o report.json] [--json]; SIGINT syncs the journal and
+                 exits 130 so --resume loses no completed job)
     synthesize  add convergence via the Section 6 methodology ([--first])
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])

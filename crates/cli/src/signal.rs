@@ -1,0 +1,80 @@
+//! SIGINT → cooperative cancellation, without any signal-handling crate.
+//!
+//! Long sweeps must survive a Ctrl-C with their journal intact: the
+//! handler itself only flips an [`AtomicBool`] (the one action that is
+//! async-signal-safe), and a watcher thread polls the flag and fires a
+//! [`CancelToken`] that the campaign runner links into every in-flight
+//! job. The runner then drains queued jobs, aborts running scans at their
+//! next poll stride, syncs the journal, and reports `interrupted` — at
+//! which point the CLI exits with the conventional `128 + SIGINT = 130`
+//! and every completed job is safely on disk for `--resume`.
+//!
+//! On non-Unix targets the hook is a no-op: the token simply never fires
+//! from a signal (the process dies the default way), and everything else
+//! still works.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use selfstab_global::CancelToken;
+
+/// Set (only) by the signal handler; drained by the watcher thread.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Conventional exit code for "terminated by SIGINT" (128 + 2).
+pub const EXIT_SIGINT: u8 = 130;
+
+#[cfg(unix)]
+mod hook {
+    use super::SIGINT_RECEIVED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        /// ISO C `signal(2)` — present in every libc we build against, so
+        /// no binding crate is needed for this one call.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// The handler: store one flag and return. Anything more (locks,
+    /// allocation, IO) is not async-signal-safe.
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // Safety: `signal` is the ISO C signal-installation call; the
+        // handler only touches an atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod hook {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT hook and returns a token that fires shortly after
+/// the first Ctrl-C. Dropping every clone of the token retires the watcher
+/// thread.
+pub fn interrupt_token() -> Arc<CancelToken> {
+    hook::install();
+    let token = Arc::new(CancelToken::new());
+    let weak = Arc::downgrade(&token);
+    std::thread::spawn(move || loop {
+        let Some(token) = weak.upgrade() else {
+            return; // the sweep finished; nobody is listening any more
+        };
+        if SIGINT_RECEIVED.load(Ordering::SeqCst) {
+            token.cancel();
+            return;
+        }
+        drop(token);
+        std::thread::sleep(Duration::from_millis(20));
+    });
+    token
+}

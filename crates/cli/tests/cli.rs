@@ -398,3 +398,208 @@ fn sweep_resume_reuses_the_journal_and_reports_identically() {
     let b = std::fs::read_to_string(&report_b).unwrap();
     assert_eq!(a, b, "resumed report must be byte-identical");
 }
+
+#[test]
+fn sweep_rejects_an_empty_spec_expansion() {
+    // `"specs": []` with a well-formed K range must exit 1 with a
+    // diagnostic, not sweep nothing and report a clean campaign.
+    let manifest = write_sweep_manifest("empty.json", r#"{"specs": [], "k_from": 2, "k_to": 4}"#);
+    let out = selfstab(&["sweep", manifest.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("matched no spec files"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Same for a glob that matches nothing.
+    let manifest = write_sweep_manifest(
+        "noglob.json",
+        r#"{"specs": ["no_such_dir_*/x.stab"], "k_from": 2, "k_to": 4}"#,
+    );
+    let out = selfstab(&["sweep", manifest.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn sweep_rejects_a_bad_fsync_policy() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let manifest = write_sweep_manifest(
+        "fsync.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab"], "k_from": 2, "k_to": 3}}"#,
+            specs_dir.display()
+        ),
+    );
+    let out = selfstab(&["sweep", manifest.to_str().unwrap(), "--fsync", "sometimes"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--fsync"), "{}", stderr(&out));
+}
+
+#[test]
+fn sweep_under_chaos_heals_to_the_clean_report() {
+    // Smoke-test the hidden --chaos flag end to end: a seeded chaotic
+    // sweep (injected panics retried, maybe a forced cancel) followed by a
+    // fault-free --resume must converge to the byte-identical report of a
+    // sweep that never saw a fault.
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    let manifest = write_sweep_manifest(
+        "chaos.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab", "{}/flip_token.stab"], "k_from": 2, "k_to": 5}}"#,
+            specs_dir.display(),
+            specs_dir.display()
+        ),
+    );
+    let ref_journal = dir.join("chaos-ref.journal.jsonl");
+    let ref_report = dir.join("chaos-ref.json");
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--journal",
+        ref_journal.to_str().unwrap(),
+        "-o",
+        ref_report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let journal = dir.join("chaos-run.journal.jsonl");
+    std::fs::remove_file(&journal).ok();
+    let final_report = dir.join("chaos-final.json");
+    let chaotic = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--chaos",
+        "3",
+        "--retries",
+        "4",
+        "--backoff-ms",
+        "0",
+        "--jobs",
+        "2",
+    ]);
+    // Any outcome is legal under chaos: clean (0), failed-by-panic (2), or
+    // interrupted by a forced cancel (130) — but never a crash/abort.
+    assert!(
+        matches!(chaotic.status.code(), Some(0 | 2 | 130)),
+        "chaos run must degrade gracefully: {:?}\n{}",
+        chaotic.status.code(),
+        stderr(&chaotic)
+    );
+    if chaotic.status.code() == Some(130) {
+        assert!(
+            stderr(&chaotic).contains("--resume"),
+            "interrupt hint: {}",
+            stderr(&chaotic)
+        );
+    }
+
+    let healed = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--resume",
+        "-o",
+        final_report.to_str().unwrap(),
+    ]);
+    assert!(healed.status.success(), "{}", stderr(&healed));
+    assert_eq!(
+        std::fs::read_to_string(&ref_report).unwrap(),
+        std::fs::read_to_string(&final_report).unwrap(),
+        "healed report must match the fault-free reference byte for byte"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sweep_sigint_syncs_the_journal_and_resumes_losslessly() {
+    use std::io::Read;
+
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    // Big enough that the debug binary is still mid-sweep when the signal
+    // lands: 3^12 ≈ 5.3e5 states for the largest jobs.
+    let manifest = write_sweep_manifest(
+        "sigint.json",
+        &format!(
+            r#"{{"specs": ["{}/sum_not_two.stab"], "k_from": 2, "k_to": 12, "max_states": 2000000}}"#,
+            specs_dir.display()
+        ),
+    );
+    let journal = dir.join("sigint.journal.jsonl");
+    std::fs::remove_file(&journal).ok();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_selfstab"))
+        .args([
+            "sweep",
+            manifest.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let status = child.wait().expect("child exits");
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut err)
+        .unwrap();
+
+    if status.code() == Some(130) {
+        // Interrupted mid-sweep: the hint names --resume and the journal
+        // replays cleanly (the sync happened before exit).
+        assert!(err.contains("rerun with --resume"), "{err}");
+        let report_resumed = dir.join("sigint-resumed.json");
+        let out = selfstab(&[
+            "sweep",
+            manifest.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+            "-o",
+            report_resumed.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+
+        // Every job completed before the signal was replayed, not re-run.
+        let text = stdout(&out);
+        assert!(text.contains("replayed"), "{text}");
+
+        // And the result is byte-identical to a never-interrupted sweep.
+        let report_ref = dir.join("sigint-ref.json");
+        let ref_journal = dir.join("sigint-ref.journal.jsonl");
+        std::fs::remove_file(&ref_journal).ok();
+        let out = selfstab(&[
+            "sweep",
+            manifest.to_str().unwrap(),
+            "--journal",
+            ref_journal.to_str().unwrap(),
+            "-o",
+            report_ref.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert_eq!(
+            std::fs::read_to_string(&report_ref).unwrap(),
+            std::fs::read_to_string(&report_resumed).unwrap(),
+            "post-SIGINT resume must lose no completed job"
+        );
+    } else {
+        // The machine was fast enough to finish before the signal landed;
+        // the sweep must then have ended by verdict, not by crash.
+        assert!(
+            matches!(status.code(), Some(0 | 2)),
+            "unexpected exit: {status:?}\n{err}"
+        );
+    }
+}

@@ -27,7 +27,7 @@
 //! order of the deadlock list.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use selfstab_protocol::{LocalStateId, Value};
@@ -43,12 +43,20 @@ const CANCEL_STRIDE: u64 = 4096;
 
 /// Cooperative cancellation for long-running scans: an explicit flag
 /// (settable from any thread, e.g. a Ctrl-C handler) combined with an
-/// optional wall-clock deadline. Scans poll the token every
-/// [`CANCEL_STRIDE`] states and bail out with [`Cancelled`].
+/// optional wall-clock deadline and an optional **parent** token. Scans
+/// poll the token every [`CANCEL_STRIDE`] states and bail out with
+/// [`Cancelled`].
+///
+/// Parent linking lets one broadcast token (a SIGINT hook, a chaos
+/// harness's forced-cancel injector) abort many per-job tokens at once:
+/// a child fires as soon as its own flag/deadline fires *or* its parent
+/// does, and a fired parent latches into the child's flag so subsequent
+/// polls stay one relaxed load.
 #[derive(Debug)]
 pub struct CancelToken {
     flag: AtomicBool,
     deadline: Option<Instant>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl Default for CancelToken {
@@ -63,6 +71,7 @@ impl CancelToken {
         CancelToken {
             flag: AtomicBool::new(false),
             deadline: None,
+            parent: None,
         }
     }
 
@@ -71,6 +80,27 @@ impl CancelToken {
         CancelToken {
             flag: AtomicBool::new(false),
             deadline: Some(deadline),
+            parent: None,
+        }
+    }
+
+    /// A token that also fires whenever `parent` fires. Cancelling the
+    /// child never cancels the parent.
+    pub fn linked(parent: Arc<CancelToken>) -> Self {
+        CancelToken {
+            flag: AtomicBool::new(false),
+            deadline: None,
+            parent: Some(parent),
+        }
+    }
+
+    /// A token with both a private deadline and a parent link: it fires on
+    /// its own deadline, on explicit cancel, or when `parent` fires.
+    pub fn linked_with_deadline(parent: Arc<CancelToken>, deadline: Instant) -> Self {
+        CancelToken {
+            flag: AtomicBool::new(false),
+            deadline: Some(deadline),
+            parent: Some(parent),
         }
     }
 
@@ -79,11 +109,18 @@ impl CancelToken {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// `true` once the token has fired or its deadline has passed. A passed
-    /// deadline latches the flag so later polls skip the clock read.
+    /// `true` once the token has fired, its deadline has passed, or its
+    /// parent (if any) has fired. A passed deadline or fired parent latches
+    /// the flag so later polls skip the clock read / parent walk.
     pub fn is_cancelled(&self) -> bool {
         if self.flag.load(Ordering::Relaxed) {
             return true;
+        }
+        if let Some(parent) = &self.parent {
+            if parent.is_cancelled() {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
         }
         match self.deadline {
             Some(d) if Instant::now() >= d => {
@@ -663,6 +700,34 @@ mod tests {
         assert!(expired.is_cancelled());
         assert!(fused_scan_bounded(&ring, &EngineConfig::sequential(), &expired).is_err());
     }
+
+    #[test]
+    fn linked_tokens_fire_with_their_parent() {
+        let parent = Arc::new(CancelToken::new());
+        let child = CancelToken::linked(parent.clone());
+        let sibling =
+            CancelToken::linked_with_deadline(parent.clone(), Instant::now() + ONE_MINUTE);
+        assert!(!child.is_cancelled());
+        assert!(!sibling.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(sibling.is_cancelled());
+
+        // Cancelling a child never propagates up to the parent.
+        let parent = Arc::new(CancelToken::new());
+        let child = CancelToken::linked(parent.clone());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+
+        // A child's own deadline fires without touching the parent.
+        let parent = Arc::new(CancelToken::new());
+        let child = CancelToken::linked_with_deadline(parent.clone(), Instant::now());
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    const ONE_MINUTE: std::time::Duration = std::time::Duration::from_secs(60);
 
     #[test]
     fn unfired_token_leaves_results_identical() {

@@ -164,6 +164,39 @@ mod tests {
     }
 
     #[test]
+    fn zero_fault_span_strictly_contains_a_leaky_legit_set() {
+        // A protocol whose I is NOT closed: in the all-ones state (inside
+        // I), every process is enabled and firing one leaves I. The 0-fault
+        // span is then the program closure of I, a strict superset of I.
+        let p = Protocol::builder("leaky", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 1 -> x[r] := 0")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 4).unwrap();
+        let span = fault_span(&ring, 0);
+        // I is contained in its closure...
+        for s in ring.space().ids() {
+            if ring.is_legit(s) {
+                assert!(span[s.index()]);
+            }
+        }
+        // ...strictly: some reachable state is illegitimate, and the span
+        // is closed under program transitions.
+        assert!(ring
+            .space()
+            .ids()
+            .any(|s| span[s.index()] && !ring.is_legit(s)));
+        for s in ring.space().ids() {
+            if span[s.index()] {
+                ring.for_each_successor(s, |t| assert!(span[t.index()]));
+            }
+        }
+    }
+
+    #[test]
     fn full_fault_budget_reaches_everything() {
         let p = one_sided_agreement();
         let ring = RingInstance::symmetric(&p, 4).unwrap();

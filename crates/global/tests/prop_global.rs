@@ -3,7 +3,7 @@
 //! unidirectional rings).
 
 use proptest::prelude::*;
-use selfstab_global::{check, schedule, EngineConfig, RingInstance, Simulator};
+use selfstab_global::{check, schedule, EngineConfig, RingInstance, Scheduler, Simulator};
 use selfstab_protocol::{Domain, LocalStateId, LocalTransition, Locality, Protocol};
 
 /// A random unidirectional protocol over domain size `d` with transitions
@@ -250,6 +250,57 @@ proptest! {
         if ring.space().ids().any(|s| ring.is_legit(s)) {
             prop_assert!(prev.iter().all(|&b| b));
         }
+    }
+
+    /// A zero-fault budget yields exactly the *program closure* of I(K):
+    /// the states reachable from I by program transitions alone. On
+    /// protocols where I is closed this collapses to I itself, but the
+    /// identity must hold in general — random protocols routinely leak out
+    /// of their legitimate predicate.
+    #[test]
+    fn fault_span_zero_is_program_closure(p in arb_protocol(2), k in 2usize..6) {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        // Reference closure: BFS from all legitimate states.
+        let n = ring.space().len() as usize;
+        let mut closure = vec![false; n];
+        let mut work: Vec<_> = ring.space().ids().filter(|&s| ring.is_legit(s)).collect();
+        for s in &work {
+            closure[s.index()] = true;
+        }
+        while let Some(s) = work.pop() {
+            ring.for_each_successor(s, |t| {
+                if !closure[t.index()] {
+                    closure[t.index()] = true;
+                    work.push(t);
+                }
+            });
+        }
+        prop_assert_eq!(selfstab_global::faults::fault_span(&ring, 0), closure);
+    }
+
+    /// The random-daemon simulator is a pure function of its seed: two
+    /// simulators built from the same seed produce identical convergence
+    /// statistics, run by run.
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed(
+        p in arb_protocol(2),
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        let mut a = Simulator::new(&ring, seed).with_scheduler(Scheduler::Random);
+        let mut b = Simulator::new(&ring, seed).with_scheduler(Scheduler::Random);
+        prop_assert_eq!(
+            a.convergence_stats(20, 1_000),
+            b.convergence_stats(20, 1_000)
+        );
+        // And the streams stay aligned after the stats runs: the next
+        // random start and run agree too.
+        let (sa, sb) = (a.random_state(), b.random_state());
+        prop_assert_eq!(sa, sb);
+        let (ra, rb) = (a.run_from(sa, 500), b.run_from(sb, 500));
+        prop_assert_eq!(ra.converged, rb.converged);
+        prop_assert_eq!(ra.steps, rb.steps);
     }
 
     /// The parallel fused engine and the sequential one produce identical
