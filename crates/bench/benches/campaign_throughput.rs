@@ -71,16 +71,50 @@ fn bench_campaign_throughput(_c: &mut Criterion) {
     std::fs::remove_file(&journal_path).ok();
     let journal_overhead = journaled_us / multi_us;
 
+    // Telemetry overhead: the same multi-worker sweep with per-job phase
+    // spans, engine counters and pool stats collected. Its report must
+    // still be byte-identical, and its metrics document donates the
+    // campaign-wide phase totals recorded below.
+    let telemetry_config = CampaignConfig {
+        workers,
+        telemetry: true,
+        ..CampaignConfig::default()
+    };
+    let metered = run_campaign(&manifest, &telemetry_config).unwrap();
+    assert_eq!(
+        baseline.rendered_report, metered.rendered_report,
+        "telemetry must not change the report"
+    );
+    let metrics = metered.metrics.expect("telemetry produces metrics");
+    let phase_us = |name: &str| metrics["phase_totals_us"][name].as_u64().unwrap_or(0);
+    let (scan_us, dfs_us, parse_us, local_us) = (
+        phase_us("fused_scan"),
+        phase_us("livelock_dfs"),
+        phase_us("parse"),
+        phase_us("local_analysis"),
+    );
+    let telemetry_us = timed_min(reps, || {
+        std::hint::black_box(run_campaign(&manifest, &telemetry_config).unwrap());
+    });
+    let telemetry_overhead = telemetry_us / multi_us;
+
     let speedup = one_us / multi_us;
     let jobs_per_s_one = jobs as f64 / (one_us / 1e6);
     let jobs_per_s_multi = jobs as f64 / (multi_us / 1e6);
     println!(
-        "campaign_throughput {} specs × K=2..=9 = {jobs} jobs: 1 worker {} | {workers} workers {} ({speedup:.1}x) | journaled {} ({journal_overhead:.2}x, {journal_bytes} B)",
+        "campaign_throughput {} specs × K=2..=9 = {jobs} jobs: 1 worker {} | {workers} workers {} ({speedup:.1}x) | journaled {} ({journal_overhead:.2}x, {journal_bytes} B) | telemetry {} ({telemetry_overhead:.2}x)",
         manifest.specs.len(),
         fmt_us(one_us),
         fmt_us(multi_us),
         fmt_us(journaled_us),
+        fmt_us(telemetry_us),
     );
+    if cores < workers {
+        println!(
+            "note: {cores} hardware core(s) for {workers} workers — pool \
+             speedups are measured degenerate here"
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"campaign_throughput/specs_corpus\",\n  \
@@ -94,6 +128,11 @@ fn bench_campaign_throughput(_c: &mut Criterion) {
          \"journaled_multi_worker_us\": {journaled_us:.1},\n  \
          \"journal_overhead\": {journal_overhead:.3},\n  \
          \"journal_bytes\": {journal_bytes},\n  \
+         \"telemetry_multi_worker_us\": {telemetry_us:.1},\n  \
+         \"telemetry_overhead\": {telemetry_overhead:.3},\n  \
+         \"phase_totals_us\": {{\"parse\": {parse_us}, \"local_analysis\": {local_us}, \
+         \"fused_scan\": {scan_us}, \"livelock_dfs\": {dfs_us}}},\n  \
+         \"note\": \"timings from a {cores}-core container; pool speedups are hardware-bound\",\n  \
          \"reports_byte_identical\": true\n}}\n",
         manifest.specs.len(),
         baseline.report["states_swept"],

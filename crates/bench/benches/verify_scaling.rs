@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selfstab_bench::timing::{fmt_us, timed_min};
 use selfstab_core::report::StabilizationReport;
+use selfstab_global::engine::{find_livelock_metered, fused_scan_metered, CancelToken};
 use selfstab_global::{check, EngineConfig, RingInstance};
 use selfstab_protocols::{agreement, sum_not_two};
+use selfstab_telemetry::{EngineCounters, Phase, PhaseTimes};
 
 fn bench_local_verification(c: &mut Criterion) {
     let mut g = c.benchmark_group("verify_local");
@@ -124,6 +126,38 @@ fn bench_engine_comparison(_c: &mut Criterion) {
         ));
     });
 
+    // Telemetry cost, both ways. Disabled (`counters: None`) must be free:
+    // the metered entry points ARE the engine now, so any overhead here is
+    // overhead every caller pays. Enabled flushes per-chunk locals into
+    // atomics — the contract is "counters cost nothing inside the loop".
+    let seq = EngineConfig::sequential();
+    let token = CancelToken::new();
+    let full_check = |counters: Option<&EngineCounters>| {
+        let scan = fused_scan_metered(&ring, &seq, &token, counters).expect("no deadline");
+        let live = find_livelock_metered(&ring, &scan, &token, counters).expect("no deadline");
+        (scan, live)
+    };
+    let disabled_us = timed_min(reps, || {
+        std::hint::black_box(full_check(None));
+    });
+    let counters = EngineCounters::new();
+    let enabled_us = timed_min(reps, || {
+        std::hint::black_box(full_check(Some(&counters)));
+    });
+    let disabled_overhead = disabled_us / fused_seq_us;
+    let enabled_overhead = enabled_us / disabled_us;
+
+    // Phase totals for one fully metered check, as `sweep --metrics`
+    // would attribute them.
+    let phases = PhaseTimes::new();
+    let scan = phases.time(Phase::FusedScan, || {
+        fused_scan_metered(&ring, &seq, &token, Some(&counters)).expect("no deadline")
+    });
+    let _ = phases.time(Phase::LivelockDfs, || {
+        find_livelock_metered(&ring, &scan, &token, Some(&counters)).expect("no deadline")
+    });
+    let snap = phases.snapshot();
+
     let speedup_seq = seed_us / fused_seq_us;
     let speedup_par = seed_us / fused_par_us;
     println!(
@@ -133,14 +167,33 @@ fn bench_engine_comparison(_c: &mut Criterion) {
         fmt_us(fused_seq_us),
         fmt_us(fused_par_us),
     );
+    println!(
+        "telemetry: disabled {} ({disabled_overhead:.3}x of plain engine) | \
+         enabled {} ({enabled_overhead:.3}x of disabled)",
+        fmt_us(disabled_us),
+        fmt_us(enabled_us),
+    );
+    if threads == 1 {
+        println!(
+            "note: 1 hardware core available — the parallel engine and any \
+             thread-count speedups are measured degenerate here"
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"verify_scaling/engine_comparison\",\n  \"protocol\": \"sum_not_two\",\n  \
          \"ring_size\": {k},\n  \"domain_size\": 3,\n  \"states\": {},\n  \
          \"seed_sequential_us\": {seed_us:.1},\n  \"fused_sequential_us\": {fused_seq_us:.1},\n  \
          \"fused_parallel_us\": {fused_par_us:.1},\n  \"threads\": {threads},\n  \
-         \"speedup_fused_sequential\": {speedup_seq:.2},\n  \"speedup_fused_parallel\": {speedup_par:.2}\n}}\n",
+         \"speedup_fused_sequential\": {speedup_seq:.2},\n  \"speedup_fused_parallel\": {speedup_par:.2},\n  \
+         \"telemetry_disabled_us\": {disabled_us:.1},\n  \"telemetry_enabled_us\": {enabled_us:.1},\n  \
+         \"telemetry_disabled_overhead\": {disabled_overhead:.3},\n  \
+         \"telemetry_enabled_overhead\": {enabled_overhead:.3},\n  \
+         \"phase_totals_us\": {{\"fused_scan\": {}, \"livelock_dfs\": {}}},\n  \
+         \"note\": \"timings from a {threads}-core container; parallel speedups are hardware-bound\"\n}}\n",
         ring.space().len(),
+        snap.micros[Phase::FusedScan.index()],
+        snap.micros[Phase::LivelockDfs.index()],
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_verify_scaling.json");

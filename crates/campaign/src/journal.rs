@@ -264,6 +264,20 @@ pub fn panic_event(spec: &str, k: usize, attempt: u32, error: &str) -> Value {
 /// the report without re-running anything) plus telemetry that the report
 /// never copies (worker id, duration).
 pub fn finished_event(result: &JobResult, worker: usize, duration: Duration) -> Value {
+    finished_event_with_phases(result, worker, duration, None)
+}
+
+/// [`finished_event`] plus an optional `phases_us` telemetry object (the
+/// job's per-phase microseconds, as rendered by the telemetry crate's
+/// `PhaseSnapshot::to_json`). Replay ignores it like every other
+/// telemetry field, so journals with and without phase breakdowns resume
+/// identically.
+pub fn finished_event_with_phases(
+    result: &JobResult,
+    worker: usize,
+    duration: Duration,
+    phases_us: Option<Value>,
+) -> Value {
     let mut row = result.report_row();
     let Value::Object(map) = &mut row else {
         unreachable!("report_row returns an object");
@@ -271,6 +285,9 @@ pub fn finished_event(result: &JobResult, worker: usize, duration: Duration) -> 
     map.insert("ev".into(), json!("finished"));
     map.insert("worker".into(), json!(worker));
     map.insert("duration_us".into(), json!(duration.as_micros() as u64));
+    if let Some(phases) = phases_us {
+        map.insert("phases_us".into(), phases);
+    }
     row
 }
 

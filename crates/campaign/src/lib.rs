@@ -52,6 +52,7 @@ pub mod manifest;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use chaos::ChaosPlan;
 pub use job::{JobResult, JobSpec, LocalVerdict, Outcome};

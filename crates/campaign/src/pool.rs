@@ -25,7 +25,34 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use selfstab_telemetry::{Histogram, Registry};
+
+/// Scheduling telemetry of one pool run: how often workers ran dry and
+/// stole, and how deep their own deques were when they popped. Pure
+/// mechanics — scheduling-dependent by construction, so these numbers
+/// live in the metrics document's scheduling section, never in anything
+/// that must be deterministic.
+#[derive(Debug)]
+pub struct PoolStats {
+    /// Jobs taken from a sibling's deque rather than the worker's own.
+    pub steals: Arc<AtomicU64>,
+    /// Own-deque depth observed at each pop (after removing the job).
+    pub queue_depth: Arc<Histogram>,
+}
+
+impl PoolStats {
+    /// Stats wired into `registry` as `pool/steals` and
+    /// `pool/queue_depth`, so a registry snapshot includes them.
+    pub fn from_registry(registry: &Registry) -> Self {
+        PoolStats {
+            steals: registry.counter("pool/steals"),
+            queue_depth: registry.histogram("pool/queue_depth"),
+        }
+    }
+}
 
 /// Runs `jobs` closures on `workers` scoped threads with work stealing.
 ///
@@ -39,6 +66,22 @@ use std::sync::Mutex;
 /// completion and the first caught panic payload is then re-raised from
 /// the calling thread.
 pub fn run_jobs<T, F>(workers: usize, jobs: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    run_jobs_with_stats(workers, jobs, None, run)
+}
+
+/// [`run_jobs`] with optional scheduling telemetry: steal counts and
+/// queue-depth samples land in `stats`. The results are identical with
+/// and without stats — observation never steers scheduling.
+pub fn run_jobs_with_stats<T, F>(
+    workers: usize,
+    jobs: usize,
+    stats: Option<&PoolStats>,
+    run: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
@@ -66,7 +109,7 @@ where
             let run = &run;
             let panicked = &panicked;
             scope.spawn(move || loop {
-                let job = next_job(deques, w);
+                let job = next_job(deques, w, stats);
                 let Some(job) = job else {
                     break;
                 };
@@ -99,13 +142,26 @@ where
 
 /// Pops the next job for worker `w`: own front first, then steal from the
 /// back of the first non-empty sibling deque (scanning from `w + 1`).
-fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(job) = deques[w].lock().expect("deque poisoned").pop_front() {
-        return Some(job);
+fn next_job(
+    deques: &[Mutex<VecDeque<usize>>],
+    w: usize,
+    stats: Option<&PoolStats>,
+) -> Option<usize> {
+    {
+        let mut own = deques[w].lock().expect("deque poisoned");
+        if let Some(job) = own.pop_front() {
+            if let Some(s) = stats {
+                s.queue_depth.record(own.len() as u64);
+            }
+            return Some(job);
+        }
     }
     for offset in 1..deques.len() {
         let victim = (w + offset) % deques.len();
         if let Some(job) = deques[victim].lock().expect("deque poisoned").pop_back() {
+            if let Some(s) = stats {
+                s.steals.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(job);
         }
     }
@@ -151,6 +207,25 @@ mod tests {
     fn zero_workers_and_zero_jobs_are_fine() {
         assert!(run_jobs(0, 0, |_w, j| j).is_empty());
         assert_eq!(run_jobs(0, 3, |_w, j| j), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_observe_every_pop_without_changing_results() {
+        // Every job is either popped from its owner's deque (one
+        // queue-depth sample) or stolen (one steal tick) — the two tallies
+        // partition the job count, and observation never reorders results.
+        let registry = Registry::new();
+        let stats = PoolStats::from_registry(&registry);
+        let results = run_jobs_with_stats(4, 16, Some(&stats), |_w, job| {
+            if job == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            job
+        });
+        assert_eq!(results, (0..16).collect::<Vec<_>>());
+        let steals = stats.steals.load(Ordering::Relaxed);
+        let pops = stats.queue_depth.snapshot().count;
+        assert_eq!(steals + pops, 16, "steals={steals} pops={pops}");
     }
 
     #[test]

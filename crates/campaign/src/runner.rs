@@ -11,15 +11,17 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use selfstab_core::report::StabilizationReport;
-use selfstab_global::check::ConvergenceReport;
+use selfstab_global::engine::{find_livelock_metered, fused_scan_metered};
 use selfstab_global::{CancelToken, EngineConfig, GlobalError, RingInstance};
 use selfstab_protocol::Protocol;
+use selfstab_telemetry::{EngineCounters, Phase, Progress, TraceCollector};
 use serde_json::Value;
 
 use crate::chaos::ChaosPlan;
 use crate::job::{JobResult, JobSpec, LocalVerdict, Outcome};
 use crate::journal::{self, FsyncPolicy, Journal};
 use crate::manifest::Manifest;
+use crate::telemetry::{timed, CampaignTelemetry, JobScope, JobTelemetry};
 use crate::{pool, report};
 
 /// Errors of the campaign subsystem.
@@ -78,6 +80,17 @@ pub struct CampaignConfig {
     pub interrupt: Option<Arc<CancelToken>>,
     /// Deterministic fault injection (hidden `--chaos` flag / test API).
     pub chaos: Option<ChaosPlan>,
+    /// Collect telemetry (phase times, engine counters, scheduling stats)
+    /// into [`CampaignOutcome::metrics`]. Off by default: the job hot path
+    /// then runs exactly as before, with no counters allocated.
+    pub telemetry: bool,
+    /// Additionally record Chrome trace events into
+    /// [`CampaignOutcome::trace`]. Implies `telemetry`.
+    pub trace: bool,
+    /// Live progress sink (the CLI's stderr meter). The runner sets the
+    /// total to the number of jobs this invocation will execute and
+    /// records each completion; rendering is the caller's business.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl Default for CampaignConfig {
@@ -92,6 +105,9 @@ impl Default for CampaignConfig {
             fsync: FsyncPolicy::Batch,
             interrupt: None,
             chaos: None,
+            telemetry: false,
+            trace: false,
+            progress: None,
         }
     }
 }
@@ -124,6 +140,15 @@ pub struct CampaignOutcome {
     /// Wall-clock time of this invocation — telemetry only, never part of
     /// `rendered_report`.
     pub elapsed: Duration,
+    /// The metrics document (phase times, engine counters, scheduling
+    /// stats) when [`CampaignConfig::telemetry`] was on; `None` otherwise.
+    /// Per-job *counter* values are deterministic across worker counts;
+    /// durations and scheduling numbers are not and live in separate
+    /// sections.
+    pub metrics: Option<Value>,
+    /// The Chrome trace-event document when [`CampaignConfig::trace`] was
+    /// on; `None` otherwise. Loadable in Perfetto / `chrome://tracing`.
+    pub trace: Option<Value>,
 }
 
 /// A spec's shared preparation: parsed protocol + local verdict, computed
@@ -213,9 +238,25 @@ pub fn run_campaign(
             .max(1),
     );
 
+    // Telemetry sinks. `None` when neither `--metrics` nor `--trace` was
+    // asked for: the job path then allocates no counters and times no
+    // spans, exactly as before this subsystem existed.
+    let tele = (config.telemetry || config.trace).then(|| CampaignTelemetry::new(config.trace));
+    let pool_stats = tele
+        .as_ref()
+        .map(|t| pool::PoolStats::from_registry(&t.registry));
+    let progress = config.progress.clone();
+    if let Some(p) = &progress {
+        p.set_total(pending.len() as u64);
+    }
+    let replayed = replay.completed.len();
+
     let panics_caught = std::sync::atomic::AtomicU64::new(0);
-    let fresh: Vec<Option<JobResult>> =
-        pool::run_jobs(config.workers, pending.len(), |worker, idx| {
+    let fresh: Vec<Option<JobResult>> = pool::run_jobs_with_stats(
+        config.workers,
+        pending.len(),
+        pool_stats.as_ref(),
+        |worker, idx| {
             let job = pending[idx];
             if is_interrupted() {
                 return None; // fast drain: skip everything still queued
@@ -228,13 +269,45 @@ pub fn run_campaign(
                     return None;
                 }
             }
+            // Created OUTSIDE the panic net, so the phase time a panicking
+            // attempt burned survives into the metrics document.
+            let job_tele = tele.as_ref().map(|_| JobTelemetry::default());
+            let scope = match (&tele, &job_tele) {
+                (Some(t), Some(jt)) => Some(JobScope {
+                    tele: t,
+                    job: jt,
+                    worker,
+                    spec: &job.spec,
+                    k: job.k,
+                }),
+                _ => None,
+            };
+            let scope = scope.as_ref();
+            let record = |result: JobResult| {
+                if let (Some(t), Some(jt)) = (&tele, &job_tele) {
+                    t.finish_job(&result, jt);
+                }
+                if let Some(p) = &progress {
+                    p.record(matches!(
+                        result.outcome,
+                        Outcome::Failed { .. } | Outcome::Panicked { .. } | Outcome::Error { .. }
+                    ));
+                }
+                Some(result)
+            };
             let mut attempt: u32 = 0;
             loop {
                 if is_interrupted() {
                     return None;
                 }
+                if let Some(jt) = &job_tele {
+                    jt.attempts
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 if let Some(j) = &journal {
-                    j.event(&journal::started_event(&job.spec, job.k, worker, attempt));
+                    timed(scope, Phase::JournalAppend, || {
+                        j.event(&journal::started_event(&job.spec, job.k, worker, attempt));
+                    });
                 }
                 let job_started = Instant::now();
                 // The panic net: nothing a job does — chaos injection, an
@@ -247,44 +320,65 @@ pub fn run_campaign(
                         }
                     }
                     let data = slots[job.spec_index].get_or_init(|| {
-                        let data = prepare_spec(manifest, job.spec_index);
+                        let data = prepare_spec(manifest, job.spec_index, scope);
                         if let Some(j) = &journal {
                             let verdict = match &data {
                                 Ok((_, verdict)) => verdict.clone(),
                                 Err(_) => LocalVerdict::Error,
                             };
-                            j.event(&journal::analyzed_event(&job.spec, &verdict));
+                            timed(scope, Phase::JournalAppend, || {
+                                j.event(&journal::analyzed_event(&job.spec, &verdict));
+                            });
                         }
                         data
                     });
-                    execute_job(manifest, job, data, &engine, interrupt.as_ref())
+                    execute_job(manifest, job, data, &engine, interrupt.as_ref(), scope)
                 }));
                 match ran {
                     Ok(Attempt::Done(result)) => {
                         if let Some(j) = &journal {
-                            j.event(&journal::finished_event(
-                                &result,
-                                worker,
-                                job_started.elapsed(),
-                            ));
+                            let phases = job_tele.as_ref().map(|jt| jt.phases.snapshot().to_json());
+                            timed(scope, Phase::JournalAppend, || {
+                                j.event(&journal::finished_event_with_phases(
+                                    &result,
+                                    worker,
+                                    job_started.elapsed(),
+                                    phases,
+                                ));
+                            });
                         }
-                        return Some(*result);
+                        return record(*result);
                     }
                     Ok(Attempt::Interrupted) => return None,
                     Err(payload) => {
                         panics_caught.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let message = panic_message(payload.as_ref());
+                        if let Some(s) = scope {
+                            s.tele.instant(s, "job_panicked");
+                            s.tele
+                                .registry
+                                .counter("campaign/panics")
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
                         if let Some(j) = &journal {
-                            j.event(&journal::panic_event(&job.spec, job.k, attempt, &message));
+                            timed(scope, Phase::JournalAppend, || {
+                                j.event(&journal::panic_event(&job.spec, job.k, attempt, &message));
+                            });
                         }
                         if attempt < config.retries {
+                            if let Some(s) = scope {
+                                s.tele
+                                    .registry
+                                    .counter("campaign/retries")
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
                             // Deterministic exponential backoff: a pure
                             // function of the attempt index, no jitter, no
                             // clock in any recorded artifact.
                             let delay =
                                 config.backoff * (1u32 << attempt.min(BACKOFF_EXPONENT_CAP));
                             if !delay.is_zero() {
-                                std::thread::sleep(delay);
+                                timed(scope, Phase::RetryBackoff, || std::thread::sleep(delay));
                             }
                             attempt += 1;
                             continue;
@@ -293,7 +387,7 @@ pub fn run_campaign(
                         // Deliberately NOT journaled as `finished` — a
                         // panic is a toolchain fault, so a resumed
                         // campaign gets to retry the job from scratch.
-                        return Some(JobResult {
+                        return record(JobResult {
                             spec: job.spec.clone(),
                             k: job.k,
                             outcome: Outcome::Panicked {
@@ -306,7 +400,8 @@ pub fn run_campaign(
                     }
                 }
             }
-        });
+        },
+    );
 
     let interrupted = is_interrupted();
 
@@ -352,7 +447,7 @@ pub fn run_campaign(
     if !interrupted {
         for (spec_index, spec) in manifest.specs.iter().enumerate() {
             if !locals.contains_key(spec) {
-                let verdict = match prepare_spec(manifest, spec_index) {
+                let verdict = match prepare_spec(manifest, spec_index, None) {
                     Ok((_, verdict)) => verdict,
                     Err(_) => LocalVerdict::Error,
                 };
@@ -369,6 +464,19 @@ pub fn run_campaign(
 
     let report = report::build(manifest, &fingerprint, &results, &locals);
     let rendered_report = report::render(&report);
+    let (metrics, trace) = match &tele {
+        Some(t) => (
+            Some(t.metrics_json(
+                manifest,
+                &fingerprint,
+                config.workers.max(1),
+                engine.threads.max(1),
+                replayed,
+            )),
+            t.trace.as_ref().map(TraceCollector::to_json),
+        ),
+        None => (None, None),
+    };
     Ok(CampaignOutcome {
         results,
         locals,
@@ -378,6 +486,8 @@ pub fn run_campaign(
         interrupted,
         panics_caught: panics_caught.into_inner(),
         elapsed: started.elapsed(),
+        metrics,
+        trace,
     })
 }
 
@@ -394,13 +504,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Parses and locally analyzes one spec (the once-per-spec shared work).
-fn prepare_spec(manifest: &Manifest, spec_index: usize) -> SpecData {
+/// The `parse` and `local_analysis` phases are attributed to the job whose
+/// worker happened to trigger the shared preparation.
+fn prepare_spec(manifest: &Manifest, spec_index: usize, scope: Option<&JobScope<'_>>) -> SpecData {
     let path = manifest.spec_path(spec_index);
-    let source = std::fs::read_to_string(&path)
-        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
-    let protocol = selfstab_protocol::file::parse_protocol_file(&source)
-        .map_err(|e| format!("{}: {e}", manifest.specs[spec_index]))?;
-    let local = StabilizationReport::analyze(&protocol);
+    let protocol = timed(scope, Phase::Parse, || -> Result<Protocol, String> {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        selfstab_protocol::file::parse_protocol_file(&source)
+            .map_err(|e| format!("{}: {e}", manifest.specs[spec_index]))
+    })?;
+    let local = timed(scope, Phase::LocalAnalysis, || {
+        StabilizationReport::analyze(&protocol)
+    });
     let verdict = if local.is_self_stabilizing_for_all_k() {
         LocalVerdict::Proven
     } else {
@@ -420,6 +536,7 @@ fn execute_job(
     data: &SpecData,
     engine: &EngineConfig,
     interrupt: Option<&Arc<CancelToken>>,
+    scope: Option<&JobScope<'_>>,
 ) -> Attempt {
     let mut result = JobResult {
         spec: job.spec.clone(),
@@ -477,28 +594,50 @@ fn execute_job(
         (None, Some(d)) => CancelToken::with_deadline(d),
         (None, None) => CancelToken::new(),
     };
-    match ConvergenceReport::check_bounded(&ring, engine, &token) {
-        Ok(check) => {
-            result.states = check.state_count;
-            result.legit = check.legit_count;
-            result.outcome = if check.self_stabilizing() {
-                Outcome::Verified
-            } else {
-                Outcome::Failed {
-                    closure_ok: check.closure_violation.is_none(),
-                    deadlocks: check.illegitimate_deadlocks.len() as u64,
-                    livelock_len: check.livelock.as_ref().map(|c| c.len() as u64),
-                }
-            };
+    // The check, decomposed so the two engine passes get their own phase
+    // spans. Counters exist only when telemetry is on; `None` keeps the
+    // metered engine on its zero-overhead path. The composition is exactly
+    // `ConvergenceReport::check_metered` — verdict semantics unchanged.
+    let counters = scope.map(|_| EngineCounters::new());
+    let counters = counters.as_ref();
+    let cancelled = |result: JobResult| {
+        if interrupt.is_some_and(|t| t.is_cancelled()) {
+            return Attempt::Interrupted;
         }
-        Err(_) => {
-            if interrupt.is_some_and(|t| t.is_cancelled()) {
-                return Attempt::Interrupted;
-            }
-            result.outcome = Outcome::OverBudget {
-                reason: "deadline".into(),
-            };
+        let mut result = result;
+        result.outcome = Outcome::OverBudget {
+            reason: "deadline".into(),
+        };
+        Attempt::Done(Box::new(result))
+    };
+    let scan = match timed(scope, Phase::FusedScan, || {
+        fused_scan_metered(&ring, engine, &token, counters)
+    }) {
+        Ok(scan) => scan,
+        Err(_) => return cancelled(result),
+    };
+    let livelock = match timed(scope, Phase::LivelockDfs, || {
+        find_livelock_metered(&ring, &scan, &token, counters)
+    }) {
+        Ok(livelock) => livelock,
+        Err(_) => return cancelled(result),
+    };
+    result.states = ring.space().len();
+    result.legit = scan.legit_count;
+    let closure_ok = scan.first_closure_violation.is_none();
+    result.outcome = if closure_ok && scan.illegitimate_deadlocks.is_empty() && livelock.is_none() {
+        Outcome::Verified
+    } else {
+        Outcome::Failed {
+            closure_ok,
+            deadlocks: scan.illegitimate_deadlocks.len() as u64,
+            livelock_len: livelock.as_ref().map(|c| c.len() as u64),
         }
+    };
+    // Counters land on the job only once the check completed — a cancelled
+    // scan flushed nothing and must not masquerade as a measurement.
+    if let (Some(s), Some(c)) = (scope, counters) {
+        s.job.set_counters(c.snapshot());
     }
     Attempt::Done(Box::new(result))
 }

@@ -113,4 +113,49 @@ proptest! {
             prop_assert_eq!(&outcome.rendered_report, &base.rendered_report);
         }
     }
+
+    /// The metrics document's per-job engine counters (and outcomes, and
+    /// state counts) are a pure function of the manifest — identical for
+    /// every worker count and engine thread count. Durations, attempts
+    /// and scheduling stats are exempt by construction: they live in
+    /// fields this projection does not read.
+    #[test]
+    fn metric_counters_are_scheduling_invariant(manifest in arb_manifest()) {
+        let deterministic_rows = |workers: usize, engine_threads: Option<usize>| {
+            let metrics = run_campaign(
+                &manifest,
+                &CampaignConfig {
+                    workers,
+                    engine_threads,
+                    telemetry: true,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap()
+            .metrics
+            .expect("telemetry produces metrics");
+            metrics["jobs"]
+                .as_array()
+                .expect("metrics has a jobs array")
+                .iter()
+                .map(|row| {
+                    format!(
+                        "{}|{}|{}|{}|{}",
+                        row["spec"], row["k"], row["outcome"], row["states"], row["counters"]
+                    )
+                })
+                .collect::<Vec<String>>()
+        };
+        let base = deterministic_rows(1, None);
+        prop_assert!(!base.is_empty());
+        for (workers, threads) in [(2, None), (4, Some(2))] {
+            prop_assert_eq!(
+                &deterministic_rows(workers, threads),
+                &base,
+                "counters diverged at workers={} threads={:?}",
+                workers,
+                threads
+            );
+        }
+    }
 }

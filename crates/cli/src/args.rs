@@ -10,7 +10,7 @@ pub struct Args {
 }
 
 /// Flags that take no value, per subcommand vocabulary.
-const BOOLEAN_FLAGS: &[&str] = &["ltg", "first", "all", "quiet", "json", "resume"];
+const BOOLEAN_FLAGS: &[&str] = &["ltg", "first", "all", "quiet", "verbose", "json", "resume"];
 
 impl Args {
     /// Parses raw arguments. Options may be `--name value` or `--name`;

@@ -92,9 +92,9 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         println!("{}", serde_json::to_string_pretty(&doc)?);
     }
     if disagreements > 0 {
-        eprintln!(
+        selfstab_telemetry::logger::warn(format!(
             "SOUNDNESS VIOLATION: local proof contradicted at {disagreements} size(s) — please report this"
-        );
+        ));
         return Ok(false);
     }
     if !json_mode {

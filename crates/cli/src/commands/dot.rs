@@ -2,6 +2,7 @@
 //! export of the RCG or LTG.
 
 use selfstab_core::{ltg::Ltg, rcg::Rcg};
+use selfstab_telemetry::logger;
 
 use crate::args::{load_protocol, Args};
 
@@ -28,7 +29,7 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &dot)?;
-            eprintln!("wrote {path}");
+            logger::info(format!("wrote {path}"));
         }
         None => print!("{dot}"),
     }

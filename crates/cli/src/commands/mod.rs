@@ -7,5 +7,6 @@ pub mod dot;
 pub mod fmt;
 pub mod simulate;
 pub mod sizes;
+pub mod stats;
 pub mod sweep;
 pub mod synthesize;

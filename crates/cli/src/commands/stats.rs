@@ -1,0 +1,108 @@
+//! `selfstab stats <metrics.json>` — phase-time cross-tab of a sweep's
+//! `--metrics` document.
+//!
+//! Renders one row per executed spec × K job with the six instrumented
+//! phases as columns (milliseconds), plus a totals row from the
+//! campaign-wide `phase_totals_us` section. Durations here are wall-clock
+//! observations — scheduling-dependent by design; the deterministic story
+//! lives in the per-job `counters` (see DESIGN.md §8).
+
+use serde_json::Value;
+
+use crate::args::Args;
+
+/// Phase columns in execution order, with the compact header used for
+/// each (the full names are unwieldy at 80 columns).
+const PHASES: [(&str, &str); 6] = [
+    ("parse", "parse"),
+    ("local_analysis", "local"),
+    ("fused_scan", "scan"),
+    ("livelock_dfs", "dfs"),
+    ("journal_append", "journal"),
+    ("retry_backoff", "backoff"),
+];
+
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let path = args.file().map_err(|_| "missing <metrics.json> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let jobs = doc["jobs"]
+        .as_array()
+        .ok_or_else(|| format!("{path}: not a sweep metrics document (no `jobs` array)"))?;
+
+    let c = &doc["campaign"];
+    println!(
+        "campaign {}: {} of {} job(s) executed ({} replayed), {} worker(s), {} engine thread(s)",
+        c["fingerprint"].as_str().unwrap_or("?"),
+        c["executed"],
+        c["jobs"],
+        c["replayed"],
+        c["workers"],
+        c["engine_threads"]
+    );
+    if jobs.is_empty() {
+        println!("no jobs executed this run — nothing to tabulate");
+        return Ok(true);
+    }
+
+    let spec_width = jobs
+        .iter()
+        .map(|row| row["spec"].as_str().unwrap_or("?").len())
+        .max()
+        .unwrap_or(4)
+        .max("TOTAL".len());
+    print!("{:<spec_width$}  {:>3}", "spec", "K");
+    for (_, header) in PHASES {
+        print!("  {header:>8}");
+    }
+    println!("  {:>8}  outcome", "total");
+
+    for row in jobs {
+        print!(
+            "{:<spec_width$}  {:>3}",
+            row["spec"].as_str().unwrap_or("?"),
+            row["k"]
+        );
+        let mut total_us = 0;
+        for (key, _) in PHASES {
+            let us = row["phases_us"][key].as_u64().unwrap_or(0);
+            total_us += us;
+            print!("  {:>8}", millis(us));
+        }
+        println!(
+            "  {:>8}  {}",
+            millis(total_us),
+            row["outcome"].as_str().unwrap_or("?")
+        );
+    }
+
+    print!("{:<spec_width$}  {:>3}", "TOTAL", "");
+    let mut grand_us = 0;
+    for (key, _) in PHASES {
+        let us = doc["phase_totals_us"][key].as_u64().unwrap_or(0);
+        grand_us += us;
+        print!("  {:>8}", millis(us));
+    }
+    println!("  {:>8}", millis(grand_us));
+    println!("(all figures ms of wall-clock phase time; counters, not durations, are the deterministic surface)");
+    Ok(true)
+}
+
+/// Microseconds rendered as fixed-point milliseconds.
+fn millis(us: u64) -> String {
+    format!("{}.{:03}", us / 1000, us % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_is_fixed_point() {
+        assert_eq!(millis(0), "0.000");
+        assert_eq!(millis(999), "0.999");
+        assert_eq!(millis(12_345), "12.345");
+    }
+}

@@ -1,6 +1,7 @@
 //! `selfstab sweep <manifest.json> [--jobs J] [--threads T] [--resume]
 //! [--journal FILE] [--retries N] [--backoff-ms MS] [--fsync always|batch]
-//! [-o report.json] [--json]` — batch verification of a whole spec corpus.
+//! [--metrics FILE] [--trace FILE] [-o report.json] [--json]
+//! [--verbose|--quiet]` — batch verification of a whole spec corpus.
 //!
 //! The manifest names the specs (paths or `*` globs), the `K` range, and
 //! the per-job budgets; the campaign runs the full spec × K matrix on a
@@ -9,6 +10,14 @@
 //! The report is canonical JSON — byte-identical for every worker count,
 //! resume split and retry budget — so it can be diffed, archived, and
 //! gated on in CI.
+//!
+//! Observability: `--metrics FILE` writes a metrics document (per-job
+//! engine counters and phase breakdowns, campaign phase totals, pool
+//! scheduling stats — see `selfstab stats`); `--trace FILE` writes a
+//! Chrome trace-event file loadable in Perfetto / `chrome://tracing`.
+//! Neither flag perturbs stdout: the `--json` report stays byte-identical
+//! with or without them. When stderr is a terminal, a single-line live
+//! meter shows jobs done/failed and an ETA.
 //!
 //! Resilience: a panicking job is isolated and retried `--retries` times
 //! with exponential backoff (base `--backoff-ms`) before degrading to a
@@ -22,16 +31,26 @@
 //! panicked out of its retry budget, or contradicted its local proof
 //! (over-budget jobs are inconclusive and do not fail the sweep).
 
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use selfstab_campaign::{report, run_campaign, CampaignConfig, ChaosPlan, FsyncPolicy, Manifest};
+use selfstab_telemetry::{logger, Progress};
+use serde_json::Value;
 
 use crate::args::Args;
 use crate::signal;
 
+/// How often the live meter repaints. Slow enough to cost nothing, fast
+/// enough that the ETA feels alive.
+const METER_PERIOD: Duration = Duration::from_millis(200);
+
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
+    logger::set_level_from_flags(args.flag("verbose"), args.flag("quiet"), args.flag("json"));
     let manifest_path: &Path = args
         .file()
         .map_err(|_| "missing <manifest.json> argument")?
@@ -58,6 +77,9 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         None => None,
         Some(_) => Some(ChaosPlan::from_seed(args.get_u64("chaos", 0)?)),
     };
+    let metrics_path = args.get("metrics").map(PathBuf::from);
+    let trace_path = args.get("trace").map(PathBuf::from);
+    let progress = Arc::new(Progress::new());
     let config = CampaignConfig {
         workers: args.get_usize("jobs", 1)?,
         engine_threads,
@@ -68,25 +90,58 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         fsync,
         interrupt: Some(signal::interrupt_token()),
         chaos,
+        telemetry: metrics_path.is_some(),
+        trace: trace_path.is_some(),
+        progress: Some(Arc::clone(&progress)),
     };
 
-    let outcome = run_campaign(&manifest, &config)?;
+    // Live meter: only when a human is plausibly watching — stderr is a
+    // terminal and neither `--quiet` nor `--json` lowered the level.
+    // Everything it paints stays on one line and is erased before any
+    // final output, so it never contaminates captured stderr.
+    let meter =
+        (std::io::stderr().is_terminal() && logger::level() >= logger::Level::Info).then(|| {
+            let progress = Arc::clone(&progress);
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    eprint!("\r\x1b[K{}", progress.render());
+                    std::thread::sleep(METER_PERIOD);
+                }
+                eprint!("\r\x1b[K");
+            });
+            (stop, handle)
+        });
+    let outcome = run_campaign(&manifest, &config);
+    if let Some((stop, handle)) = meter {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    let outcome = outcome?;
+
     if outcome.interrupted {
         // The journal is synced; nothing completed is lost. Skip the
         // report (it is partial and must not overwrite a published one)
         // and exit with the conventional SIGINT code.
-        eprintln!(
+        logger::warn(format!(
             "interrupted: {} job(s) completed and journaled to {}; \
              rerun with --resume to continue",
             outcome.results.len(),
             journal_path.display()
-        );
+        ));
         std::process::exit(signal::EXIT_SIGINT as i32);
+    }
+    if let Some(path) = &metrics_path {
+        write_json_doc(path, outcome.metrics.as_ref().expect("telemetry was on"))?;
+    }
+    if let Some(path) = &trace_path {
+        write_json_doc(path, outcome.trace.as_ref().expect("tracing was on"))?;
     }
     if let Some(path) = args.get("out") {
         std::fs::write(path, &outcome.rendered_report)
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        eprintln!("wrote {path}");
+        logger::info(format!("wrote {path}"));
     }
     if args.flag("json") {
         print!("{}", outcome.rendered_report);
@@ -118,11 +173,11 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         r["states_swept"]
     );
     if outcome.panics_caught > 0 {
-        eprintln!(
+        logger::info(format!(
             "  caught {} worker panic(s); see job_panicked events in {}",
             outcome.panics_caught,
             journal_path.display()
-        );
+        ));
     }
     for row in r["jobs"].as_array().into_iter().flatten() {
         if row["outcome"] == "verified" {
@@ -158,12 +213,21 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         println!("  soundness: local verdicts and global outcomes agree on every job");
     } else {
         for d in disagreements {
-            eprintln!(
+            logger::warn(format!(
                 "  SOUNDNESS VIOLATION: {} proven locally but fails globally at K={} — please report this",
                 d["spec"].as_str().unwrap_or("?"),
                 d["k"]
-            );
+            ));
         }
     }
     Ok(report::is_clean(r))
+}
+
+/// Writes one telemetry document as pretty JSON with a trailing newline.
+fn write_json_doc(path: &Path, doc: &Value) -> Result<(), Box<dyn std::error::Error>> {
+    let mut text = serde_json::to_string_pretty(doc)?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    logger::info(format!("wrote {}", path.display()));
+    Ok(())
 }

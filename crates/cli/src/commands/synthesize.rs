@@ -3,11 +3,13 @@
 
 use selfstab_protocol::file::render_protocol_file;
 use selfstab_synth::{LocalSynthesizer, SynthesisConfig};
+use selfstab_telemetry::logger;
 
 use crate::args::{load_protocol, Args};
 
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
+    logger::set_level_from_flags(args.flag("verbose"), args.flag("quiet"), false);
     let protocol = load_protocol(&args)?;
     let config = SynthesisConfig {
         max_solutions: if args.flag("first") { 1 } else { 64 },
@@ -15,7 +17,7 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     };
 
     let outcome = LocalSynthesizer::new(config).synthesize(&protocol);
-    eprintln!(
+    logger::info(format!(
         "explored {} resolve set(s), {} candidate combination(s); {} rejected by the trail check{}",
         outcome.resolve_sets_tried(),
         outcome.combinations_tried(),
@@ -25,7 +27,7 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         } else {
             ""
         },
-    );
+    ));
 
     if !outcome.is_success() {
         return Err(
@@ -44,9 +46,9 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         );
         println!("{}", render_protocol_file(&s.protocol));
     }
-    eprintln!(
+    logger::info(format!(
         "{} solution(s); each is strongly self-stabilizing for EVERY ring size",
         outcome.solutions().len()
-    );
+    ));
     Ok(true)
 }

@@ -5,6 +5,7 @@
 //! selfstab audit      <file.stab> [--to 6] [--threads T]        proofs + global cross-checks + reconstruction
 //! selfstab check      <file.stab> --k 5 [--to 8] [--threads T]  global model checking at fixed sizes
 //! selfstab sweep      <manifest.json> [--jobs J] [--threads T]  batch campaign over a spec corpus
+//! selfstab stats      <metrics.json>                phase-time cross-tab of a sweep --metrics file
 //! selfstab synthesize <file.stab> [--first]        Section 6 synthesis methodology
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
@@ -53,6 +54,7 @@ fn run(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         "audit" => commands::audit::run(rest),
         "check" => commands::check::run(rest),
         "sweep" => commands::sweep::run(rest),
+        "stats" => commands::stats::run(rest),
         "synthesize" => commands::synthesize::run(rest),
         "sizes" => commands::sizes::run(rest),
         "simulate" => commands::simulate::run(rest),
@@ -86,8 +88,12 @@ SUBCOMMANDS:
                  --retries N retry panicked jobs with exponential backoff,
                  --backoff-ms MS base retry delay (default 100),
                  --fsync always|batch journal durability (default batch),
-                 [-o report.json] [--json]; SIGINT syncs the journal and
-                 exits 130 so --resume loses no completed job)
+                 --metrics FILE per-job counters + phase breakdown JSON,
+                 --trace FILE Chrome trace-event file (Perfetto-loadable),
+                 [-o report.json] [--json] [--verbose|--quiet]; SIGINT
+                 syncs the journal and exits 130 so --resume loses no
+                 completed job)
+    stats       phase-time cross-tab per spec × K from a sweep --metrics file
     synthesize  add convergence via the Section 6 methodology ([--first])
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])

@@ -603,3 +603,145 @@ fn sweep_sigint_syncs_the_journal_and_resumes_losslessly() {
         );
     }
 }
+
+#[test]
+fn sweep_exports_metrics_and_trace_and_stats_tabulates_them() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    let manifest = write_sweep_manifest(
+        "telemetry.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab", "{}/agreement_both.stab"], "k_from": 2, "k_to": 4}}"#,
+            specs_dir.display(),
+            specs_dir.display()
+        ),
+    );
+    let metrics_path = dir.join("telemetry.metrics.json");
+    let trace_path = dir.join("telemetry.trace.json");
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    // agreement_both livelocks → exit 2, but telemetry is written anyway.
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap())
+            .expect("metrics file is valid JSON");
+    assert_eq!(metrics["campaign"]["executed"], 6u64);
+    let rows = metrics["jobs"].as_array().unwrap();
+    assert_eq!(rows.len(), 6);
+    for row in rows {
+        assert_eq!(row["counters"]["states_visited"], row["states"]);
+        assert!(row["phases_us"]["fused_scan"].as_u64().is_some());
+    }
+
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap())
+            .expect("trace file is valid JSON");
+    assert_eq!(trace["displayTimeUnit"], "ms");
+    let events = trace["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    for e in events {
+        assert!(e["name"].as_str().is_some());
+        assert_eq!(e["pid"], 1u64);
+    }
+
+    // `stats` tabulates the metrics document: one row per spec × K plus a
+    // totals line.
+    let out = selfstab(&["stats", metrics_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("6 of 6 job(s) executed"), "{text}");
+    assert!(text.contains("agreement_both.stab"), "{text}");
+    assert!(text.contains("scan"), "{text}");
+    assert!(text.contains("TOTAL"), "{text}");
+
+    // And it rejects a non-metrics document with a usage error.
+    let out = selfstab(&["stats", trace_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("not a sweep metrics document"));
+}
+
+#[test]
+fn sweep_json_stdout_is_invariant_under_telemetry_and_verbosity_flags() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    let manifest = write_sweep_manifest(
+        "telemetry-json.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab"], "k_from": 2, "k_to": 5}}"#,
+            specs_dir.display()
+        ),
+    );
+    let base = selfstab(&["sweep", manifest.to_str().unwrap(), "--json"]);
+    assert!(base.status.success(), "{}", stderr(&base));
+
+    let metrics_path = dir.join("telemetry-json.metrics.json");
+    let trace_path = dir.join("telemetry-json.trace.json");
+    let with_flags = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--json",
+        "--verbose",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(with_flags.status.success(), "{}", stderr(&with_flags));
+    assert_eq!(
+        base.stdout, with_flags.stdout,
+        "telemetry and verbosity flags must not perturb --json stdout"
+    );
+}
+
+#[test]
+fn sweep_metrics_counters_are_byte_identical_across_thread_counts() {
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    // Distinct journal per run so neither clobbers the other mid-test.
+    let deterministic_rows = |label: &str, threads: &str| {
+        let manifest = write_sweep_manifest(
+            &format!("threads-{label}.json"),
+            &format!(
+                r#"{{"specs": ["{}/agreement.stab", "{}/flip_token.stab"], "k_from": 2, "k_to": 5}}"#,
+                specs_dir.display(),
+                specs_dir.display()
+            ),
+        );
+        let metrics_path = dir.join(format!("threads-{label}.metrics.json"));
+        let out = selfstab(&[
+            "sweep",
+            manifest.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let metrics: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let rows = metrics["jobs"].as_array().unwrap();
+        assert_eq!(rows.len(), 8);
+        rows.iter()
+            .map(|row| {
+                format!(
+                    "{}|{}|{}|{}|{}",
+                    row["spec"], row["k"], row["outcome"], row["states"], row["counters"]
+                )
+            })
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(
+        deterministic_rows("one", "1"),
+        deterministic_rows("four", "4"),
+        "per-job engine counters must not depend on the engine thread count"
+    );
+}

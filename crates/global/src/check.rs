@@ -271,8 +271,26 @@ impl ConvergenceReport {
         config: &EngineConfig,
         cancel: &CancelToken,
     ) -> Result<Self, Cancelled> {
-        let scan = crate::engine::fused_scan_bounded(ring, config, cancel)?;
-        let livelock = crate::engine::find_livelock_bounded(ring, &scan, cancel)?;
+        Self::check_metered(ring, config, cancel, None)
+    }
+
+    /// Like [`ConvergenceReport::check_bounded`], optionally flushing the
+    /// engine's work counters into `counters` (see
+    /// [`fused_scan_metered`](crate::engine::fused_scan_metered) and
+    /// [`find_livelock_metered`](crate::engine::find_livelock_metered)
+    /// for what is counted and which values are thread-count-invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token fired before the check finished.
+    pub fn check_metered(
+        ring: &RingInstance,
+        config: &EngineConfig,
+        cancel: &CancelToken,
+        counters: Option<&selfstab_telemetry::EngineCounters>,
+    ) -> Result<Self, Cancelled> {
+        let scan = crate::engine::fused_scan_metered(ring, config, cancel, counters)?;
+        let livelock = crate::engine::find_livelock_metered(ring, &scan, cancel, counters)?;
         Ok(ConvergenceReport {
             ring_size: ring.ring_size(),
             state_count: ring.space().len(),

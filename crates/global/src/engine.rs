@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use selfstab_protocol::{LocalStateId, Value};
+use selfstab_telemetry::EngineCounters;
 
 use crate::instance::{Move, RingInstance, CLS_ENABLED, CLS_LEGIT};
 use crate::state::GlobalStateId;
@@ -285,12 +286,18 @@ impl ScanPlan {
 
 /// Scans ids `start..end`, where `start` is 64-aligned (or 0). Returns
 /// `None` if the token fired mid-chunk.
+///
+/// Telemetry discipline: the loop tallies into plain locals and flushes
+/// them into `counters` **once**, after the chunk completes — so with
+/// `counters: None` the loop is bit-identical to the uninstrumented one,
+/// and with `Some` the per-state cost is still zero.
 fn scan_chunk(
     ring: &RingInstance,
     plan: &ScanPlan,
     start: u64,
     end: u64,
     cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
 ) -> Option<ChunkOut> {
     let k = plan.ring_size;
     let d = plan.domain_size;
@@ -303,10 +310,15 @@ fn scan_chunk(
         violation: None,
         bits: vec![0u64; ((end - start) as usize).div_ceil(64)],
     };
+    let mut polls: u64 = 0;
+    let mut closure_checks: u64 = 0;
 
     for gid in start..end {
-        if gid % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
-            return None;
+        if gid % CANCEL_STRIDE == 0 {
+            polls += 1;
+            if cancel.is_cancelled() {
+                return None;
+            }
         }
         let mut all_legit = true;
         let mut any_enabled = false;
@@ -322,6 +334,7 @@ fn scan_chunk(
             out.legit_count += 1;
             out.bits[((gid - start) / 64) as usize] |= 1 << (gid % 64);
             if out.violation.is_none() {
+                closure_checks += 1;
                 out.violation = first_violation_at(ring, plan, &digits, &locals, gid);
             }
         } else if !any_enabled {
@@ -336,6 +349,15 @@ fn scan_chunk(
             }
             *slot = 0;
         }
+    }
+    if let Some(c) = counters {
+        c.states_visited.fetch_add(end - start, Ordering::Relaxed);
+        c.legit_states.fetch_add(out.legit_count, Ordering::Relaxed);
+        c.deadlocks_found
+            .fetch_add(out.deadlocks.len() as u64, Ordering::Relaxed);
+        c.closure_checks
+            .fetch_add(closure_checks, Ordering::Relaxed);
+        c.cancel_polls.fetch_add(polls, Ordering::Relaxed);
     }
     Some(out)
 }
@@ -395,12 +417,35 @@ pub fn fused_scan_bounded(
     config: &EngineConfig,
     cancel: &CancelToken,
 ) -> Result<FusedScan, Cancelled> {
+    fused_scan_metered(ring, config, cancel, None)
+}
+
+/// Like [`fused_scan_bounded`], optionally flushing work counters into
+/// `counters` (states visited, legitimate states, deadlocks, closure
+/// checks, cancel polls). Counters are accumulated per chunk in plain
+/// locals and flushed once at chunk end, so the scan loop pays nothing;
+/// with `counters: None` this **is** [`fused_scan_bounded`].
+///
+/// For a *completed* scan every flushed counter except `closure_checks`
+/// is identical for every `config.threads` value (`closure_checks`
+/// short-circuits per chunk, so its tally depends on the chunking).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before the scan finished
+/// (nothing is flushed for chunks that did not complete).
+pub fn fused_scan_metered(
+    ring: &RingInstance,
+    config: &EngineConfig,
+    cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
+) -> Result<FusedScan, Cancelled> {
     let n = ring.space().len();
     let plan = ScanPlan::new(ring);
     let threads = config.threads.max(1);
 
     if threads == 1 {
-        let out = scan_chunk(ring, &plan, 0, n, cancel).ok_or(Cancelled)?;
+        let out = scan_chunk(ring, &plan, 0, n, cancel, counters).ok_or(Cancelled)?;
         return Ok(FusedScan {
             legit_count: out.legit_count,
             illegitimate_deadlocks: out.deadlocks,
@@ -426,7 +471,7 @@ pub fn fused_scan_bounded(
                 }
                 let start = c * chunk;
                 let end = (start + chunk).min(n);
-                match scan_chunk(ring, &plan, start, end, cancel) {
+                match scan_chunk(ring, &plan, start, end, cancel, counters) {
                     Some(out) => results.lock().unwrap().push((c as usize, out)),
                     None => break,
                 }
@@ -486,6 +531,25 @@ pub fn find_livelock_bounded(
     scan: &FusedScan,
     cancel: &CancelToken,
 ) -> Result<Option<Vec<GlobalStateId>>, Cancelled> {
+    find_livelock_metered(ring, scan, cancel, None)
+}
+
+/// Like [`find_livelock_bounded`], optionally flushing work counters into
+/// `counters` (DFS steps, deepest stack, cancel polls). The search is
+/// sequential, so for a completed search every flushed value is a pure
+/// function of the instance. Counters accumulate in plain locals and
+/// flush once when the search completes; a [`Cancelled`] search flushes
+/// nothing.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before the search finished.
+pub fn find_livelock_metered(
+    ring: &RingInstance,
+    scan: &FusedScan,
+    cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
+) -> Result<Option<Vec<GlobalStateId>>, Cancelled> {
     const WHITE: u8 = 0;
     const GRAY: u8 = 1;
     const BLACK: u8 = 2;
@@ -502,6 +566,15 @@ pub fn find_livelock_bounded(
     let mut digits: Vec<Value> = Vec::new();
     let mut locals: Vec<LocalStateId> = Vec::new();
     let mut steps: u64 = 0;
+    let mut polls: u64 = 0;
+    let mut max_depth: u64 = 0;
+    let flush = |steps: u64, polls: u64, max_depth: u64| {
+        if let Some(c) = counters {
+            c.dfs_steps.fetch_add(steps, Ordering::Relaxed);
+            c.cancel_polls.fetch_add(polls, Ordering::Relaxed);
+            c.record_dfs_depth(max_depth);
+        }
+    };
 
     for root in ring.space().ids() {
         if color[root.index()] != WHITE || scan.is_legit(root) {
@@ -512,14 +585,18 @@ pub fn find_livelock_bounded(
         digits.clear();
         locals.clear();
         frames.push((root, 0, 0));
+        max_depth = max_depth.max(1);
         digits.extend_from_slice(&ring.space().decode(root));
         for i in 0..k {
             locals.push(plan.local_id(&digits, i));
         }
 
         while !frames.is_empty() {
-            if steps.is_multiple_of(CANCEL_STRIDE) && cancel.is_cancelled() {
-                return Err(Cancelled);
+            if steps.is_multiple_of(CANCEL_STRIDE) {
+                polls += 1;
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
             }
             steps += 1;
             let base = (frames.len() - 1) * k;
@@ -570,6 +647,7 @@ pub fn find_livelock_bounded(
                             );
                         }
                         frames.push((succ, 0, 0));
+                        max_depth = max_depth.max(frames.len() as u64);
                     }
                     GRAY => {
                         // Back edge: extract the cycle from the DFS stack.
@@ -577,6 +655,7 @@ pub fn find_livelock_bounded(
                             .iter()
                             .position(|&(s, _, _)| s == succ)
                             .expect("gray state must be on the stack");
+                        flush(steps, polls, max_depth);
                         return Ok(Some(frames[start..].iter().map(|&(s, _, _)| s).collect()));
                     }
                     _ => {}
@@ -584,6 +663,7 @@ pub fn find_livelock_bounded(
             }
         }
     }
+    flush(steps, polls, max_depth);
     Ok(None)
 }
 
@@ -742,6 +822,58 @@ mod tests {
             find_livelock_bounded(&ring, &bounded, &token).unwrap(),
             find_livelock_with(&ring, &plain)
         );
+    }
+
+    #[test]
+    fn metered_counters_are_thread_count_invariant() {
+        // The deterministic counter set must be byte-identical for every
+        // engine thread count; `closure_checks` (per-chunk short-circuit)
+        // is the one scheduling-dependent tally and is excluded from the
+        // deterministic JSON by construction.
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        let ring = RingInstance::symmetric(&p, 6).unwrap();
+        let token = CancelToken::new();
+
+        let run = |threads: usize| {
+            let counters = EngineCounters::new();
+            let scan = fused_scan_metered(
+                &ring,
+                &EngineConfig::with_threads(threads),
+                &token,
+                Some(&counters),
+            )
+            .unwrap();
+            let livelock = find_livelock_metered(&ring, &scan, &token, Some(&counters)).unwrap();
+            (counters.snapshot(), scan, livelock)
+        };
+
+        let (seq, scan, livelock) = run(1);
+        assert_eq!(seq.states_visited, ring.space().len());
+        assert_eq!(seq.legit_states, scan.legit_count);
+        assert_eq!(
+            seq.deadlocks_found,
+            scan.illegitimate_deadlocks.len() as u64
+        );
+        assert!(livelock.is_some(), "this protocol livelocks at K=6");
+        assert!(seq.dfs_steps > 0);
+        assert!(seq.dfs_max_depth > 0);
+        assert!(seq.cancel_polls > 0);
+
+        for threads in [2, 4] {
+            let (par, _, _) = run(threads);
+            assert_eq!(
+                par.deterministic_json(),
+                seq.deterministic_json(),
+                "threads={threads}"
+            );
+        }
+
+        // Metered with `None` changes no result.
+        let plain = fused_scan(&ring, &EngineConfig::sequential());
+        assert_eq!(plain.legit_count, scan.legit_count);
     }
 
     #[test]

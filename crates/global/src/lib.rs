@@ -59,7 +59,10 @@ pub mod sim;
 pub mod state;
 
 pub use check::{find_livelock, global_deadlocks, ConvergenceReport};
-pub use engine::{fused_scan, fused_scan_bounded, CancelToken, Cancelled, EngineConfig, FusedScan};
+pub use engine::{
+    fused_scan, fused_scan_bounded, fused_scan_metered, CancelToken, Cancelled, EngineConfig,
+    FusedScan,
+};
 pub use error::GlobalError;
 pub use instance::{Move, RingInstance};
 pub use schedule::Schedule;

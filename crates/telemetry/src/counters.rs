@@ -1,0 +1,141 @@
+//! The global engine's work counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::Value;
+
+/// Counters the fused scan and the livelock DFS flush into — once per
+/// chunk / once per completed search, never per state, so the hot loops
+/// keep counting in plain locals.
+///
+/// Two classes live here, and they must not be confused:
+///
+/// * **deterministic** — `states_visited`, `legit_states`,
+///   `deadlocks_found`, `dfs_steps`, `dfs_max_depth` and `cancel_polls`
+///   are pure functions of the instance for a *completed* check,
+///   identical for every engine thread count (scan polls fire on global
+///   id strides, the DFS is sequential);
+/// * **scheduling-dependent** — `closure_checks` counts how many
+///   legitimate states actually had their moves re-encoded, and the scan
+///   short-circuits that work per chunk once a chunk finds its first
+///   violation, so the tally depends on how the id range was chunked.
+///
+/// [`EngineCountersSnapshot::deterministic_json`] renders only the first
+/// class; the second is surfaced in the campaign metrics document's
+/// scheduling section.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Global states enumerated by the fused scan.
+    pub states_visited: AtomicU64,
+    /// States found inside `I(K)`.
+    pub legit_states: AtomicU64,
+    /// Deadlocks found outside `I(K)`.
+    pub deadlocks_found: AtomicU64,
+    /// Legitimate states whose outgoing moves were re-encoded for the
+    /// closure check (scheduling-dependent; see the type docs).
+    pub closure_checks: AtomicU64,
+    /// Livelock DFS loop steps.
+    pub dfs_steps: AtomicU64,
+    /// Deepest DFS stack observed (frames).
+    pub dfs_max_depth: AtomicU64,
+    /// Cancellation polls performed (scan strides + DFS strides).
+    pub cancel_polls: AtomicU64,
+}
+
+impl EngineCounters {
+    /// All-zero counters.
+    pub const fn new() -> Self {
+        EngineCounters {
+            states_visited: AtomicU64::new(0),
+            legit_states: AtomicU64::new(0),
+            deadlocks_found: AtomicU64::new(0),
+            closure_checks: AtomicU64::new(0),
+            dfs_steps: AtomicU64::new(0),
+            dfs_max_depth: AtomicU64::new(0),
+            cancel_polls: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises `dfs_max_depth` to at least `depth`.
+    pub fn record_dfs_depth(&self, depth: u64) {
+        self.dfs_max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy.
+    pub fn snapshot(&self) -> EngineCountersSnapshot {
+        EngineCountersSnapshot {
+            states_visited: self.states_visited.load(Ordering::Relaxed),
+            legit_states: self.legit_states.load(Ordering::Relaxed),
+            deadlocks_found: self.deadlocks_found.load(Ordering::Relaxed),
+            closure_checks: self.closure_checks.load(Ordering::Relaxed),
+            dfs_steps: self.dfs_steps.load(Ordering::Relaxed),
+            dfs_max_depth: self.dfs_max_depth.load(Ordering::Relaxed),
+            cancel_polls: self.cancel_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of [`EngineCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCountersSnapshot {
+    /// See [`EngineCounters::states_visited`].
+    pub states_visited: u64,
+    /// See [`EngineCounters::legit_states`].
+    pub legit_states: u64,
+    /// See [`EngineCounters::deadlocks_found`].
+    pub deadlocks_found: u64,
+    /// See [`EngineCounters::closure_checks`].
+    pub closure_checks: u64,
+    /// See [`EngineCounters::dfs_steps`].
+    pub dfs_steps: u64,
+    /// See [`EngineCounters::dfs_max_depth`].
+    pub dfs_max_depth: u64,
+    /// See [`EngineCounters::cancel_polls`].
+    pub cancel_polls: u64,
+}
+
+impl EngineCountersSnapshot {
+    /// The thread-count-invariant counters as canonical JSON — the values
+    /// a metrics differ may compare across runs. `closure_checks` is
+    /// deliberately absent (see [`EngineCounters`]).
+    pub fn deterministic_json(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("cancel_polls".to_owned(), Value::from(self.cancel_polls));
+        map.insert(
+            "deadlocks_found".to_owned(),
+            Value::from(self.deadlocks_found),
+        );
+        map.insert("dfs_max_depth".to_owned(), Value::from(self.dfs_max_depth));
+        map.insert("dfs_steps".to_owned(), Value::from(self.dfs_steps));
+        map.insert("legit_states".to_owned(), Value::from(self.legit_states));
+        map.insert(
+            "states_visited".to_owned(),
+            Value::from(self.states_visited),
+        );
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_a_running_max() {
+        let c = EngineCounters::new();
+        c.record_dfs_depth(3);
+        c.record_dfs_depth(7);
+        c.record_dfs_depth(5);
+        assert_eq!(c.snapshot().dfs_max_depth, 7);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_closure_checks() {
+        let c = EngineCounters::new();
+        c.closure_checks.fetch_add(9, Ordering::Relaxed);
+        c.states_visited.fetch_add(16, Ordering::Relaxed);
+        let text = c.snapshot().deterministic_json().to_string();
+        assert!(text.contains("\"states_visited\":16"), "{text}");
+        assert!(!text.contains("closure_checks"), "{text}");
+    }
+}

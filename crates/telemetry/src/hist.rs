@@ -1,0 +1,196 @@
+//! Log2-bucketed, lock-free histograms.
+//!
+//! Durations and state counts both span many orders of magnitude (a K=2
+//! job sweeps 4 states, a K=12 job millions), so linear buckets would
+//! either blur the small end or truncate the large one. Log2 bucketing
+//! gives constant *relative* resolution with a trivial, branch-light
+//! index function — `64 - leading_zeros` — and a fixed 65-slot array, so
+//! recording a sample is one index computation plus relaxed `fetch_add`s:
+//! no allocation, no lock, no contention beyond cache-line sharing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::Value;
+
+/// Number of buckets: one for zero plus one per bit position of a `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A lock-free histogram with log2 buckets.
+///
+/// Bucket `0` holds exactly the value `0`; bucket `b >= 1` holds values in
+/// `[2^(b-1), 2^b)`, so `1` lands in bucket 1 and `u64::MAX` in bucket 64.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`: `0` for zero, else the position of the
+    /// highest set bit plus one (`1 → 1`, `4096 → 13`, `u64::MAX → 64`).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value a bucket admits (`0, 1, 2, 4, 8, …`).
+    pub fn bucket_floor(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Records one sample. `sum` saturates rather than wrapping so a
+    /// pathological total cannot masquerade as a small one.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            })
+            .ok();
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting (the histogram is normally
+    /// quiescent when snapshotted; concurrent recording only skews the
+    /// totals, never panics).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..BUCKET_COUNT)
+            .filter_map(|b| {
+                let n = self.buckets[b].load(Ordering::Relaxed);
+                (n > 0).then_some((Self::bucket_floor(b), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`] for rendering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// `(bucket_floor, samples)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Canonical JSON: `{"count": …, "sum": …, "buckets": [[floor, n], …]}`.
+    /// Buckets render as an array of pairs (not an object) so ascending
+    /// numeric order survives — string keys would sort lexicographically.
+    pub fn to_json(&self) -> Value {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(floor, n)| Value::Array(vec![Value::from(floor), Value::from(n)]))
+            .collect();
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("count".to_owned(), Value::from(self.count));
+        map.insert("sum".to_owned(), Value::from(self.sum));
+        map.insert("buckets".to_owned(), Value::Array(buckets));
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // The satellite's boundary triple: 0, 1, u64::MAX.
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Powers of two open a new bucket; their predecessors close one.
+        for bit in 1..64 {
+            let p = 1u64 << bit;
+            assert_eq!(Histogram::bucket_of(p), bit + 1, "2^{bit}");
+            assert_eq!(Histogram::bucket_of(p - 1), bit, "2^{bit}-1");
+            assert_eq!(Histogram::bucket_floor(bit + 1), p);
+        }
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 0, 1, 3, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(
+            s.buckets,
+            vec![(0, 2), (1, 1), (2, 1), (4096, 1), (1 << 63, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_ordered() {
+        let h = Histogram::new();
+        h.record(128);
+        h.record(16);
+        let text = h.snapshot().to_json().to_string();
+        // Ascending numeric floors, as array pairs.
+        assert!(text.contains("[[16,1],[128,1]]"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4 * (999 * 1000 / 2));
+    }
+}

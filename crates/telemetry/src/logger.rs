@@ -1,0 +1,92 @@
+//! A minimal leveled stderr logger for the CLI.
+//!
+//! Three levels, one process-wide atomic, no timestamps, no targets:
+//! diagnostics either matter to a human watching stderr or they don't.
+//! `warn` always prints (soundness violations and interruptions must not
+//! be silenceable); `info` is the default chatter (`wrote report.json`);
+//! `verbose` is opt-in detail (`--verbose`). Machine-readable stdout
+//! (`--json` modes) is untouched — the logger only ever writes stderr —
+//! but `--json` still lowers the level to [`Level::Quiet`] so a pipeline
+//! consuming stdout is not startled by stderr narration.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Logger verbosity, ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Only warnings.
+    Quiet = 0,
+    /// Normal diagnostics (the default).
+    Info = 1,
+    /// Everything.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Info,
+        _ => Level::Verbose,
+    }
+}
+
+/// Derives the level from the standard CLI flag triple and sets it:
+/// `--verbose` wins, then `--quiet`, then `--json` (quiet so machine
+/// output pipelines stay clean), else [`Level::Info`].
+pub fn set_level_from_flags(verbose: bool, quiet: bool, json: bool) {
+    set_level(if verbose {
+        Level::Verbose
+    } else if quiet || json {
+        Level::Quiet
+    } else {
+        Level::Info
+    });
+}
+
+/// Prints to stderr unconditionally — for findings that must never be
+/// suppressed (soundness violations, interruption notices).
+pub fn warn(message: impl AsRef<str>) {
+    eprintln!("{}", message.as_ref());
+}
+
+/// Prints to stderr at [`Level::Info`] and above.
+pub fn info(message: impl AsRef<str>) {
+    if level() >= Level::Info {
+        eprintln!("{}", message.as_ref());
+    }
+}
+
+/// Prints to stderr at [`Level::Verbose`] only.
+pub fn verbose(message: impl AsRef<str>) {
+    if level() >= Level::Verbose {
+        eprintln!("{}", message.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_triple_resolves_in_priority_order() {
+        // NOTE: the level is process-wide; this test owns it transiently
+        // and restores the default before returning.
+        set_level_from_flags(true, true, true);
+        assert_eq!(level(), Level::Verbose);
+        set_level_from_flags(false, true, false);
+        assert_eq!(level(), Level::Quiet);
+        set_level_from_flags(false, false, true);
+        assert_eq!(level(), Level::Quiet);
+        set_level_from_flags(false, false, false);
+        assert_eq!(level(), Level::Info);
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared state behind `sweep`'s live progress meter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Job progress counters the campaign runner bumps and a meter thread
+/// reads. Lock-free; the meter renders whatever it observes.
+#[derive(Debug)]
+pub struct Progress {
+    total: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Progress::new()
+    }
+}
+
+impl Progress {
+    /// A fresh meter with no jobs.
+    pub fn new() -> Self {
+        Progress {
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Sets the number of jobs this run will execute.
+    pub fn set_total(&self, total: u64) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Records one finished job; `failed` marks failed/errored outcomes.
+    pub fn record(&self, failed: bool) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(total, done, failed)` as of now.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.total.load(Ordering::Relaxed),
+            self.done.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One meter line (no newline): `"12/70 jobs  1 failed  ETA 42s"`.
+    /// The ETA extrapolates the mean per-job time so far; before the
+    /// first job completes there is nothing to extrapolate and the field
+    /// shows `ETA ?`.
+    pub fn render(&self) -> String {
+        let (total, done, failed) = self.counts();
+        let eta = if done == 0 || done >= total {
+            "?".to_owned()
+        } else {
+            let per_job = self.started.elapsed().as_secs_f64() / done as f64;
+            format!("{:.0}s", per_job * (total - done) as f64)
+        };
+        let failed_part = if failed > 0 {
+            format!("  {failed} failed")
+        } else {
+            String::new()
+        };
+        format!("{done}/{total} jobs{failed_part}  ETA {eta}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rendering() {
+        let p = Progress::new();
+        p.set_total(4);
+        p.record(false);
+        p.record(true);
+        assert_eq!(p.counts(), (4, 2, 1));
+        let line = p.render();
+        assert!(line.starts_with("2/4 jobs  1 failed  ETA "), "{line}");
+        // No failures → no failed segment.
+        let q = Progress::new();
+        q.set_total(2);
+        assert_eq!(q.render(), "0/2 jobs  ETA ?");
+    }
+}

@@ -1,0 +1,102 @@
+//! Named counters and histograms with canonical JSON snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::Value;
+
+use crate::hist::Histogram;
+
+/// A registry of named counters and histograms.
+///
+/// Registration takes a lock; the returned [`Arc`] handles do not — a
+/// caller registers once at setup and then increments lock-free on the
+/// hot path. Snapshots render sorted by name (a `BTreeMap` underneath),
+/// so the same set of instruments always serializes to the same shape.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use. Clones of the
+    /// returned handle all feed the same counter.
+    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Canonical JSON snapshot:
+    /// `{"counters": {name: value, …}, "histograms": {name: {…}, …}}`,
+    /// names sorted.
+    pub fn snapshot_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, c)| ((*name).to_owned(), Value::from(c.load(Ordering::Relaxed))))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, h)| ((*name).to_owned(), h.snapshot().to_json()))
+                .collect(),
+        );
+        let mut map = BTreeMap::new();
+        map.insert("counters".to_owned(), counters);
+        map.insert("histograms".to_owned(), histograms);
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_snapshots_sort() {
+        let r = Registry::new();
+        let a = r.counter("pool/steals");
+        let b = r.counter("pool/steals");
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        r.counter("campaign/retries")
+            .fetch_add(1, Ordering::Relaxed);
+        r.histogram("pool/queue_depth").record(4);
+        let json = r.snapshot_json();
+        assert_eq!(json["counters"]["pool/steals"], 5u64);
+        assert_eq!(json["counters"]["campaign/retries"], 1u64);
+        assert_eq!(json["histograms"]["pool/queue_depth"]["count"], 1u64);
+        // Sorted names: "campaign/retries" precedes "pool/steals".
+        let text = json.to_string();
+        assert!(
+            text.find("campaign/retries").unwrap() < text.find("pool/steals").unwrap(),
+            "{text}"
+        );
+    }
+}
