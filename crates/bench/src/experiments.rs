@@ -214,7 +214,7 @@ pub fn e7() {
 pub fn e8() {
     header("E8", "3-coloring synthesis (Fig. 9, §6.1)");
     let p = coloring::three_coloring_empty();
-    let (out, us) = timed(|| LocalSynthesizer::default().synthesize(&p));
+    let (out, us) = timed(|| LocalSynthesizer::default().synthesize(&p).unwrap());
     println!(
         "combinations: {}   rejected by trail: {}   solutions: {}   [{}]",
         out.combinations_tried(),
@@ -250,7 +250,7 @@ pub fn e8() {
 pub fn e9() {
     header("E9", "agreement synthesis (Fig. 10, §6.2)");
     let p = agreement::binary_agreement_empty();
-    let (out, us) = timed(|| LocalSynthesizer::default().synthesize(&p));
+    let (out, us) = timed(|| LocalSynthesizer::default().synthesize(&p).unwrap());
     println!(
         "solutions: {} (paper: Resolve = {{01}} or {{10}}, one t-arc each)  [{}]",
         out.solutions().len(),
@@ -275,7 +275,7 @@ pub fn e9() {
 pub fn e10() {
     header("E10", "2-coloring (Fig. 11, §6.2)");
     let p = coloring::two_coloring_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     println!(
         "synthesis success: {} (paper: cannot conclude; in fact impossible [25])",
         out.is_success()
@@ -301,7 +301,7 @@ pub fn e10() {
 pub fn e11() {
     header("E11", "sum-not-two (Fig. 12, §6.2)");
     let p = sum_not_two::sum_not_two_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     println!(
         "combinations: {}   rejected: {}   solutions: {}",
         out.combinations_tried(),
@@ -379,7 +379,7 @@ pub fn e12() {
 
     println!("\nsynthesis (sum-not-two): local once vs global baseline per K");
     let input = sum_not_two::sum_not_two_empty();
-    let (_, us) = timed(|| LocalSynthesizer::default().synthesize(&input));
+    let (_, us) = timed(|| LocalSynthesizer::default().synthesize(&input).unwrap());
     println!("{:<22} {:>12}", "local methodology", fmt_us(us));
     for k in [3usize, 5, 7, 9, 11] {
         let (_, us) = timed(|| {

@@ -220,6 +220,7 @@ fn phase_histogram_name(phase: Phase) -> &'static str {
         Phase::LivelockDfs => "phase_us/livelock_dfs",
         Phase::JournalAppend => "phase_us/journal_append",
         Phase::RetryBackoff => "phase_us/retry_backoff",
+        Phase::Synthesis => "phase_us/synthesis",
     }
 }
 

@@ -1,7 +1,7 @@
 //! `selfstab stats <metrics.json>` — phase-time cross-tab of a sweep's
 //! `--metrics` document.
 //!
-//! Renders one row per executed spec × K job with the six instrumented
+//! Renders one row per executed spec × K job with the instrumented
 //! phases as columns (milliseconds), plus a totals row from the
 //! campaign-wide `phase_totals_us` section. Durations here are wall-clock
 //! observations — scheduling-dependent by design; the deterministic story
@@ -13,13 +13,14 @@ use crate::args::Args;
 
 /// Phase columns in execution order, with the compact header used for
 /// each (the full names are unwieldy at 80 columns).
-const PHASES: [(&str, &str); 6] = [
+const PHASES: [(&str, &str); 7] = [
     ("parse", "parse"),
     ("local_analysis", "local"),
     ("fused_scan", "scan"),
     ("livelock_dfs", "dfs"),
     ("journal_append", "journal"),
     ("retry_backoff", "backoff"),
+    ("synthesis", "synth"),
 ];
 
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {

@@ -1,22 +1,37 @@
-//! `selfstab synthesize <file.stab> [--first]` — the Section 6 local
-//! synthesis methodology.
+//! `selfstab synthesize <file.stab> [--first] [--threads N] [--json]` —
+//! the Section 6 local synthesis methodology on the streaming parallel
+//! engine.
+//!
+//! Exit codes follow the verification convention: 0 when synthesis
+//! succeeds, 1 on usage/IO errors, 2 when the methodology ran and declared
+//! failure (no candidate passes the livelock conditions).
 
+use selfstab_global::CancelToken;
 use selfstab_protocol::file::render_protocol_file;
 use selfstab_synth::{LocalSynthesizer, SynthesisConfig};
-use selfstab_telemetry::logger;
+use selfstab_telemetry::{logger, SynthesisCounters};
 
 use crate::args::{load_protocol, Args};
+use crate::json;
 
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     logger::set_level_from_flags(args.flag("verbose"), args.flag("quiet"), false);
     let protocol = load_protocol(&args)?;
+    let threads = args.get_usize("threads", 1)?;
+    if threads == 0 {
+        return Err("option --threads expects a positive number".into());
+    }
     let config = SynthesisConfig {
         max_solutions: if args.flag("first") { 1 } else { 64 },
+        threads,
         ..SynthesisConfig::default()
     };
 
-    let outcome = LocalSynthesizer::new(config).synthesize(&protocol);
+    let counters = SynthesisCounters::new();
+    let outcome = LocalSynthesizer::new(config)
+        .synthesize_metered(&protocol, &CancelToken::new(), Some(&counters), None)
+        .map_err(|e| format!("synthesis cannot run: {e}"))?;
     logger::info(format!(
         "explored {} resolve set(s), {} candidate combination(s); {} rejected by the trail check{}",
         outcome.resolve_sets_tried(),
@@ -29,12 +44,26 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         },
     ));
 
-    if !outcome.is_success() {
-        return Err(
-            "synthesis failed: no candidate passes the livelock conditions \
-                    (the methodology declares failure, as for 2- and 3-coloring)"
-                .into(),
+    if args.flag("json") {
+        println!(
+            "{}",
+            json::synthesis_outcome(&protocol, &outcome, &counters.snapshot())
         );
+        if !outcome.is_success() {
+            logger::warn(
+                "synthesis failed: no candidate passes the livelock conditions \
+                 (the methodology declares failure, as for 2- and 3-coloring)",
+            );
+        }
+        return Ok(outcome.is_success());
+    }
+
+    if !outcome.is_success() {
+        logger::warn(
+            "synthesis failed: no candidate passes the livelock conditions \
+             (the methodology declares failure, as for 2- and 3-coloring)",
+        );
+        return Ok(false);
     }
 
     for (i, s) in outcome.solutions().iter().enumerate() {

@@ -4,7 +4,10 @@
 use selfstab_core::livelock::CertificateScope;
 use selfstab_core::report::StabilizationReport;
 use selfstab_global::check::ConvergenceReport;
+use selfstab_protocol::file::render_protocol_file;
 use selfstab_protocol::Protocol;
+use selfstab_synth::{SynthesisOutcome, SynthesisVerdict};
+use selfstab_telemetry::SynthesisCountersSnapshot;
 use serde_json::{json, Value};
 
 /// The local [`StabilizationReport`] as JSON.
@@ -51,6 +54,47 @@ pub fn stabilization_report(protocol: &Protocol, report: &StabilizationReport) -
             Err(v) => json!({"closed": false, "violation": v.to_string()}),
         },
         "self_stabilizing_for_all_k": report.is_self_stabilizing_for_all_k(),
+    })
+}
+
+/// A [`SynthesisOutcome`] as JSON. Only deterministic values appear (no
+/// durations, no thread count, no scheduling-dependent counters), so the
+/// document is byte-identical for every `--threads` setting.
+pub fn synthesis_outcome(
+    protocol: &Protocol,
+    outcome: &SynthesisOutcome,
+    counters: &SynthesisCountersSnapshot,
+) -> Value {
+    let solutions: Vec<Value> = outcome
+        .solutions()
+        .iter()
+        .map(|s| {
+            json!({
+                "verdict": match s.verdict {
+                    SynthesisVerdict::NoPseudoLivelock => "no_pseudo_livelock",
+                    SynthesisVerdict::PseudoLivelocksWithoutTrails =>
+                        "pseudo_livelocks_without_trails",
+                },
+                "resolve": s.resolve.iter()
+                    .map(|&st| protocol.space().format_compact(st, protocol.domain()))
+                    .collect::<Vec<_>>(),
+                "added": s.added.iter()
+                    .map(|t| json!({
+                        "from": protocol.space().format_compact(t.source, protocol.domain()),
+                        "to": protocol.domain().label(t.target),
+                    }))
+                    .collect::<Vec<_>>(),
+                "protocol_file": render_protocol_file(&s.protocol),
+            })
+        })
+        .collect();
+    json!({
+        "protocol": protocol.name(),
+        "success": outcome.is_success(),
+        "truncated": outcome.truncated(),
+        "cancelled": outcome.cancelled(),
+        "counters": counters.deterministic_json(),
+        "solutions": solutions,
     })
 }
 

@@ -6,7 +6,7 @@
 //! selfstab check      <file.stab> --k 5 [--to 8] [--threads T]  global model checking at fixed sizes
 //! selfstab sweep      <manifest.json> [--jobs J] [--threads T]  batch campaign over a spec corpus
 //! selfstab stats      <metrics.json>                phase-time cross-tab of a sweep --metrics file
-//! selfstab synthesize <file.stab> [--first]        Section 6 synthesis methodology
+//! selfstab synthesize <file.stab> [--first] [--threads T] [--json]  Section 6 synthesis methodology
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
 //! selfstab dot        <file.stab> [--ltg] [-o F]   Graphviz export of the RCG/LTG
@@ -94,7 +94,11 @@ SUBCOMMANDS:
                  syncs the journal and exits 130 so --resume loses no
                  completed job)
     stats       phase-time cross-tab per spec × K from a sweep --metrics file
-    synthesize  add convergence via the Section 6 methodology ([--first])
+    synthesize  add convergence via the Section 6 methodology
+                ([--first] stop at one solution, [--threads T] parallel
+                 candidate verification — same output for every T,
+                 [--json] machine-readable outcome; exit 2 when the
+                 methodology declares failure)
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])
     dot         Graphviz export of the RCG ([--ltg] for the LTG, [-o FILE])

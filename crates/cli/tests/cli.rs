@@ -113,8 +113,68 @@ fn synthesize_agreement_emits_two_solutions() {
 #[test]
 fn synthesize_three_coloring_fails_with_explanation() {
     let out = selfstab(&["synthesize", spec("three_coloring.stab").to_str().unwrap()]);
-    assert!(!out.status.success());
+    // "Ran, and the methodology declared failure" is exit 2, not a usage
+    // error (exit 1) — the same convention the verification subcommands use.
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     assert!(stderr(&out).contains("synthesis failed"));
+}
+
+#[test]
+fn synthesize_json_emits_schema_and_exit_codes() {
+    let out = selfstab(&[
+        "synthesize",
+        spec("agreement_empty.stab").to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(doc["success"], true);
+    assert_eq!(doc["truncated"], false);
+    assert_eq!(doc["cancelled"], false);
+    assert_eq!(doc["solutions"].as_array().unwrap().len(), 2);
+    assert_eq!(doc["counters"]["solutions_found"], 2);
+    assert_eq!(
+        doc["solutions"][0]["verdict"].as_str().unwrap(),
+        "no_pseudo_livelock"
+    );
+    assert!(doc["solutions"][0]["protocol_file"]
+        .as_str()
+        .unwrap()
+        .contains("action"));
+
+    // Failure keeps the document (success:false) and exits 2.
+    let fail = selfstab(&[
+        "synthesize",
+        spec("three_coloring.stab").to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(fail.status.code(), Some(2));
+    let doc: serde_json::Value = serde_json::from_str(&stdout(&fail)).unwrap();
+    assert_eq!(doc["success"], false);
+    assert_eq!(doc["counters"]["combinations_tried"], 8);
+    assert_eq!(doc["counters"]["rejected_by_trail"], 8);
+    assert!(doc["solutions"].as_array().unwrap().is_empty());
+}
+
+#[test]
+fn synthesize_json_stdout_is_byte_identical_across_thread_counts() {
+    let path = spec("sum_not_two_empty.stab");
+    let baseline = selfstab(&["synthesize", path.to_str().unwrap(), "--json"]);
+    assert!(baseline.status.success(), "{}", stderr(&baseline));
+    for threads in ["1", "2", "8"] {
+        let out = selfstab(&[
+            "synthesize",
+            path.to_str().unwrap(),
+            "--json",
+            "--threads",
+            threads,
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert_eq!(
+            out.stdout, baseline.stdout,
+            "--threads {threads} changed the --json bytes"
+        );
+    }
 }
 
 #[test]

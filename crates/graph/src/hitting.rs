@@ -6,6 +6,13 @@
 //! cycle. We reduce feedback-subset enumeration to minimal-hitting-set
 //! enumeration over the enumerated cycles (restricted to the allowed
 //! vertices of each cycle).
+//!
+//! Enumeration is *iterative deepening on set size*: all minimal sets of
+//! size `k` are produced (in lexicographic order) before any set of size
+//! `k + 1` is considered. A set emitted at level `k` can therefore never be
+//! a superset of a set the search has yet to find — so truncation via
+//! `max_sets` is sound: every returned set is genuinely minimal, not merely
+//! minimal among the sets the truncated search happened to visit.
 
 use std::collections::BTreeSet;
 
@@ -17,8 +24,11 @@ use std::collections::BTreeSet;
 /// element lists. Returns hitting sets as sorted element lists, deduplicated,
 /// ordered by (size, lexicographic).
 ///
-/// `max_sets` bounds the number of returned sets (the search stops early once
-/// reached); `max_size` bounds the size of any returned set.
+/// `max_sets` bounds the number of returned sets; `max_size` bounds the size
+/// of any returned set. Because enumeration proceeds in (size, lex) order,
+/// truncation keeps a *prefix* of the full answer — every returned set is
+/// minimal with respect to the complete family, even when the search stops
+/// early.
 ///
 /// # Examples
 ///
@@ -48,67 +58,84 @@ pub fn minimal_hitting_sets(
     if families.is_empty() {
         return vec![Vec::new()];
     }
-
-    // Branch-and-bound: repeatedly pick the first un-hit family and branch on
-    // its elements. Collect candidate hitting sets, then filter to minimal.
-    let mut found: BTreeSet<Vec<usize>> = BTreeSet::new();
-    let mut current: Vec<usize> = Vec::new();
-
-    fn first_unhit(families: &[Vec<usize>], current: &[usize]) -> Option<usize> {
-        families
-            .iter()
-            .position(|f| !f.iter().any(|e| current.contains(e)))
+    if max_sets == 0 {
+        return Vec::new();
     }
 
-    fn search(
-        families: &[Vec<usize>],
-        current: &mut Vec<usize>,
-        found: &mut BTreeSet<Vec<usize>>,
-        max_sets: usize,
-        max_size: usize,
-    ) {
-        if found.len() >= max_sets {
-            return;
+    // Iterative deepening: level `k` enumerates exactly the minimal hitting
+    // sets of size `k`. A branch whose partial set already covers a
+    // previously found minimal set can only complete to a superset, so it is
+    // pruned; a branch that hits every family *before* reaching size `k` was
+    // already found at a shallower level, so it is not re-emitted.
+    let mut minimal: Vec<Vec<usize>> = Vec::new();
+    let depth_cap = max_size.min(families.len());
+    for k in 1..=depth_cap {
+        if minimal.len() >= max_sets {
+            break;
         }
-        match first_unhit(families, current) {
-            None => {
+        let mut level: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut current: Vec<usize> = Vec::new();
+        search_level(families, &mut current, k, &minimal, &mut level);
+        for set in level {
+            if minimal.len() >= max_sets {
+                break;
+            }
+            // Two distinct sets of equal size cannot contain one another, so
+            // a level is internally superset-free; crossing levels is handled
+            // by the pruning inside `search_level`.
+            minimal.push(set);
+        }
+    }
+    minimal
+}
+
+/// Depth-limited branch on the first un-hit family: records every hitting
+/// set of size exactly `k` that is not a superset of an already-found
+/// minimal set.
+fn search_level(
+    families: &[Vec<usize>],
+    current: &mut Vec<usize>,
+    k: usize,
+    minimal: &[Vec<usize>],
+    level: &mut BTreeSet<Vec<usize>>,
+) {
+    if covers_some(minimal, current) {
+        return; // any completion is a superset of a known minimal set
+    }
+    let unhit = families
+        .iter()
+        .position(|f| !f.iter().any(|e| current.contains(e)));
+    match unhit {
+        None => {
+            // Hit everything with fewer than `k` picks: this set belongs to
+            // an earlier level (where it was emitted or pruned) — skip.
+            if current.len() == k {
                 let mut set = current.clone();
                 set.sort_unstable();
-                set.dedup();
-                found.insert(set);
+                level.insert(set);
             }
-            Some(idx) => {
-                if current.len() >= max_size {
-                    return;
-                }
-                for &e in &families[idx] {
-                    // Avoid re-adding an element already chosen (it would not
-                    // have left this family un-hit anyway).
-                    current.push(e);
-                    search(families, current, found, max_sets, max_size);
-                    current.pop();
-                    if found.len() >= max_sets {
-                        return;
-                    }
-                }
+        }
+        Some(idx) => {
+            if current.len() >= k {
+                return; // size budget exhausted with families still un-hit
+            }
+            // Elements of an un-hit family are never already in `current`
+            // (otherwise the family would be hit), so no dedup is needed.
+            for &e in &families[idx] {
+                current.push(e);
+                search_level(families, current, k, minimal, level);
+                current.pop();
             }
         }
     }
+}
 
-    search(families, &mut current, &mut found, max_sets, max_size);
-
-    // Keep only minimal sets.
-    let all: Vec<Vec<usize>> = found.into_iter().collect();
-    let mut minimal: Vec<Vec<usize>> = all
-        .iter()
-        .filter(|s| {
-            !all.iter()
-                .any(|t| t.len() < s.len() && t.iter().all(|e| s.contains(e)))
-        })
-        .cloned()
-        .collect();
-    minimal.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+/// Whether `current` is a (non-strict) superset of some already-found
+/// minimal set.
+fn covers_some(minimal: &[Vec<usize>], current: &[usize]) -> bool {
     minimal
+        .iter()
+        .any(|m| m.iter().all(|e| current.contains(e)))
 }
 
 #[cfg(test)]
@@ -161,6 +188,44 @@ mod tests {
     fn max_sets_truncates() {
         let fams = vec![vec![1, 2, 3, 4, 5]];
         let hs = minimal_hitting_sets(&fams, 2, 10);
-        assert_eq!(hs.len(), 2);
+        assert_eq!(hs, vec![vec![1], vec![2]]);
+    }
+
+    /// Regression for the truncation-soundness bug: with families
+    /// {1,2} and {2,3}, branching on the first family explores the partial
+    /// set {1} before {2}, and the completed set {1,2} (hit the second
+    /// family via 2) before the singleton {2}. The old search stopped at
+    /// `max_sets = 1` *before* the minimality filter ran, returning the
+    /// non-minimal {1,2}. Size-ordered enumeration must return {2}.
+    #[test]
+    fn truncation_never_returns_a_superset_of_an_unfound_minimal_set() {
+        let fams = vec![vec![1, 2], vec![2, 3]];
+        assert_eq!(minimal_hitting_sets(&fams, 1, 10), vec![vec![2]]);
+    }
+
+    /// Truncated answers are prefixes of the full (size, lex) enumeration.
+    #[test]
+    fn truncated_result_is_a_prefix_of_the_full_enumeration() {
+        let fams = vec![vec![0, 1], vec![0, 2], vec![1, 3], vec![2, 3]];
+        let full = minimal_hitting_sets(&fams, usize::MAX, 10);
+        for n in 0..=full.len() {
+            assert_eq!(minimal_hitting_sets(&fams, n, 10), full[..n]);
+        }
+    }
+
+    /// The output respects (size, lexicographic) order globally.
+    #[test]
+    fn output_is_size_then_lex_ordered() {
+        let fams = vec![vec![0, 1, 4], vec![1, 2], vec![2, 3, 4]];
+        let hs = minimal_hitting_sets(&fams, usize::MAX, 10);
+        for w in hs.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert!(a.len() < b.len() || (a.len() == b.len() && a < b));
+        }
+    }
+
+    #[test]
+    fn max_sets_zero_returns_nothing() {
+        assert!(minimal_hitting_sets(&[vec![1]], 0, 10).is_empty());
     }
 }

@@ -207,7 +207,7 @@ fn e7_gouda_acharya_livelock() {
 #[test]
 fn e8_three_coloring_failure_is_genuine() {
     let p = coloring::three_coloring_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     assert!(!out.is_success());
     assert_eq!(out.combinations_tried(), 8);
     assert_eq!(out.rejected_by_trail(), 8);
@@ -236,7 +236,7 @@ fn e8_three_coloring_failure_is_genuine() {
 #[test]
 fn e9_agreement_synthesis() {
     let p = agreement::binary_agreement_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     assert_eq!(out.solutions().len(), 2);
     for s in out.solutions() {
         assert!(selfstab_synth::global::verify_up_to(&s.protocol, 10).is_ok());
@@ -261,7 +261,7 @@ fn e9_agreement_synthesis() {
 #[test]
 fn e10_two_coloring_inconclusive() {
     let p = coloring::two_coloring_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     assert!(!out.is_success());
 
     let resolved = coloring::two_coloring_resolved();
@@ -294,7 +294,7 @@ fn e10_two_coloring_inconclusive() {
 #[test]
 fn e11_sum_not_two() {
     let p = sum_not_two::sum_not_two_empty();
-    let out = LocalSynthesizer::default().synthesize(&p);
+    let out = LocalSynthesizer::default().synthesize(&p).unwrap();
     assert!(out.is_success());
     assert_eq!(out.combinations_tried(), 8);
     assert_eq!(out.rejected_by_trail(), 4);
@@ -350,7 +350,7 @@ fn e12_global_baseline_non_generalizable() {
         a == trap
     }));
     // Every local solution is also accepted by the baseline.
-    let local = LocalSynthesizer::default().synthesize(&p);
+    let local = LocalSynthesizer::default().synthesize(&p).unwrap();
     for s in local.solutions() {
         let mut a = s.added.clone();
         a.sort_unstable();

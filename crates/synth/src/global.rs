@@ -14,7 +14,7 @@ use selfstab_core::rcg::Rcg;
 use selfstab_global::{check::ConvergenceReport, GlobalError, RingInstance};
 use selfstab_protocol::{LocalStateId, LocalTransition, Protocol};
 
-use crate::local::{LocalSynthesizer, SynthesisConfig};
+use crate::local::{ComboSpace, LocalSynthesizer, SynthesisConfig};
 
 /// A solution of the global baseline synthesizer.
 #[derive(Clone, Debug)]
@@ -88,32 +88,36 @@ impl GlobalSynthesizer {
             truncated: false,
         };
 
+        let name = format!("{}-gss{}", protocol.name(), self.ring_size);
         for resolve in local.resolve_sets(protocol, &rcg) {
+            if outcome.combinations_tried >= self.config.max_combinations
+                || outcome.solutions.len() >= self.config.max_solutions
+            {
+                outcome.truncated = true;
+                break;
+            }
             let per_state: Vec<Vec<LocalTransition>> = resolve
                 .iter()
-                .map(|&s: &LocalStateId| local.candidates(protocol, &resolve, s))
+                .map(|&s: &LocalStateId| {
+                    local
+                        .candidates(protocol, &resolve, s)
+                        .expect("protocol domains are capped at 255 values")
+                })
                 .collect();
             if per_state.iter().any(Vec::is_empty) {
                 continue;
             }
-            let mut combos: Vec<Vec<LocalTransition>> = vec![Vec::new()];
-            for opts in &per_state {
-                let mut next = Vec::new();
-                for partial in &combos {
-                    for &t in opts {
-                        if next.len() >= self.config.max_combinations {
-                            outcome.truncated = true;
-                            break;
-                        }
-                        let mut np = partial.clone();
-                        np.push(t);
-                        next.push(np);
-                    }
-                }
-                combos = next;
-            }
 
-            for added in combos {
+            // Stream the one-choice-per-state combinations lazily (same
+            // mixed-radix order as the local engine's canonical enumeration).
+            let space = ComboSpace {
+                per_state: &per_state,
+            };
+            let total = space.total();
+            let mut digits = Vec::new();
+            let mut added = Vec::new();
+            space.decode(0, &mut digits);
+            for _ in 0..total {
                 if outcome.combinations_tried >= self.config.max_combinations
                     || outcome.solutions.len() >= self.config.max_solutions
                 {
@@ -121,7 +125,8 @@ impl GlobalSynthesizer {
                     break;
                 }
                 outcome.combinations_tried += 1;
-                let name = format!("{}-gss{}", protocol.name(), self.ring_size);
+                space.fill(&digits, &mut added);
+                space.advance(&mut digits);
                 let candidate = match protocol.with_added_transitions(&name, added.iter().copied())
                 {
                     Ok(p) => p,
@@ -132,7 +137,7 @@ impl GlobalSynthesizer {
                 if report.self_stabilizing() {
                     outcome.solutions.push(GlobalSynthesizedProtocol {
                         protocol: candidate,
-                        added,
+                        added: added.clone(),
                         verified_at: self.ring_size,
                     });
                 }

@@ -35,7 +35,7 @@
 //! let p = Protocol::builder("agreement", Domain::numeric("x", 2), Locality::unidirectional())
 //!     .legit("x[r] == x[r-1]")?
 //!     .build()?;
-//! let outcome = LocalSynthesizer::new(SynthesisConfig::default()).synthesize(&p);
+//! let outcome = LocalSynthesizer::new(SynthesisConfig::default()).synthesize(&p)?;
 //! let solutions = outcome.solutions();
 //! assert_eq!(solutions.len(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -51,5 +51,6 @@ pub mod local;
 pub use diagnose::{reconstruct_trail, ReconstructionReport};
 pub use global::{GlobalSynthesisOutcome, GlobalSynthesizer};
 pub use local::{
-    LocalSynthesizer, SynthesisConfig, SynthesisOutcome, SynthesisVerdict, SynthesizedProtocol,
+    LocalSynthesizer, SynthesisConfig, SynthesisError, SynthesisOutcome, SynthesisVerdict,
+    SynthesizedProtocol,
 };

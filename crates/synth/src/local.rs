@@ -1,27 +1,61 @@
-//! The local synthesis methodology (Section 6).
+//! The local synthesis methodology (Section 6), as a streaming parallel
+//! engine.
+//!
+//! Candidate combinations (one recovery transition per `Resolve` state) are
+//! enumerated **lazily** through a mixed-radix index — no materialized
+//! cross-product, O(|Resolve|) memory per in-flight candidate — and verified
+//! by scoped worker threads that claim fixed-size chunks of the combination
+//! index space, mirroring `crates/global/src/engine.rs`:
+//!
+//! * **Determinism** — per-candidate verification is a pure function of the
+//!   candidate, chunks are merged in ascending index order, and all budget
+//!   cutoffs are applied on the merged canonical prefix. The
+//!   [`SynthesisOutcome`] (solutions, order, verdicts, counters) is
+//!   identical for every thread count.
+//! * **Exact budgets** — `max_combinations` is a cumulative cap on verified
+//!   candidates, `max_solutions` cuts the canonical enumeration right after
+//!   the accepted candidate that fills it, and `truncated()` is `true` iff
+//!   unexplored work actually remained. Workers may speculatively verify
+//!   candidates beyond a cutoff; the canonical merge discards that overwork.
+//! * **Shared preparation** — the RCG depends only on the domain and the
+//!   locality, not on the transition relation, so one [`Rcg`] is built per
+//!   protocol and shared by every candidate's deadlock re-check
+//!   ([`DeadlockAnalysis::analyze_prepared`]).
+//! * **Cancellation** — a cooperative [`CancelToken`] is polled once per
+//!   candidate; on cancellation the verified contiguous prefix is kept, so
+//!   no solution below the cancel point is lost.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use selfstab_core::deadlock::DeadlockAnalysis;
 use selfstab_core::livelock::LivelockAnalysis;
 use selfstab_core::rcg::Rcg;
+use selfstab_global::CancelToken;
 use selfstab_graph::{
     cycles::{simple_cycles, CycleBudget},
     hitting::minimal_hitting_sets,
 };
 use selfstab_protocol::{LocalPredicate, LocalStateId, LocalTransition, Protocol};
+use selfstab_telemetry::{Phase, PhaseTimes, SynthesisCounters};
 
 /// Budgets and switches for the local synthesizer.
 #[derive(Clone, Debug)]
 pub struct SynthesisConfig {
     /// Maximum number of `Resolve` sets to try.
     pub max_resolve_sets: usize,
-    /// Maximum number of candidate-transition combinations to try per
-    /// `Resolve` set.
+    /// Maximum cumulative number of candidate-transition combinations to
+    /// verify (exact: the engine stops after verifying exactly this many).
     pub max_combinations: usize,
     /// Stop after this many accepted solutions (use 1 for first-solution
     /// mode).
     pub max_solutions: usize,
     /// Budget for RCG cycle enumeration when computing `Resolve`.
     pub cycle_budget: CycleBudget,
+    /// Worker threads for candidate verification (1 = sequential; the
+    /// outcome is identical either way).
+    pub threads: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -31,9 +65,37 @@ impl Default for SynthesisConfig {
             max_combinations: 4096,
             max_solutions: 64,
             cycle_budget: CycleBudget::default(),
+            threads: 1,
         }
     }
 }
+
+/// A typed failure of the synthesis engine (distinct from the methodology
+/// *declaring* failure, which is a successful run with zero solutions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The protocol's domain has more values than a `u8` can index, so the
+    /// candidate value range cannot be enumerated without truncation.
+    DomainTooLarge {
+        /// The offending domain size.
+        domain_size: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::DomainTooLarge { domain_size } => write!(
+                f,
+                "domain has {domain_size} values, but candidate enumeration \
+                 is limited to {} (u8 value range)",
+                u8::MAX as usize + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
 
 /// How an accepted solution satisfied the livelock conditions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,7 +108,7 @@ pub enum SynthesisVerdict {
 }
 
 /// One accepted revision `p_ss`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynthesizedProtocol {
     /// The revised protocol (input transitions plus recovery transitions).
     pub protocol: Protocol,
@@ -59,13 +121,14 @@ pub struct SynthesizedProtocol {
 }
 
 /// The outcome of a synthesis run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynthesisOutcome {
     solutions: Vec<SynthesizedProtocol>,
     resolve_sets_tried: usize,
     combinations_tried: usize,
     rejected_by_trail: usize,
     truncated: bool,
+    cancelled: bool,
 }
 
 impl SynthesisOutcome {
@@ -85,7 +148,8 @@ impl SynthesisOutcome {
         self.resolve_sets_tried
     }
 
-    /// Number of candidate combinations examined.
+    /// Number of candidate combinations verified (never exceeds
+    /// `max_combinations`; counted on the canonical enumeration prefix).
     pub fn combinations_tried(&self) -> usize {
         self.combinations_tried
     }
@@ -95,11 +159,77 @@ impl SynthesisOutcome {
         self.rejected_by_trail
     }
 
-    /// `true` if a budget limit stopped the search early.
+    /// `true` if a budget limit (or cancellation) stopped the search while
+    /// unexplored work remained.
     pub fn truncated(&self) -> bool {
         self.truncated
     }
+
+    /// `true` if the search was stopped by its [`CancelToken`]. The
+    /// outcome still holds every verdict from the verified prefix of the
+    /// enumeration — nothing below the cancel point is lost.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
 }
+
+/// Lazy mixed-radix view of the one-choice-per-state candidate
+/// cross-product of a `Resolve` set: combination `i` assigns to state `j`
+/// the candidate `per_state[j][digit_j(i)]`, with state 0 as the most
+/// significant digit — the order the materialized enumeration used.
+pub(crate) struct ComboSpace<'a> {
+    pub(crate) per_state: &'a [Vec<LocalTransition>],
+}
+
+impl ComboSpace<'_> {
+    /// Number of combinations (saturating; an empty `Resolve` set has
+    /// exactly one, empty, combination).
+    pub(crate) fn total(&self) -> u64 {
+        self.per_state
+            .iter()
+            .fold(1u64, |acc, opts| acc.saturating_mul(opts.len() as u64))
+    }
+
+    /// Decodes combination `index` into one digit per state.
+    pub(crate) fn decode(&self, mut index: u64, digits: &mut Vec<usize>) {
+        digits.clear();
+        digits.resize(self.per_state.len(), 0);
+        for j in (0..self.per_state.len()).rev() {
+            let len = self.per_state[j].len() as u64;
+            digits[j] = (index % len) as usize;
+            index /= len;
+        }
+    }
+
+    /// Odometer step to the next combination (last state varies fastest).
+    pub(crate) fn advance(&self, digits: &mut [usize]) {
+        for j in (0..digits.len()).rev() {
+            digits[j] += 1;
+            if digits[j] < self.per_state[j].len() {
+                return;
+            }
+            digits[j] = 0;
+        }
+    }
+
+    /// Materializes the combination `digits` denotes into `added`.
+    pub(crate) fn fill(&self, digits: &[usize], added: &mut Vec<LocalTransition>) {
+        added.clear();
+        added.extend(
+            digits
+                .iter()
+                .enumerate()
+                .map(|(j, &d)| self.per_state[j][d]),
+        );
+    }
+}
+
+/// Per-candidate verdict tags recorded by the scan (indexable, so the
+/// canonical merge can recount rejections at any cutoff).
+const TAG_INVALID: u8 = 0;
+const TAG_DEADLOCK: u8 = 1;
+const TAG_TRAIL: u8 = 2;
+const TAG_ACCEPT: u8 = 3;
 
 /// The Section 6 local synthesizer.
 ///
@@ -124,6 +254,17 @@ impl LocalSynthesizer {
     /// Each returned set is re-verified exactly (Theorem 4.2 via SCCs), so
     /// the result is correct even if cycle enumeration was truncated.
     pub fn resolve_sets(&self, protocol: &Protocol, rcg: &Rcg) -> Vec<Vec<LocalStateId>> {
+        self.resolve_sets_capped(protocol, rcg, self.config.max_resolve_sets)
+    }
+
+    /// [`LocalSynthesizer::resolve_sets`] with an explicit cap — the engine
+    /// requests one extra set so truncation of the set list is observable.
+    fn resolve_sets_capped(
+        &self,
+        protocol: &Protocol,
+        rcg: &Rcg,
+        cap: usize,
+    ) -> Vec<Vec<LocalStateId>> {
         let deadlocks = protocol.local_deadlocks();
         let illegit = protocol.legit().negated();
         let induced = rcg.induced(&deadlocks);
@@ -144,7 +285,7 @@ impl LocalSynthesizer {
         if families.is_empty() {
             return vec![Vec::new()]; // already deadlock-free for all K
         }
-        let sets = minimal_hitting_sets(&families, self.config.max_resolve_sets, usize::MAX);
+        let sets = minimal_hitting_sets(&families, cap, usize::MAX);
 
         // Exact re-verification (covers the truncated-enumeration case):
         // removing the Resolve states must leave no bad cycle.
@@ -161,7 +302,24 @@ impl LocalSynthesizer {
     /// Candidate recovery transitions out of `state`: every changed value
     /// whose target state lies outside `Resolve` (step 3 — guarantees the
     /// added actions are self-disabling).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::DomainTooLarge`] if the domain exceeds the `u8`
+    /// value range (defensive: [`selfstab_protocol::Domain`] construction
+    /// enforces the same cap).
     pub fn candidates(
+        &self,
+        protocol: &Protocol,
+        resolve: &[LocalStateId],
+        state: LocalStateId,
+    ) -> Result<Vec<LocalTransition>, SynthesisError> {
+        check_domain(protocol.space().domain_size())?;
+        Ok(self.candidates_unchecked(protocol, resolve, state))
+    }
+
+    /// [`LocalSynthesizer::candidates`] after the domain guard has passed.
+    pub(crate) fn candidates_unchecked(
         &self,
         protocol: &Protocol,
         resolve: &[LocalStateId],
@@ -177,21 +335,96 @@ impl LocalSynthesizer {
             .collect()
     }
 
-    /// Runs the full methodology.
-    pub fn synthesize(&self, protocol: &Protocol) -> SynthesisOutcome {
+    /// Runs the full methodology (no cancellation, no telemetry).
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::DomainTooLarge`] if the domain exceeds the `u8`
+    /// value range.
+    pub fn synthesize(&self, protocol: &Protocol) -> Result<SynthesisOutcome, SynthesisError> {
+        self.synthesize_bounded(protocol, &CancelToken::new())
+    }
+
+    /// [`LocalSynthesizer::synthesize`] honoring a cooperative
+    /// [`CancelToken`], polled once per candidate. On cancellation the
+    /// outcome keeps the canonical verified prefix (`cancelled()` and
+    /// `truncated()` are set) rather than erroring out.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::DomainTooLarge`] if the domain exceeds the `u8`
+    /// value range.
+    pub fn synthesize_bounded(
+        &self,
+        protocol: &Protocol,
+        cancel: &CancelToken,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        self.synthesize_metered(protocol, cancel, None, None)
+    }
+
+    /// [`LocalSynthesizer::synthesize_bounded`] with telemetry: flushes
+    /// candidate/rejection counters into `counters` and records the whole
+    /// search as one [`Phase::Synthesis`] span in `phases`. Counters are
+    /// flushed once, from the canonically merged outcome, so every value
+    /// except the scheduling-dependent `cancel_polls` is thread-count
+    /// invariant — and the `None` path does no telemetry work at all.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::DomainTooLarge`] if the domain exceeds the `u8`
+    /// value range.
+    pub fn synthesize_metered(
+        &self,
+        protocol: &Protocol,
+        cancel: &CancelToken,
+        counters: Option<&SynthesisCounters>,
+        phases: Option<&PhaseTimes>,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        match phases {
+            Some(t) => t.time(Phase::Synthesis, || self.search(protocol, cancel, counters)),
+            None => self.search(protocol, cancel, counters),
+        }
+    }
+
+    /// The engine: resolve-set loop around the chunked parallel candidate
+    /// scan, with all cutoffs applied on the canonical merge.
+    fn search(
+        &self,
+        protocol: &Protocol,
+        cancel: &CancelToken,
+        counters: Option<&SynthesisCounters>,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        check_domain(protocol.space().domain_size())?;
         let rcg = Rcg::build(protocol);
+        let name = format!("{}-ss", protocol.name());
+
+        // One extra set makes truncation of the set list itself observable.
+        let cap = self.config.max_resolve_sets;
+        let sets = self.resolve_sets_capped(protocol, &rcg, cap.saturating_add(1));
+        let sets_truncated = sets.len() > cap;
+        let sets = &sets[..sets.len().min(cap)];
+
         let mut outcome = SynthesisOutcome {
             solutions: Vec::new(),
             resolve_sets_tried: 0,
             combinations_tried: 0,
             rejected_by_trail: 0,
-            truncated: false,
+            truncated: sets_truncated,
+            cancelled: false,
         };
+        let mut rejected_invalid: u64 = 0;
+        let mut rejected_by_deadlock: u64 = 0;
+        let cancel_polls = AtomicU64::new(0);
 
-        for resolve in self.resolve_sets(protocol, &rcg) {
-            if outcome.resolve_sets_tried >= self.config.max_resolve_sets
-                || outcome.solutions.len() >= self.config.max_solutions
+        for resolve in sets {
+            if outcome.solutions.len() >= self.config.max_solutions
+                || outcome.combinations_tried >= self.config.max_combinations
             {
+                outcome.truncated = true;
+                break;
+            }
+            if cancel.is_cancelled() {
+                outcome.cancelled = true;
                 outcome.truncated = true;
                 break;
             }
@@ -201,76 +434,287 @@ impl LocalSynthesizer {
             // Resolve set.
             let per_state: Vec<Vec<LocalTransition>> = resolve
                 .iter()
-                .map(|&s| self.candidates(protocol, &resolve, s))
+                .map(|&s| self.candidates_unchecked(protocol, resolve, s))
                 .collect();
             if per_state.iter().any(Vec::is_empty) {
                 continue;
             }
+            let space = ComboSpace {
+                per_state: &per_state,
+            };
+            let total = space.total();
+            let comb_left = (self.config.max_combinations - outcome.combinations_tried) as u64;
+            let allowed = total.min(comb_left);
+            let sol_cap = (self.config.max_solutions - outcome.solutions.len()) as u64;
 
-            // Enumerate one-choice-per-state combinations.
-            let mut combos: Vec<Vec<LocalTransition>> = vec![Vec::new()];
-            for opts in &per_state {
-                let mut next = Vec::new();
-                for partial in &combos {
-                    for &t in opts {
-                        if next.len() >= self.config.max_combinations {
-                            outcome.truncated = true;
+            let ctx = ScanContext {
+                protocol,
+                rcg: &rcg,
+                cycle_budget: self.config.cycle_budget,
+                name: &name,
+                resolve,
+                space: &space,
+            };
+            let scan = scan_resolve_set(
+                &ctx,
+                allowed,
+                sol_cap,
+                self.config.threads,
+                cancel,
+                &cancel_polls,
+            );
+
+            // Canonical cutoff: walk the verified prefix in enumeration
+            // order, stopping right after the accepted candidate that fills
+            // the solution budget.
+            let mut taken: u64 = 0;
+            let mut sols_taken: u64 = 0;
+            for &tag in &scan.tags {
+                taken += 1;
+                match tag {
+                    TAG_INVALID => rejected_invalid += 1,
+                    TAG_DEADLOCK => rejected_by_deadlock += 1,
+                    TAG_TRAIL => outcome.rejected_by_trail += 1,
+                    _ => {
+                        sols_taken += 1;
+                        if sols_taken >= sol_cap {
                             break;
                         }
-                        let mut np = partial.clone();
-                        np.push(t);
-                        next.push(np);
                     }
                 }
-                combos = next;
             }
-
-            for added in combos {
-                if outcome.combinations_tried >= self.config.max_combinations
-                    || outcome.solutions.len() >= self.config.max_solutions
-                {
-                    outcome.truncated = true;
-                    break;
+            outcome.combinations_tried += taken as usize;
+            for (idx, sol) in scan.solutions {
+                if idx < taken {
+                    outcome.solutions.push(sol);
                 }
-                outcome.combinations_tried += 1;
-
-                let name = format!("{}-ss", protocol.name());
-                let candidate = match protocol.with_added_transitions(&name, added.iter().copied())
-                {
-                    Ok(p) => p,
-                    Err(_) => continue,
-                };
-
-                // Deadlock-freedom must hold (it does by construction of
-                // Resolve; re-checked exactly for robustness).
-                let da = DeadlockAnalysis::analyze(&candidate);
-                if !da.is_free_for_all_k() {
-                    continue;
-                }
-
-                // Steps 4–5: the Theorem 5.14 certificate distinguishes NPL
-                // (empty pseudo-livelock support among the added arcs) from
-                // PL (support exists but no qualifying trail).
-                let la = LivelockAnalysis::analyze(&candidate);
-                if !la.certified_free() {
-                    outcome.rejected_by_trail += 1;
-                    continue;
-                }
-                let verdict = if la.pseudo_livelock_support().is_empty() {
-                    SynthesisVerdict::NoPseudoLivelock
-                } else {
-                    SynthesisVerdict::PseudoLivelocksWithoutTrails
-                };
-                outcome.solutions.push(SynthesizedProtocol {
-                    protocol: candidate,
-                    resolve: resolve.clone(),
-                    added,
-                    verdict,
-                });
+            }
+            if scan.cancelled {
+                outcome.cancelled = true;
+            }
+            if taken < total {
+                // Budget, solution cap, or cancellation left work behind.
+                outcome.truncated = true;
+                break;
             }
         }
-        outcome
+
+        if let Some(c) = counters {
+            c.resolve_sets_examined
+                .fetch_add(outcome.resolve_sets_tried as u64, Ordering::Relaxed);
+            c.combinations_tried
+                .fetch_add(outcome.combinations_tried as u64, Ordering::Relaxed);
+            c.rejected_invalid
+                .fetch_add(rejected_invalid, Ordering::Relaxed);
+            c.rejected_by_deadlock
+                .fetch_add(rejected_by_deadlock, Ordering::Relaxed);
+            c.rejected_by_trail
+                .fetch_add(outcome.rejected_by_trail as u64, Ordering::Relaxed);
+            c.solutions_found
+                .fetch_add(outcome.solutions.len() as u64, Ordering::Relaxed);
+            c.cancel_polls
+                .fetch_add(cancel_polls.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        Ok(outcome)
     }
+}
+
+/// Everything a worker needs to verify one candidate, shared read-only
+/// across the scoped threads of one `Resolve`-set scan.
+struct ScanContext<'a> {
+    protocol: &'a Protocol,
+    rcg: &'a Rcg,
+    cycle_budget: CycleBudget,
+    name: &'a str,
+    resolve: &'a [LocalStateId],
+    space: &'a ComboSpace<'a>,
+}
+
+/// The canonical verified prefix of one `Resolve`-set scan.
+struct SetScan {
+    /// `tags[i]` is the verdict tag of combination `i` (contiguous prefix
+    /// of the enumeration; shorter than `allowed` only under cancellation
+    /// or a solution-cap early stop).
+    tags: Vec<u8>,
+    /// Accepted candidates within the prefix, ascending by index.
+    solutions: Vec<(u64, SynthesizedProtocol)>,
+    /// Whether cancellation cut the prefix short.
+    cancelled: bool,
+}
+
+/// One worker's output for one chunk of the combination index space.
+struct ChunkPart {
+    tags: Vec<u8>,
+    solutions: Vec<(u64, SynthesizedProtocol)>,
+}
+
+/// Verifies combinations `0..allowed` of `ctx.space` across `threads`
+/// scoped workers claiming fixed chunks off a shared counter, then merges
+/// completed chunks in ascending order into a canonical contiguous prefix.
+///
+/// Workers stop claiming new chunks once `sol_cap` acceptances have been
+/// observed (a hint — the canonical cutoff in [`LocalSynthesizer::search`]
+/// is what actually bounds the outcome) and abandon their chunk mid-way
+/// only on cancellation, so in the absence of cancellation the merged
+/// prefix always covers the canonical cutoff.
+fn scan_resolve_set(
+    ctx: &ScanContext<'_>,
+    allowed: u64,
+    sol_cap: u64,
+    threads: usize,
+    cancel: &CancelToken,
+    cancel_polls: &AtomicU64,
+) -> SetScan {
+    if allowed == 0 {
+        return SetScan {
+            tags: Vec::new(),
+            solutions: Vec::new(),
+            cancelled: cancel.is_cancelled(),
+        };
+    }
+    let threads = threads.max(1);
+    // Chunks small enough to balance trail-check latency across workers,
+    // large enough to amortize the claim + merge bookkeeping.
+    let chunk = allowed.div_ceil(threads as u64 * 4).clamp(1, 64);
+    let num_chunks = allowed.div_ceil(chunk);
+    let next = AtomicU64::new(0);
+    let sols_hint = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, ChunkPart)>> = Mutex::new(Vec::new());
+
+    let worker = || {
+        let mut digits: Vec<usize> = Vec::new();
+        let mut added: Vec<LocalTransition> = Vec::new();
+        let mut polls: u64 = 0;
+        loop {
+            if sols_hint.load(Ordering::Relaxed) >= sol_cap {
+                break;
+            }
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(allowed);
+            ctx.space.decode(lo, &mut digits);
+            let mut part = ChunkPart {
+                tags: Vec::with_capacity((hi - lo) as usize),
+                solutions: Vec::new(),
+            };
+            let mut aborted = false;
+            for i in lo..hi {
+                polls += 1;
+                if cancel.is_cancelled() {
+                    aborted = true;
+                    break;
+                }
+                ctx.space.fill(&digits, &mut added);
+                let (tag, sol) = verify_candidate(ctx, &added);
+                part.tags.push(tag);
+                if let Some(s) = sol {
+                    part.solutions.push((i, s));
+                    sols_hint.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.space.advance(&mut digits);
+            }
+            results
+                .lock()
+                .expect("scan results poisoned")
+                .push((c, part));
+            if aborted {
+                break;
+            }
+        }
+        cancel_polls.fetch_add(polls, Ordering::Relaxed);
+    };
+
+    if threads == 1 || num_chunks == 1 {
+        worker();
+    } else {
+        let worker = &worker;
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(num_chunks as usize) {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    // Merge in ascending chunk order; the prefix ends at the first missing
+    // chunk (solution-cap early stop or cancellation) or partial chunk
+    // (cancellation only).
+    let mut parts = results.into_inner().expect("scan results poisoned");
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    let mut tags: Vec<u8> = Vec::new();
+    let mut solutions: Vec<(u64, SynthesizedProtocol)> = Vec::new();
+    for (expect, (c, part)) in (0u64..).zip(parts) {
+        if c != expect {
+            break;
+        }
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(allowed);
+        let full = part.tags.len() as u64 == hi - lo;
+        tags.extend_from_slice(&part.tags);
+        solutions.extend(part.solutions);
+        if !full {
+            break;
+        }
+    }
+    let cancelled = (tags.len() as u64) < allowed && cancel.is_cancelled();
+    SetScan {
+        tags,
+        solutions,
+        cancelled,
+    }
+}
+
+/// Verifies one candidate combination: revision validity, the exact
+/// deadlock-freedom re-check (Theorem 4.2 over the shared RCG), then the
+/// Theorem 5.14 trail check distinguishing NPL (no pseudo-livelock among
+/// the added arcs) from PL (support exists but no qualifying trail).
+fn verify_candidate(
+    ctx: &ScanContext<'_>,
+    added: &[LocalTransition],
+) -> (u8, Option<SynthesizedProtocol>) {
+    let candidate = match ctx
+        .protocol
+        .with_added_transitions(ctx.name, added.iter().copied())
+    {
+        Ok(p) => p,
+        Err(_) => return (TAG_INVALID, None),
+    };
+
+    // Deadlock-freedom must hold (it does by construction of Resolve;
+    // re-checked exactly for robustness). The RCG depends only on the
+    // domain and locality, so the prepared one is valid for every revision.
+    let da = DeadlockAnalysis::analyze_prepared(&candidate, ctx.rcg, ctx.cycle_budget);
+    if !da.is_free_for_all_k() {
+        return (TAG_DEADLOCK, None);
+    }
+
+    let la = LivelockAnalysis::analyze(&candidate);
+    if !la.certified_free() {
+        return (TAG_TRAIL, None);
+    }
+    let verdict = if la.pseudo_livelock_support().is_empty() {
+        SynthesisVerdict::NoPseudoLivelock
+    } else {
+        SynthesisVerdict::PseudoLivelocksWithoutTrails
+    };
+    let sol = SynthesizedProtocol {
+        protocol: candidate,
+        resolve: ctx.resolve.to_vec(),
+        added: added.to_vec(),
+        verdict,
+    };
+    (TAG_ACCEPT, Some(sol))
+}
+
+/// The `u8` candidate-value guard (see
+/// [`SynthesisError::DomainTooLarge`]).
+fn check_domain(domain_size: usize) -> Result<(), SynthesisError> {
+    if domain_size > u8::MAX as usize {
+        return Err(SynthesisError::DomainTooLarge { domain_size });
+    }
+    Ok(())
 }
 
 /// Exact Theorem 4.2 re-check after hypothetically resolving `resolve`:
@@ -311,7 +755,7 @@ mod tests {
     #[test]
     fn agreement_synthesis_finds_both_one_sided_solutions() {
         let p = empty("agreement", 2, "x[r] == x[r-1]");
-        let out = LocalSynthesizer::default().synthesize(&p);
+        let out = LocalSynthesizer::default().synthesize(&p).unwrap();
         assert!(out.is_success());
         let sols = out.solutions();
         assert_eq!(
@@ -329,24 +773,25 @@ mod tests {
     #[test]
     fn three_coloring_synthesis_fails() {
         let p = empty("3col", 3, "x[r] != x[r-1]");
-        let out = LocalSynthesizer::default().synthesize(&p);
+        let out = LocalSynthesizer::default().synthesize(&p).unwrap();
         assert!(!out.is_success(), "the paper's §6.1 declares failure");
         // Resolve is forced to {00,11,22}; 2 candidates each => 8 combos.
         assert_eq!(out.combinations_tried(), 8);
         assert_eq!(out.rejected_by_trail(), 8);
+        assert!(!out.truncated());
     }
 
     #[test]
     fn two_coloring_synthesis_fails() {
         let p = empty("2col", 2, "x[r] != x[r-1]");
-        let out = LocalSynthesizer::default().synthesize(&p);
+        let out = LocalSynthesizer::default().synthesize(&p).unwrap();
         assert!(!out.is_success());
     }
 
     #[test]
     fn sum_not_two_synthesis_succeeds() {
         let p = empty("sn2", 3, "x[r] + x[r-1] != 2");
-        let out = LocalSynthesizer::default().synthesize(&p);
+        let out = LocalSynthesizer::default().synthesize(&p).unwrap();
         assert!(out.is_success());
         // 8 combinations; 4 rejected. The paper (§6.2) claims only
         // {t21,t10,t02} and {t01,t12,t20} fail, but {t20,t10,t02} and
@@ -396,7 +841,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let out = LocalSynthesizer::default().synthesize(&p);
+        let out = LocalSynthesizer::default().synthesize(&p).unwrap();
         assert!(out.is_success());
         assert_eq!(out.solutions()[0].added.len(), 0);
         assert_eq!(out.solutions()[0].resolve.len(), 0);
@@ -409,8 +854,174 @@ mod tests {
             max_combinations: 2,
             ..SynthesisConfig::default()
         })
-        .synthesize(&p);
+        .synthesize(&p)
+        .unwrap();
         assert!(out.truncated());
-        assert!(out.combinations_tried() <= 2);
+        assert_eq!(out.combinations_tried(), 2);
+    }
+
+    /// The combination budget is exact at and around the boundary: exactly
+    /// `min(budget, 8)` candidates verified, `truncated` iff work remained,
+    /// and the solutions are always a prefix of the unbudgeted run's.
+    #[test]
+    fn combination_budget_is_exact_at_the_boundary() {
+        let p = empty("sn2", 3, "x[r] + x[r-1] != 2");
+        let full = LocalSynthesizer::default().synthesize(&p).unwrap();
+        assert_eq!(full.combinations_tried(), 8);
+        assert_eq!(full.solutions().len(), 4);
+        for budget in 0..=9 {
+            let out = LocalSynthesizer::new(SynthesisConfig {
+                max_combinations: budget,
+                ..SynthesisConfig::default()
+            })
+            .synthesize(&p)
+            .unwrap();
+            assert_eq!(out.combinations_tried(), budget.min(8), "budget {budget}");
+            assert_eq!(out.truncated(), budget < 8, "budget {budget}");
+            // Every verified candidate is accounted for exactly once.
+            assert_eq!(
+                out.combinations_tried(),
+                out.solutions().len() + out.rejected_by_trail(),
+                "budget {budget}"
+            );
+            let n = out.solutions().len();
+            assert_eq!(out.solutions(), &full.solutions()[..n], "budget {budget}");
+        }
+    }
+
+    /// The solution budget cuts the canonical enumeration right after the
+    /// accepted candidate that fills it, and `truncated` reflects exactly
+    /// whether combinations were left unexplored.
+    #[test]
+    fn solution_budget_is_exact_at_the_boundary() {
+        let p = empty("sn2", 3, "x[r] + x[r-1] != 2");
+        let full = LocalSynthesizer::default().synthesize(&p).unwrap();
+        for cap in 1..=4usize {
+            let out = LocalSynthesizer::new(SynthesisConfig {
+                max_solutions: cap,
+                ..SynthesisConfig::default()
+            })
+            .synthesize(&p)
+            .unwrap();
+            assert_eq!(out.solutions().len(), cap, "cap {cap}");
+            assert_eq!(out.solutions(), &full.solutions()[..cap], "cap {cap}");
+            assert_eq!(
+                out.combinations_tried(),
+                out.solutions().len() + out.rejected_by_trail(),
+                "cap {cap}"
+            );
+            assert_eq!(
+                out.truncated(),
+                out.combinations_tried() < full.combinations_tried(),
+                "cap {cap}"
+            );
+        }
+    }
+
+    /// The outcome is identical for every thread count (chunked merge is
+    /// canonical).
+    #[test]
+    fn outcome_is_invariant_across_thread_counts() {
+        for (d, legit) in [(3, "x[r] + x[r-1] != 2"), (3, "x[r] != x[r-1]")] {
+            let p = empty("t", d, legit);
+            let sequential = LocalSynthesizer::default().synthesize(&p).unwrap();
+            for threads in [2, 4, 8] {
+                let out = LocalSynthesizer::new(SynthesisConfig {
+                    threads,
+                    ..SynthesisConfig::default()
+                })
+                .synthesize(&p)
+                .unwrap();
+                assert_eq!(out, sequential, "threads {threads}");
+            }
+        }
+    }
+
+    /// Metered and unmetered runs produce the same outcome; the counters
+    /// mirror the outcome's accounting and the phase span is recorded.
+    #[test]
+    fn metered_run_matches_unmetered_and_flushes_counters() {
+        let p = empty("sn2", 3, "x[r] + x[r-1] != 2");
+        let plain = LocalSynthesizer::default().synthesize(&p).unwrap();
+        let counters = SynthesisCounters::new();
+        let phases = PhaseTimes::new();
+        let metered = LocalSynthesizer::default()
+            .synthesize_metered(&p, &CancelToken::new(), Some(&counters), Some(&phases))
+            .unwrap();
+        assert_eq!(metered, plain);
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.resolve_sets_examined,
+            plain.resolve_sets_tried() as u64
+        );
+        assert_eq!(snap.combinations_tried, plain.combinations_tried() as u64);
+        assert_eq!(snap.rejected_by_trail, plain.rejected_by_trail() as u64);
+        assert_eq!(snap.solutions_found, plain.solutions().len() as u64);
+        assert_eq!(snap.rejected_invalid, 0);
+        assert_eq!(snap.rejected_by_deadlock, 0);
+        assert_eq!(phases.calls(Phase::Synthesis), 1);
+    }
+
+    /// A pre-cancelled token yields a clean truncated outcome immediately.
+    #[test]
+    fn pre_cancelled_token_truncates_cleanly() {
+        let p = empty("sn2", 3, "x[r] + x[r-1] != 2");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = LocalSynthesizer::default()
+            .synthesize_bounded(&p, &cancel)
+            .unwrap();
+        assert!(out.cancelled());
+        assert!(out.truncated());
+        assert_eq!(out.combinations_tried(), 0);
+        assert!(out.solutions().is_empty());
+    }
+
+    /// The defensive u8 guard (protocol domains are already capped at 255
+    /// by construction, so the error path is exercised directly).
+    #[test]
+    fn oversized_domain_is_a_typed_error() {
+        assert_eq!(check_domain(255), Ok(()));
+        let err = check_domain(300).unwrap_err();
+        assert_eq!(err, SynthesisError::DomainTooLarge { domain_size: 300 });
+        assert!(err.to_string().contains("300"), "{err}");
+    }
+
+    /// The lazy mixed-radix enumeration matches the old materialized
+    /// nested-loop order: state 0 is the most significant digit.
+    #[test]
+    fn combo_space_enumerates_in_nested_loop_order() {
+        let t = |v: u8| LocalTransition::new(LocalStateId(0), v);
+        let per_state = vec![vec![t(0), t(1)], vec![t(2)], vec![t(3), t(4), t(5)]];
+        let space = ComboSpace {
+            per_state: &per_state,
+        };
+        assert_eq!(space.total(), 6);
+        let mut materialized: Vec<Vec<LocalTransition>> = vec![Vec::new()];
+        for opts in &per_state {
+            let mut next = Vec::new();
+            for partial in &materialized {
+                for &t in opts {
+                    let mut np = partial.clone();
+                    np.push(t);
+                    next.push(np);
+                }
+            }
+            materialized = next;
+        }
+        let mut digits = Vec::new();
+        let mut added = Vec::new();
+        for (i, expected) in materialized.iter().enumerate() {
+            space.decode(i as u64, &mut digits);
+            space.fill(&digits, &mut added);
+            assert_eq!(&added, expected, "decode at {i}");
+        }
+        // And the odometer agrees with decode.
+        space.decode(0, &mut digits);
+        for (i, expected) in materialized.iter().enumerate() {
+            space.fill(&digits, &mut added);
+            assert_eq!(&added, expected, "advance at {i}");
+            space.advance(&mut digits);
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests: local synthesis emits only generalizable solutions.
 
 use proptest::prelude::*;
+use selfstab_global::CancelToken;
 use selfstab_protocol::{Domain, Locality, Protocol};
 use selfstab_synth::{GlobalSynthesizer, LocalSynthesizer, SynthesisConfig};
 
@@ -33,7 +34,7 @@ proptest! {
             max_solutions: 8,
             ..SynthesisConfig::default()
         })
-        .synthesize(&p);
+        .synthesize(&p).unwrap();
         for s in out.solutions() {
             prop_assert!(
                 selfstab_synth::global::verify_up_to(&s.protocol, 7).is_ok(),
@@ -51,7 +52,7 @@ proptest! {
             max_combinations: 256,
             ..SynthesisConfig::default()
         })
-        .synthesize(&p);
+        .synthesize(&p).unwrap();
         for s in out.solutions() {
             prop_assert!(
                 selfstab_synth::global::verify_up_to(&s.protocol, 5).is_ok(),
@@ -70,7 +71,7 @@ proptest! {
             max_solutions: 8,
             ..SynthesisConfig::default()
         };
-        let local = LocalSynthesizer::new(cfg.clone()).synthesize(&p);
+        let local = LocalSynthesizer::new(cfg.clone()).synthesize(&p).unwrap();
         if local.solutions().is_empty() {
             return Ok(());
         }
@@ -87,5 +88,66 @@ proptest! {
                 "a generalizable solution was missed by the global baseline at K={k}"
             );
         }
+    }
+
+    /// The deterministic-merge contract: the full [`SynthesisOutcome`] is
+    /// invariant across worker-thread counts, for every random protocol.
+    #[test]
+    fn outcome_is_thread_count_invariant(p in arb_empty_protocol(2)) {
+        let config = |threads| SynthesisConfig {
+            max_solutions: 8,
+            threads,
+            ..SynthesisConfig::default()
+        };
+        let sequential = LocalSynthesizer::new(config(1)).synthesize(&p).unwrap();
+        for threads in [2, 8] {
+            let parallel = LocalSynthesizer::new(config(threads)).synthesize(&p).unwrap();
+            prop_assert_eq!(
+                &parallel, &sequential,
+                "outcome diverged at {} threads", threads
+            );
+        }
+    }
+
+    /// Cancellation mid-run yields a clean truncated outcome whose solutions
+    /// are a prefix of the uncancelled run's — no solution below the cancel
+    /// point is ever lost, and nothing beyond the verified prefix is
+    /// invented.
+    #[test]
+    fn cancellation_preserves_the_verified_prefix(
+        p in arb_empty_protocol(2),
+        delay_us in 0u64..200,
+    ) {
+        let config = SynthesisConfig {
+            max_solutions: 8,
+            threads: 4,
+            ..SynthesisConfig::default()
+        };
+        let full = LocalSynthesizer::new(config.clone()).synthesize(&p).unwrap();
+
+        let cancel = std::sync::Arc::new(CancelToken::new());
+        let canceller = {
+            let cancel = std::sync::Arc::clone(&cancel);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                cancel.cancel();
+            })
+        };
+        let out = LocalSynthesizer::new(config)
+            .synthesize_bounded(&p, &cancel)
+            .unwrap();
+        canceller.join().unwrap();
+
+        if out.cancelled() {
+            prop_assert!(out.truncated(), "a cancelled outcome must be truncated");
+        } else {
+            prop_assert_eq!(&out, &full, "an uncancelled run must match the full run");
+        }
+        // Either way the solutions are a prefix of the full enumeration.
+        prop_assert!(out.solutions().len() <= full.solutions().len());
+        for (got, want) in out.solutions().iter().zip(full.solutions()) {
+            prop_assert_eq!(got, want, "cancellation reordered or lost a solution");
+        }
+        prop_assert!(out.combinations_tried() <= full.combinations_tried());
     }
 }

@@ -116,6 +116,120 @@ impl EngineCountersSnapshot {
     }
 }
 
+/// Counters the synthesis engine flushes into — once per completed run
+/// (from the canonically merged outcome) plus a per-worker poll tally, so
+/// the candidate-verification loop keeps counting in plain locals.
+///
+/// The same determinism split as [`EngineCounters`] applies:
+///
+/// * **deterministic** — `resolve_sets_examined`, `combinations_tried`,
+///   `rejected_invalid`, `rejected_by_deadlock`, `rejected_by_trail` and
+///   `solutions_found` are recomputed from the canonical (enumeration-order)
+///   merge, so they are identical for every thread count;
+/// * **scheduling-dependent** — `cancel_polls` counts the cooperative
+///   cancellation checks workers performed, including overwork on chunks
+///   that a budget cutoff later discarded.
+///
+/// [`SynthesisCountersSnapshot::deterministic_json`] renders only the first
+/// class.
+#[derive(Debug, Default)]
+pub struct SynthesisCounters {
+    /// `Resolve` sets examined (candidate generation attempted).
+    pub resolve_sets_examined: AtomicU64,
+    /// Candidate combinations verified (counted at the canonical cutoff).
+    pub combinations_tried: AtomicU64,
+    /// Combinations rejected because the revision failed validation.
+    pub rejected_invalid: AtomicU64,
+    /// Combinations rejected by the exact deadlock-freedom re-check.
+    pub rejected_by_deadlock: AtomicU64,
+    /// Combinations rejected by the Theorem 5.14 trail check.
+    pub rejected_by_trail: AtomicU64,
+    /// Accepted revisions (within the canonical cutoff).
+    pub solutions_found: AtomicU64,
+    /// Cancellation polls performed (scheduling-dependent; see type docs).
+    pub cancel_polls: AtomicU64,
+}
+
+impl SynthesisCounters {
+    /// All-zero counters.
+    pub const fn new() -> Self {
+        SynthesisCounters {
+            resolve_sets_examined: AtomicU64::new(0),
+            combinations_tried: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            rejected_by_deadlock: AtomicU64::new(0),
+            rejected_by_trail: AtomicU64::new(0),
+            solutions_found: AtomicU64::new(0),
+            cancel_polls: AtomicU64::new(0),
+        }
+    }
+
+    /// A plain-data copy.
+    pub fn snapshot(&self) -> SynthesisCountersSnapshot {
+        SynthesisCountersSnapshot {
+            resolve_sets_examined: self.resolve_sets_examined.load(Ordering::Relaxed),
+            combinations_tried: self.combinations_tried.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            rejected_by_deadlock: self.rejected_by_deadlock.load(Ordering::Relaxed),
+            rejected_by_trail: self.rejected_by_trail.load(Ordering::Relaxed),
+            solutions_found: self.solutions_found.load(Ordering::Relaxed),
+            cancel_polls: self.cancel_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of [`SynthesisCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SynthesisCountersSnapshot {
+    /// See [`SynthesisCounters::resolve_sets_examined`].
+    pub resolve_sets_examined: u64,
+    /// See [`SynthesisCounters::combinations_tried`].
+    pub combinations_tried: u64,
+    /// See [`SynthesisCounters::rejected_invalid`].
+    pub rejected_invalid: u64,
+    /// See [`SynthesisCounters::rejected_by_deadlock`].
+    pub rejected_by_deadlock: u64,
+    /// See [`SynthesisCounters::rejected_by_trail`].
+    pub rejected_by_trail: u64,
+    /// See [`SynthesisCounters::solutions_found`].
+    pub solutions_found: u64,
+    /// See [`SynthesisCounters::cancel_polls`].
+    pub cancel_polls: u64,
+}
+
+impl SynthesisCountersSnapshot {
+    /// The thread-count-invariant counters as canonical JSON.
+    /// `cancel_polls` is deliberately absent (see [`SynthesisCounters`]).
+    pub fn deterministic_json(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(
+            "combinations_tried".to_owned(),
+            Value::from(self.combinations_tried),
+        );
+        map.insert(
+            "rejected_by_deadlock".to_owned(),
+            Value::from(self.rejected_by_deadlock),
+        );
+        map.insert(
+            "rejected_by_trail".to_owned(),
+            Value::from(self.rejected_by_trail),
+        );
+        map.insert(
+            "rejected_invalid".to_owned(),
+            Value::from(self.rejected_invalid),
+        );
+        map.insert(
+            "resolve_sets_examined".to_owned(),
+            Value::from(self.resolve_sets_examined),
+        );
+        map.insert(
+            "solutions_found".to_owned(),
+            Value::from(self.solutions_found),
+        );
+        Value::Object(map)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +251,17 @@ mod tests {
         let text = c.snapshot().deterministic_json().to_string();
         assert!(text.contains("\"states_visited\":16"), "{text}");
         assert!(!text.contains("closure_checks"), "{text}");
+    }
+
+    #[test]
+    fn synthesis_deterministic_json_excludes_cancel_polls() {
+        let c = SynthesisCounters::new();
+        c.cancel_polls.fetch_add(11, Ordering::Relaxed);
+        c.combinations_tried.fetch_add(8, Ordering::Relaxed);
+        c.solutions_found.fetch_add(4, Ordering::Relaxed);
+        let text = c.snapshot().deterministic_json().to_string();
+        assert!(text.contains("\"combinations_tried\":8"), "{text}");
+        assert!(text.contains("\"solutions_found\":4"), "{text}");
+        assert!(!text.contains("cancel_polls"), "{text}");
     }
 }

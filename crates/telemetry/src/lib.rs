@@ -41,7 +41,9 @@ mod progress;
 mod registry;
 mod trace;
 
-pub use counters::{EngineCounters, EngineCountersSnapshot};
+pub use counters::{
+    EngineCounters, EngineCountersSnapshot, SynthesisCounters, SynthesisCountersSnapshot,
+};
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use phase::{Phase, PhaseSnapshot, PhaseTimes};
 pub use progress::Progress;

@@ -26,11 +26,13 @@ pub enum Phase {
     JournalAppend,
     /// Sleeping out the deterministic retry backoff.
     RetryBackoff,
+    /// The Section 6 synthesis search (candidate enumeration + trail checks).
+    Synthesis,
 }
 
 impl Phase {
     /// Number of phases (the length of [`Phase::ALL`]).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every phase, in canonical order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -40,6 +42,7 @@ impl Phase {
         Phase::LivelockDfs,
         Phase::JournalAppend,
         Phase::RetryBackoff,
+        Phase::Synthesis,
     ];
 
     /// The canonical snake_case name (metrics keys, trace event names).
@@ -51,6 +54,7 @@ impl Phase {
             Phase::LivelockDfs => "livelock_dfs",
             Phase::JournalAppend => "journal_append",
             Phase::RetryBackoff => "retry_backoff",
+            Phase::Synthesis => "synthesis",
         }
     }
 
@@ -63,6 +67,7 @@ impl Phase {
             Phase::LivelockDfs => 3,
             Phase::JournalAppend => 4,
             Phase::RetryBackoff => 5,
+            Phase::Synthesis => 6,
         }
     }
 }

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = sum_not_two::sum_not_two_empty();
     println!("{input}");
 
-    let out = LocalSynthesizer::new(SynthesisConfig::default()).synthesize(&input);
+    let out = LocalSynthesizer::new(SynthesisConfig::default())
+        .synthesize(&input)
+        .unwrap();
     println!(
         "synthesis: {} resolve set(s), {} combinations, {} rejected by trail, {} solutions\n",
         out.resolve_sets_tried(),

@@ -37,7 +37,9 @@ fn full_pipeline_on_a_fresh_protocol() {
 #[test]
 fn synthesis_to_simulation_round_trip() {
     let input = agreement::binary_agreement_empty();
-    let out = LocalSynthesizer::new(SynthesisConfig::default()).synthesize(&input);
+    let out = LocalSynthesizer::new(SynthesisConfig::default())
+        .synthesize(&input)
+        .unwrap();
     assert!(out.is_success());
     for s in out.solutions() {
         let ring = RingInstance::symmetric(&s.protocol, 9).unwrap();
