@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selfstab_bench::timing::{fmt_us, timed_min};
 use selfstab_core::report::StabilizationReport;
 use selfstab_global::engine::{find_livelock_metered, fused_scan_metered, CancelToken};
-use selfstab_global::{check, EngineConfig, RingInstance};
+use selfstab_global::{check, EngineConfig, RingInstance, SymmetryMode};
 use selfstab_protocols::{agreement, sum_not_two};
 use selfstab_telemetry::{EngineCounters, Phase, PhaseTimes};
 
@@ -84,8 +84,11 @@ fn seed_style_check(
     )
 }
 
-/// Seed-vs-fused comparison at K=10, d=3 (59049 states), recording the
-/// measured speedups to `BENCH_verify_scaling.json` at the repo root.
+/// Seed-vs-fused-vs-reduced comparison at K=10, d=3 (59049 states),
+/// recording the measured speedups to `BENCH_verify_scaling.json` at the
+/// repo root. Symmetry modes are pinned explicitly — never `Auto` — so
+/// the full-scan baseline cannot silently become a reduced scan (at this
+/// size the crossover heuristic would pick `Reduced` on its own).
 fn bench_engine_comparison(_c: &mut Criterion) {
     let p = sum_not_two::sum_not_two_solution();
     let k = 10;
@@ -93,14 +96,14 @@ fn bench_engine_comparison(_c: &mut Criterion) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let full_seq = EngineConfig::sequential().with_symmetry(SymmetryMode::Full);
+    let full_par = EngineConfig::with_threads(threads).with_symmetry(SymmetryMode::Full);
+    let reduced_cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced);
 
     // The engines must agree before their timings mean anything.
     let seed = seed_style_check(&p, &ring);
-    for config in [
-        EngineConfig::sequential(),
-        EngineConfig::with_threads(threads),
-    ] {
-        let r = check::ConvergenceReport::check_with(&ring, &config);
+    for config in [&full_seq, &full_par, &reduced_cfg] {
+        let r = check::ConvergenceReport::check_with(&ring, config);
         assert_eq!(seed.0, r.legit_count);
         assert_eq!(seed.1, r.illegitimate_deadlocks.len());
         assert_eq!(seed.2, r.closure_violation.is_none());
@@ -114,26 +117,23 @@ fn bench_engine_comparison(_c: &mut Criterion) {
         std::hint::black_box(seed_style_check(&p, &ring));
     });
     let fused_seq_us = timed_min(reps, || {
-        std::hint::black_box(check::ConvergenceReport::check_with(
-            &ring,
-            &EngineConfig::sequential(),
-        ));
+        std::hint::black_box(check::ConvergenceReport::check_with(&ring, &full_seq));
     });
     let fused_par_us = timed_min(reps, || {
-        std::hint::black_box(check::ConvergenceReport::check_with(
-            &ring,
-            &EngineConfig::with_threads(threads),
-        ));
+        std::hint::black_box(check::ConvergenceReport::check_with(&ring, &full_par));
+    });
+    let fused_reduced_us = timed_min(reps, || {
+        std::hint::black_box(check::ConvergenceReport::check_with(&ring, &reduced_cfg));
     });
 
     // Telemetry cost, both ways. Disabled (`counters: None`) must be free:
     // the metered entry points ARE the engine now, so any overhead here is
     // overhead every caller pays. Enabled flushes per-chunk locals into
     // atomics — the contract is "counters cost nothing inside the loop".
-    let seq = EngineConfig::sequential();
+    let seq = &full_seq;
     let token = CancelToken::new();
     let full_check = |counters: Option<&EngineCounters>| {
-        let scan = fused_scan_metered(&ring, &seq, &token, counters).expect("no deadline");
+        let scan = fused_scan_metered(&ring, seq, &token, counters).expect("no deadline");
         let live = find_livelock_metered(&ring, &scan, &token, counters).expect("no deadline");
         (scan, live)
     };
@@ -148,24 +148,71 @@ fn bench_engine_comparison(_c: &mut Criterion) {
     let enabled_overhead = enabled_us / disabled_us;
 
     // Phase totals for one fully metered check, as `sweep --metrics`
-    // would attribute them.
+    // would attribute them — once per symmetry mode, so the scan and DFS
+    // phases can be compared full-vs-reduced individually.
     let phases = PhaseTimes::new();
     let scan = phases.time(Phase::FusedScan, || {
-        fused_scan_metered(&ring, &seq, &token, Some(&counters)).expect("no deadline")
+        fused_scan_metered(&ring, seq, &token, Some(&counters)).expect("no deadline")
     });
     let _ = phases.time(Phase::LivelockDfs, || {
         find_livelock_metered(&ring, &scan, &token, Some(&counters)).expect("no deadline")
     });
     let snap = phases.snapshot();
+    let phases_red = PhaseTimes::new();
+    let scan_red = phases_red.time(Phase::FusedScan, || {
+        fused_scan_metered(&ring, &reduced_cfg, &token, Some(&counters)).expect("no deadline")
+    });
+    let _ = phases_red.time(Phase::LivelockDfs, || {
+        find_livelock_metered(&ring, &scan_red, &token, Some(&counters)).expect("no deadline")
+    });
+    let snap_red = phases_red.snapshot();
+    let scan_full_us = snap.micros[Phase::FusedScan.index()] as f64;
+    let scan_red_us = snap_red.micros[Phase::FusedScan.index()] as f64;
+    let speedup_reduced_scan = scan_full_us / scan_red_us.max(1.0);
+
+    // The raised ceiling: K=12 (531441 states) is where the full scan
+    // stops being interactive; the reduced engine keeps it there.
+    let k_max = 12;
+    let ring_max = RingInstance::symmetric(&p, k_max).unwrap();
+    let full_max = check::ConvergenceReport::check_with(&ring_max, &full_seq);
+    let red_max = check::ConvergenceReport::check_with(&ring_max, &reduced_cfg);
+    assert_eq!(full_max.legit_count, red_max.legit_count);
+    assert_eq!(
+        full_max.illegitimate_deadlocks,
+        red_max.illegitimate_deadlocks
+    );
+    assert_eq!(full_max.livelock, red_max.livelock);
+    let max_full_us = timed_min(reps, || {
+        std::hint::black_box(check::ConvergenceReport::check_with(&ring_max, &full_seq));
+    });
+    let max_reduced_us = timed_min(reps, || {
+        std::hint::black_box(check::ConvergenceReport::check_with(
+            &ring_max,
+            &reduced_cfg,
+        ));
+    });
 
     let speedup_seq = seed_us / fused_seq_us;
     let speedup_par = seed_us / fused_par_us;
+    let speedup_reduced = seed_us / fused_reduced_us;
+    let speedup_reduced_vs_full = fused_seq_us / fused_reduced_us;
     println!(
         "engine_comparison sum_not_two K={k}: seed {} | fused(seq) {} ({speedup_seq:.1}x) | \
-         fused({threads} threads) {} ({speedup_par:.1}x)",
+         fused({threads} threads) {} ({speedup_par:.1}x) | reduced {} ({speedup_reduced:.1}x, \
+         {speedup_reduced_vs_full:.1}x over full)",
         fmt_us(seed_us),
         fmt_us(fused_seq_us),
         fmt_us(fused_par_us),
+        fmt_us(fused_reduced_us),
+    );
+    println!(
+        "scan phase full {} vs reduced {} ({speedup_reduced_scan:.1}x); \
+         K={k_max}: full {} vs reduced {} ({:.1}x)",
+        fmt_us(scan_full_us),
+        fmt_us(scan_red_us),
+        fmt_us(max_full_us),
+        fmt_us(max_reduced_us),
+        max_full_us / max_reduced_us.max(1.0),
     );
     println!(
         "telemetry: disabled {} ({disabled_overhead:.3}x of plain engine) | \
@@ -184,16 +231,28 @@ fn bench_engine_comparison(_c: &mut Criterion) {
         "{{\n  \"bench\": \"verify_scaling/engine_comparison\",\n  \"protocol\": \"sum_not_two\",\n  \
          \"ring_size\": {k},\n  \"domain_size\": 3,\n  \"states\": {},\n  \
          \"seed_sequential_us\": {seed_us:.1},\n  \"fused_sequential_us\": {fused_seq_us:.1},\n  \
-         \"fused_parallel_us\": {fused_par_us:.1},\n  \"threads\": {threads},\n  \
+         \"fused_parallel_us\": {fused_par_us:.1},\n  \"fused_reduced_us\": {fused_reduced_us:.1},\n  \
+         \"threads\": {threads},\n  \
          \"speedup_fused_sequential\": {speedup_seq:.2},\n  \"speedup_fused_parallel\": {speedup_par:.2},\n  \
+         \"speedup_reduced\": {speedup_reduced:.2},\n  \
+         \"speedup_reduced_vs_full\": {speedup_reduced_vs_full:.2},\n  \
+         \"speedup_reduced_scan\": {speedup_reduced_scan:.2},\n  \
          \"telemetry_disabled_us\": {disabled_us:.1},\n  \"telemetry_enabled_us\": {enabled_us:.1},\n  \
          \"telemetry_disabled_overhead\": {disabled_overhead:.3},\n  \
          \"telemetry_enabled_overhead\": {enabled_overhead:.3},\n  \
          \"phase_totals_us\": {{\"fused_scan\": {}, \"livelock_dfs\": {}}},\n  \
-         \"note\": \"timings from a {threads}-core container; parallel speedups are hardware-bound\"\n}}\n",
+         \"reduced_phase_totals_us\": {{\"fused_scan\": {}, \"livelock_dfs\": {}}},\n  \
+         \"max_k\": {{\"ring_size\": {k_max}, \"states\": {}, \"fused_full_us\": {max_full_us:.1}, \
+         \"fused_reduced_us\": {max_reduced_us:.1}, \"speedup_reduced_vs_full\": {:.2}}},\n  \
+         \"note\": \"timings from a {threads}-core container; parallel speedups are hardware-bound \
+         and the reduced engine is sequential by construction\"\n}}\n",
         ring.space().len(),
         snap.micros[Phase::FusedScan.index()],
         snap.micros[Phase::LivelockDfs.index()],
+        snap_red.micros[Phase::FusedScan.index()],
+        snap_red.micros[Phase::LivelockDfs.index()],
+        ring_max.space().len(),
+        max_full_us / max_reduced_us.max(1.0),
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_verify_scaling.json");

@@ -60,6 +60,8 @@ pub struct CampaignConfig {
     pub workers: usize,
     /// Override of the manifest's per-job engine threads, if any.
     pub engine_threads: Option<usize>,
+    /// Override of the manifest's rotation-symmetry policy, if any.
+    pub symmetry: Option<selfstab_global::SymmetryMode>,
     /// Journal file; `None` runs without journaling (not resumable).
     pub journal_path: Option<PathBuf>,
     /// Replay the journal first and run only jobs it does not complete.
@@ -98,6 +100,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             workers: 1,
             engine_threads: None,
+            symmetry: None,
             journal_path: None,
             resume: false,
             retries: 0,
@@ -236,7 +239,8 @@ pub fn run_campaign(
             .engine_threads
             .unwrap_or(manifest.engine_threads)
             .max(1),
-    );
+    )
+    .with_symmetry(config.symmetry.unwrap_or(manifest.symmetry));
 
     // Telemetry sinks. `None` when neither `--metrics` nor `--trace` was
     // asked for: the job path then allocates no counters and times no

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use selfstab_campaign::{run_campaign, CampaignConfig, ChaosPlan, Manifest};
-use selfstab_global::CancelToken;
+use selfstab_global::{CancelToken, SymmetryMode};
 
 const SPECS: [&str; 6] = [
     "specs/agreement.stab",
@@ -95,6 +95,58 @@ proptest! {
             if chaotic {
                 // Torn-write injection between rounds: chop the journal at
                 // a seeded byte offset. Replay must absorb the torn tail.
+                ChaosPlan::truncate_journal(&journal_path, seed ^ round).unwrap();
+            } else if !outcome.interrupted {
+                final_report = Some(outcome.rendered_report);
+                break;
+            }
+        }
+        std::fs::remove_file(&journal_path).ok();
+        let final_report = final_report.expect("a fault-free round completed");
+        prop_assert_eq!(final_report, reference.rendered_report);
+    }
+
+    /// The chaos property holds unchanged under `symmetry: Reduced`: a
+    /// sweep interrupted mid-run with the rotation-symmetry reduction
+    /// engaged resumes to the byte-identical fault-free reduced report —
+    /// which is itself byte-identical to the default-mode report, so the
+    /// reduction never leaks into the journal/resume story.
+    #[test]
+    fn reduced_chaotic_runs_converge_to_the_fault_free_report(
+        manifest in arb_manifest(),
+        seed in 0u64..1_000_000,
+    ) {
+        let reference = run_campaign(
+            &manifest,
+            &CampaignConfig {
+                symmetry: Some(SymmetryMode::Reduced),
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        let default_mode = run_campaign(&manifest, &CampaignConfig::default()).unwrap();
+        prop_assert_eq!(&reference.rendered_report, &default_mode.rendered_report);
+
+        let journal_path = fresh_journal();
+        let mut final_report = None;
+        for round in 0u64..16 {
+            let chaotic = round < 3;
+            let outcome = run_campaign(
+                &manifest,
+                &CampaignConfig {
+                    workers: 2,
+                    symmetry: Some(SymmetryMode::Reduced),
+                    journal_path: Some(journal_path.clone()),
+                    resume: round > 0,
+                    retries: 1,
+                    backoff: Duration::ZERO,
+                    interrupt: Some(Arc::new(CancelToken::new())),
+                    chaos: chaotic.then(|| ChaosPlan::from_seed(seed.wrapping_add(round).rotate_left(7))),
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
+            if chaotic {
                 ChaosPlan::truncate_journal(&journal_path, seed ^ round).unwrap();
             } else if !outcome.interrupted {
                 final_report = Some(outcome.rendered_report);

@@ -1,13 +1,20 @@
-//! `selfstab stats <metrics.json>` — phase-time cross-tab of a sweep's
-//! `--metrics` document.
+//! `selfstab stats <metrics.json> [--json]` — phase-time cross-tab of a
+//! sweep's `--metrics` document.
 //!
 //! Renders one row per executed spec × K job with the instrumented
 //! phases as columns (milliseconds), plus a totals row from the
-//! campaign-wide `phase_totals_us` section. Durations here are wall-clock
-//! observations — scheduling-dependent by design; the deterministic story
-//! lives in the per-job `counters` (see DESIGN.md §8).
+//! campaign-wide `phase_totals_us` section. The cross-tab shape is
+//! unconditional: a metrics document with zero executed jobs (a fully
+//! replayed `--resume`, say) still renders the header and TOTAL row, and
+//! an all-zero phase column renders as `0.000`, never as a hole.
+//! `--json` emits the same cross-tab as a machine-readable document with
+//! the identical schema for empty and non-empty inputs. Durations here
+//! are wall-clock observations — scheduling-dependent by design; the
+//! deterministic story lives in the per-job `counters` (see DESIGN.md §8).
 
-use serde_json::Value;
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
 
 use crate::args::Args;
 
@@ -33,6 +40,11 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         .as_array()
         .ok_or_else(|| format!("{path}: not a sweep metrics document (no `jobs` array)"))?;
 
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&cross_tab(&doc, jobs))?);
+        return Ok(true);
+    }
+
     let c = &doc["campaign"];
     println!(
         "campaign {}: {} of {} job(s) executed ({} replayed), {} worker(s), {} engine thread(s)",
@@ -43,10 +55,6 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         c["workers"],
         c["engine_threads"]
     );
-    if jobs.is_empty() {
-        println!("no jobs executed this run — nothing to tabulate");
-        return Ok(true);
-    }
 
     let spec_width = jobs
         .iter()
@@ -87,8 +95,50 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         print!("  {:>8}", millis(us));
     }
     println!("  {:>8}", millis(grand_us));
+    if jobs.is_empty() {
+        println!("(no jobs executed this run — totals cover journal replay only)");
+    }
     println!("(all figures ms of wall-clock phase time; counters, not durations, are the deterministic surface)");
     Ok(true)
+}
+
+/// The machine-readable cross-tab: same campaign header, one entry per
+/// job with per-phase and total microseconds, and the campaign-wide
+/// totals. Every phase key is always present (0 when unobserved) so the
+/// schema is identical for empty and non-empty documents.
+fn cross_tab(doc: &Value, jobs: &[Value]) -> Value {
+    let job_rows: Vec<Value> = jobs
+        .iter()
+        .map(|row| {
+            let mut phases = BTreeMap::new();
+            let mut total_us = 0;
+            for (key, _) in PHASES {
+                let us = row["phases_us"][key].as_u64().unwrap_or(0);
+                total_us += us;
+                phases.insert(key.to_owned(), json!(us));
+            }
+            json!({
+                "spec": row["spec"].as_str().unwrap_or("?"),
+                "k": row["k"].as_u64().unwrap_or(0),
+                "outcome": row["outcome"].as_str().unwrap_or("?"),
+                "phases_us": Value::Object(phases),
+                "total_us": total_us,
+            })
+        })
+        .collect();
+    let mut totals = BTreeMap::new();
+    let mut grand_us = 0;
+    for (key, _) in PHASES {
+        let us = doc["phase_totals_us"][key].as_u64().unwrap_or(0);
+        grand_us += us;
+        totals.insert(key.to_owned(), json!(us));
+    }
+    json!({
+        "campaign": doc["campaign"].clone(),
+        "jobs": job_rows,
+        "phase_totals_us": Value::Object(totals),
+        "grand_total_us": grand_us,
+    })
 }
 
 /// Microseconds rendered as fixed-point milliseconds.
@@ -105,5 +155,36 @@ mod tests {
         assert_eq!(millis(0), "0.000");
         assert_eq!(millis(999), "0.999");
         assert_eq!(millis(12_345), "12.345");
+    }
+
+    #[test]
+    fn cross_tab_schema_is_stable_on_empty_input() {
+        // A fully replayed resume produces a metrics document with zero
+        // executed jobs and no `phase_totals_us` — the cross-tab must
+        // still carry every phase key with a zero, not collapse.
+        let doc = json!({"campaign": {"executed": 0}, "jobs": []});
+        let tab = cross_tab(&doc, &[]);
+        assert_eq!(tab["jobs"].as_array().unwrap().len(), 0);
+        assert_eq!(tab["grand_total_us"], 0);
+        for (key, _) in PHASES {
+            assert_eq!(tab["phase_totals_us"][key], 0, "phase `{key}`");
+        }
+    }
+
+    #[test]
+    fn cross_tab_totals_each_job() {
+        let doc = json!({
+            "campaign": {"executed": 1},
+            "phase_totals_us": {"parse": 10, "fused_scan": 90}
+        });
+        let jobs = vec![json!({
+            "spec": "a.stab", "k": 3, "outcome": "verified",
+            "phases_us": {"parse": 10, "fused_scan": 90}
+        })];
+        let tab = cross_tab(&doc, &jobs);
+        let job = &tab["jobs"][0];
+        assert_eq!(job["total_us"], 100);
+        assert_eq!(job["phases_us"]["livelock_dfs"], 0, "absent phase is 0");
+        assert_eq!(tab["grand_total_us"], 100);
     }
 }

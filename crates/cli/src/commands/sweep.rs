@@ -1,15 +1,17 @@
-//! `selfstab sweep <manifest.json> [--jobs J] [--threads T] [--resume]
-//! [--journal FILE] [--retries N] [--backoff-ms MS] [--fsync always|batch]
-//! [--metrics FILE] [--trace FILE] [-o report.json] [--json]
-//! [--verbose|--quiet]` — batch verification of a whole spec corpus.
+//! `selfstab sweep <manifest.json> [--jobs J] [--threads T]
+//! [--symmetry MODE] [--resume] [--journal FILE] [--retries N]
+//! [--backoff-ms MS] [--fsync always|batch] [--metrics FILE]
+//! [--trace FILE] [-o report.json] [--json] [--verbose|--quiet]` —
+//! batch verification of a whole spec corpus.
 //!
 //! The manifest names the specs (paths or `*` globs), the `K` range, and
 //! the per-job budgets; the campaign runs the full spec × K matrix on a
 //! work-stealing pool of `--jobs` workers, journaling every event to a
 //! CRC-framed JSONL file that doubles as the checkpoint for `--resume`.
 //! The report is canonical JSON — byte-identical for every worker count,
-//! resume split and retry budget — so it can be diffed, archived, and
-//! gated on in CI.
+//! symmetry mode, resume split and retry budget — so it can be diffed,
+//! archived, and gated on in CI. `--symmetry auto|full|reduced` overrides
+//! the manifest's rotation-symmetry reduction policy for every job.
 //!
 //! Observability: `--metrics FILE` writes a metrics document (per-job
 //! engine counters and phase breakdowns, campaign phase totals, pool
@@ -61,6 +63,10 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         None => None,
         Some(_) => Some(args.get_usize("threads", 1)?),
     };
+    let symmetry = match args.get("symmetry") {
+        None => None,
+        Some(mode) => Some(mode.parse::<selfstab_global::SymmetryMode>()?),
+    };
     let journal_path: PathBuf = match args.get("journal") {
         Some(path) => path.into(),
         None => manifest_path.with_extension("journal.jsonl"),
@@ -83,6 +89,7 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let config = CampaignConfig {
         workers: args.get_usize("jobs", 1)?,
         engine_threads,
+        symmetry,
         journal_path: Some(journal_path.clone()),
         resume: args.flag("resume"),
         retries: args.get_usize("retries", 0)? as u32,

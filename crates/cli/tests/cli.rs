@@ -730,6 +730,73 @@ fn sweep_exports_metrics_and_trace_and_stats_tabulates_them() {
 }
 
 #[test]
+fn stats_renders_a_well_formed_cross_tab_for_an_empty_run() {
+    // A fully replayed --resume executes zero jobs, so its metrics
+    // document has an empty `jobs` array and no per-phase observations.
+    // `stats` must still render the full cross-tab (header + TOTAL), and
+    // `--json` must keep the identical schema as a non-empty document.
+    let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let dir = std::env::temp_dir().join("selfstab-sweep-test");
+    let manifest = write_sweep_manifest(
+        "empty-stats.json",
+        &format!(
+            r#"{{"specs": ["{}/agreement.stab"], "k_from": 2, "k_to": 3}}"#,
+            specs_dir.display()
+        ),
+    );
+    let journal = dir.join("empty-stats.journal.jsonl");
+    std::fs::remove_file(&journal).ok();
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let metrics_path = dir.join("empty-stats.metrics.json");
+    let out = selfstab(&[
+        "sweep",
+        manifest.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--resume",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(metrics["campaign"]["executed"], 0u64, "{metrics}");
+    assert_eq!(metrics["jobs"].as_array().unwrap().len(), 0);
+
+    let out = selfstab(&["stats", metrics_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 of 2 job(s) executed"), "{text}");
+    assert!(text.contains("spec"), "header row is present: {text}");
+    assert!(text.contains("TOTAL"), "totals row is present: {text}");
+    assert!(text.contains("no jobs executed this run"), "{text}");
+
+    let out = selfstab(&["stats", metrics_path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["jobs"].as_array().unwrap().len(), 0);
+    assert_eq!(v["grand_total_us"], 0u64);
+    for key in [
+        "parse",
+        "local_analysis",
+        "fused_scan",
+        "livelock_dfs",
+        "journal_append",
+        "retry_backoff",
+        "synthesis",
+    ] {
+        assert_eq!(v["phase_totals_us"][key], 0u64, "phase `{key}`");
+    }
+}
+
+#[test]
 fn sweep_json_stdout_is_invariant_under_telemetry_and_verbosity_flags() {
     let specs_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
     let dir = std::env::temp_dir().join("selfstab-sweep-test");

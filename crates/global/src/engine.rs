@@ -35,6 +35,7 @@ use selfstab_telemetry::EngineCounters;
 
 use crate::instance::{Move, RingInstance, CLS_ENABLED, CLS_LEGIT};
 use crate::state::GlobalStateId;
+use crate::symmetry;
 
 /// How many states/DFS steps a scan processes between cancellation polls.
 /// Large enough that the poll (one relaxed load, occasionally a clock read)
@@ -145,17 +146,67 @@ impl std::fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// How the engine exploits rotation symmetry of ring instances.
+///
+/// Whatever the mode, a completed check produces the **byte-identical**
+/// report: same counts, same witness states, same orderings. The mode only
+/// chooses how much work is spent getting there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SymmetryMode {
+    /// Pick per instance with the crossover heuristic: reduced when the
+    /// instance is rotation-symmetric, the scan is sequential, and the
+    /// space is large enough (`K ≥ 6` and `d^K ≥ 32768`) that necklace
+    /// enumeration beats the dense sweep. Small spaces stay on the full
+    /// path, where the dense loop's constant factor wins.
+    #[default]
+    Auto,
+    /// Always enumerate all `d^K` dense states.
+    Full,
+    /// Enumerate one representative per rotation orbit (`~d^K / K`
+    /// necklaces) and lift counts by orbit size; the livelock search runs
+    /// on the quotient graph first. Sequential by construction; silently
+    /// degrades to [`SymmetryMode::Full`] on instances that are not
+    /// rotation-symmetric (heterogeneous rings), where the reduction does
+    /// not apply.
+    Reduced,
+}
+
+impl std::str::FromStr for SymmetryMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SymmetryMode::Auto),
+            "full" => Ok(SymmetryMode::Full),
+            "reduced" => Ok(SymmetryMode::Reduced),
+            other => Err(format!(
+                "symmetry mode must be `auto`, `full` or `reduced`, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Auto-mode crossover: reduced only from this ring size up…
+const AUTO_REDUCED_MIN_K: usize = 6;
+/// …and only once the dense space reaches this many states.
+const AUTO_REDUCED_MIN_STATES: u64 = 32768;
+
 /// Tuning knobs of the fused engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for the scan. `0` and `1` both mean sequential
     /// (the default, so results are reproducible without opting in).
     pub threads: usize,
+    /// Rotation-symmetry reduction policy (default [`SymmetryMode::Auto`]).
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { threads: 1 }
+        EngineConfig {
+            threads: 1,
+            symmetry: SymmetryMode::Auto,
+        }
     }
 }
 
@@ -167,7 +218,34 @@ impl EngineConfig {
 
     /// A configuration with `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
-        EngineConfig { threads }
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The same configuration with the given symmetry mode.
+    pub fn with_symmetry(self, symmetry: SymmetryMode) -> Self {
+        EngineConfig { symmetry, ..self }
+    }
+
+    /// Resolves the symmetry policy against a concrete instance: `true`
+    /// when this scan should run the necklace-reduced path. The reduced
+    /// scan is inherently sequential, so `Auto` also requires a sequential
+    /// configuration; an explicit `Reduced` wins over `threads` (the scan
+    /// simply runs sequentially) but still degrades to the full path on
+    /// instances the reduction does not apply to.
+    fn use_reduced(&self, ring: &RingInstance) -> bool {
+        match self.symmetry {
+            SymmetryMode::Full => false,
+            SymmetryMode::Reduced => ring.is_rotation_symmetric(),
+            SymmetryMode::Auto => {
+                ring.is_rotation_symmetric()
+                    && self.threads <= 1
+                    && ring.ring_size() >= AUTO_REDUCED_MIN_K
+                    && ring.space().len() >= AUTO_REDUCED_MIN_STATES
+            }
+        }
     }
 }
 
@@ -183,6 +261,10 @@ pub struct FusedScan {
     pub first_closure_violation: Option<(GlobalStateId, Move)>,
     /// Legitimacy bitmap: bit `id` is set iff `id ∈ I(K)`.
     legit_bits: Vec<u64>,
+    /// Set by the reduced scan: every illegitimate necklace representative,
+    /// in ascending id order — the livelock frontier. `None` after a full
+    /// scan, which tells [`find_livelock_with`] to walk the dense space.
+    frontier: Option<Vec<GlobalStateId>>,
 }
 
 impl FusedScan {
@@ -396,6 +478,122 @@ fn first_violation_at(
     None
 }
 
+/// The necklace-reduced sweep: enumerate one representative per rotation
+/// orbit (FKM, ascending id order) and lift every verdict back to the full
+/// space by orbit size. Produces a [`FusedScan`] **byte-identical** to the
+/// dense sweep's:
+///
+/// * `legit_count` — legitimacy is rotation-invariant, so each legitimate
+///   necklace contributes its whole orbit (its minimal period `p`);
+/// * `illegitimate_deadlocks` — deadlock is rotation-invariant; each
+///   deadlocked necklace's orbit is expanded via the `O(1)` id rotation
+///   and the merged list sorted ascending, exactly the dense scan's order;
+/// * `first_closure_violation` — the set of legitimate states with a
+///   closure-violating move is rotation-closed, and the dense-minimal
+///   member of a rotation-closed set is always a necklace (its rotations
+///   are in the set and it is minimal among them), so the first violating
+///   representative in ascending necklace order *is* the dense scan's
+///   witness state, and re-deriving its first (process, target) move is
+///   position-exact;
+/// * the legitimacy bitmap — filled orbit-by-orbit with the rotation trick.
+///
+/// The scan also records the **frontier**: every illegitimate necklace, in
+/// ascending order — the only roots the reduced livelock search needs.
+///
+/// Counter discipline: `states_visited` stays orbit-weighted (it totals
+/// `d^K` on a completed scan, same as the dense sweep), while
+/// `orbits_visited` counts the necklaces actually enumerated.
+fn scan_reduced(
+    ring: &RingInstance,
+    plan: &ScanPlan,
+    cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
+) -> Option<FusedScan> {
+    let k = plan.ring_size;
+    let d = ring.space().domain_size();
+    let n = ring.space().len();
+    let top = plan.state_weights[0]; // d^(K-1)
+    let rotate = |id: u64| (id % top) * d as u64 + id / top;
+
+    let mut locals: Vec<LocalStateId> = vec![LocalStateId(0); k];
+    let mut scan = FusedScan {
+        legit_count: 0,
+        illegitimate_deadlocks: Vec::new(),
+        first_closure_violation: None,
+        legit_bits: vec![0u64; (n as usize).div_ceil(64)],
+        frontier: None,
+    };
+    let mut frontier: Vec<GlobalStateId> = Vec::new();
+    let mut orbits: u64 = 0;
+    let mut weighted: u64 = 0;
+    let mut polls: u64 = 0;
+    let mut closure_checks: u64 = 0;
+    let completed = symmetry::for_each_necklace(d, k, &mut |digits, p| {
+        if orbits.is_multiple_of(CANCEL_STRIDE) {
+            polls += 1;
+            if cancel.is_cancelled() {
+                return false;
+            }
+        }
+        orbits += 1;
+        weighted += p as u64;
+        let mut gid: u64 = 0;
+        for (i, &v) in digits.iter().enumerate() {
+            gid += v as u64 * plan.state_weights[i];
+        }
+        let mut all_legit = true;
+        let mut any_enabled = false;
+        for (i, slot) in locals.iter_mut().enumerate() {
+            let ls = plan.local_id(digits, i);
+            *slot = ls;
+            let c = ring.class_by_table(plan.tables[i], ls);
+            all_legit &= c & CLS_LEGIT != 0;
+            any_enabled |= c & CLS_ENABLED != 0;
+        }
+        if all_legit {
+            scan.legit_count += p as u64;
+            let mut member = gid;
+            for _ in 0..p {
+                scan.legit_bits[(member / 64) as usize] |= 1 << (member % 64);
+                member = rotate(member);
+            }
+            if scan.first_closure_violation.is_none() {
+                closure_checks += 1;
+                scan.first_closure_violation = first_violation_at(ring, plan, digits, &locals, gid);
+            }
+        } else {
+            frontier.push(GlobalStateId(gid));
+            if !any_enabled {
+                let mut member = gid;
+                for _ in 0..p {
+                    scan.illegitimate_deadlocks.push(GlobalStateId(member));
+                    member = rotate(member);
+                }
+            }
+        }
+        true
+    });
+    if !completed {
+        return None;
+    }
+    // Orbit expansion emits each orbit contiguously but not sorted across
+    // orbits; one ascending sort restores the dense scan's exact order.
+    scan.illegitimate_deadlocks.sort_unstable();
+    scan.frontier = Some(frontier);
+    if let Some(c) = counters {
+        c.states_visited.fetch_add(weighted, Ordering::Relaxed);
+        c.legit_states
+            .fetch_add(scan.legit_count, Ordering::Relaxed);
+        c.deadlocks_found
+            .fetch_add(scan.illegitimate_deadlocks.len() as u64, Ordering::Relaxed);
+        c.closure_checks
+            .fetch_add(closure_checks, Ordering::Relaxed);
+        c.cancel_polls.fetch_add(polls, Ordering::Relaxed);
+        c.orbits_visited.fetch_add(orbits, Ordering::Relaxed);
+    }
+    Some(scan)
+}
+
 /// Runs the fused sweep. With `config.threads <= 1` the scan is a single
 /// sequential chunk; otherwise 64-aligned chunks are distributed over
 /// scoped worker threads and merged in ascending chunk order, so the
@@ -444,6 +642,10 @@ pub fn fused_scan_metered(
     let plan = ScanPlan::new(ring);
     let threads = config.threads.max(1);
 
+    if config.use_reduced(ring) {
+        return scan_reduced(ring, &plan, cancel, counters).ok_or(Cancelled);
+    }
+
     if threads == 1 {
         let out = scan_chunk(ring, &plan, 0, n, cancel, counters).ok_or(Cancelled)?;
         return Ok(FusedScan {
@@ -451,6 +653,7 @@ pub fn fused_scan_metered(
             illegitimate_deadlocks: out.deadlocks,
             first_closure_violation: out.violation,
             legit_bits: out.bits,
+            frontier: None,
         });
     }
 
@@ -490,6 +693,7 @@ pub fn fused_scan_metered(
         illegitimate_deadlocks: Vec::new(),
         first_closure_violation: None,
         legit_bits: Vec::with_capacity((n as usize).div_ceil(64)),
+        frontier: None,
     };
     for (_, part) in parts {
         scan.legit_count += part.legit_count;
@@ -537,14 +741,46 @@ pub fn find_livelock_bounded(
 /// Like [`find_livelock_bounded`], optionally flushing work counters into
 /// `counters` (DFS steps, deepest stack, cancel polls). The search is
 /// sequential, so for a completed search every flushed value is a pure
-/// function of the instance. Counters accumulate in plain locals and
-/// flush once when the search completes; a [`Cancelled`] search flushes
-/// nothing.
+/// function of the instance (and of the scan's symmetry mode). Counters
+/// accumulate in plain locals and flush once when the search completes; a
+/// [`Cancelled`] search flushes nothing.
+///
+/// When `scan` came from the reduced sweep (it carries a frontier of
+/// illegitimate necklaces), the search runs **verdict-first**: a tricolor
+/// DFS over the rotation-quotient graph — roots drawn from the frontier,
+/// every successor canonicalized with Booth's algorithm — decides whether
+/// any livelock exists at `~1/K` of the dense walk's cost. A quotient
+/// cycle exists *iff* a dense cycle does (rotation commutes with
+/// transitions, and a quotient cycle lifts by composing rotated copies of
+/// itself until the accumulated rotation closes), so a `None` verdict is
+/// final. On a positive verdict the dense walk runs to extract the exact
+/// witness the full engine reports — cheap, because it short-circuits at
+/// its first back edge — keeping the report byte-identical in both modes.
 ///
 /// # Errors
 ///
 /// Returns [`Cancelled`] if the token fired before the search finished.
 pub fn find_livelock_metered(
+    ring: &RingInstance,
+    scan: &FusedScan,
+    cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
+) -> Result<Option<Vec<GlobalStateId>>, Cancelled> {
+    match &scan.frontier {
+        None => find_livelock_full(ring, scan, cancel, counters),
+        Some(frontier) => {
+            if quotient_has_cycle(ring, scan, frontier, cancel, counters)? {
+                find_livelock_full(ring, scan, cancel, counters)
+            } else {
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// The dense-order tricolor DFS over every illegitimate state (the full
+/// engine's livelock walk; see [`find_livelock_metered`] for dispatch).
+fn find_livelock_full(
     ring: &RingInstance,
     scan: &FusedScan,
     cancel: &CancelToken,
@@ -667,6 +903,162 @@ pub fn find_livelock_metered(
     Ok(None)
 }
 
+/// Livelock **verdict** on the rotation-quotient graph: a tricolor DFS
+/// whose nodes are canonical (necklace) ids and whose edges are the dense
+/// transitions with the successor canonicalized (Booth, `O(K)`). Roots
+/// come from the reduced scan's frontier — every illegitimate necklace, in
+/// ascending order — so the walk touches `~1/K` of the dense search's
+/// nodes.
+///
+/// Soundness of the verdict (both directions):
+///
+/// * a dense cycle projects to a closed walk of canonical ids (rotation
+///   commutes with transitions and preserves illegitimacy), and a closed
+///   walk contains a cycle — so a livelock implies a quotient cycle;
+/// * a quotient cycle `r_0 → … → r_m = r_0` lifts: each quotient edge is a
+///   dense edge up to a rotation, and composing the walk `j` times
+///   multiplies the accumulated rotation until it closes (`j` divides
+///   `K`), yielding a genuine dense cycle through illegitimate states.
+///
+/// Note the quotient graph may contain self-loops even though the dense
+/// graph never does (identity writes are rejected at construction): a move
+/// can map a state onto a nontrivial rotation of itself. The GRAY check
+/// catches these as cycles, which the lifting argument shows is correct.
+fn quotient_has_cycle(
+    ring: &RingInstance,
+    scan: &FusedScan,
+    frontier: &[GlobalStateId],
+    cancel: &CancelToken,
+    counters: Option<&EngineCounters>,
+) -> Result<bool, Cancelled> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+
+    let plan = ScanPlan::new(ring);
+    let k = plan.ring_size;
+    let n = ring.space().len() as usize;
+    // Dense-indexed color map touched only at canonical ids; the dense
+    // footprint keeps lookups branch-free and mirrors the full walk.
+    let mut color = vec![WHITE; n];
+    let mut frames: Vec<(GlobalStateId, usize, usize)> = Vec::new();
+    let mut digits: Vec<Value> = Vec::new();
+    let mut locals: Vec<LocalStateId> = Vec::new();
+    let mut scratch: Vec<Value> = vec![0; k];
+    let mut steps: u64 = 0;
+    let mut polls: u64 = 0;
+    let mut max_depth: u64 = 0;
+    let mut pushes: u64 = 0;
+    let mut canonicalizations: u64 = 0;
+    let flush = |steps: u64, polls: u64, max_depth: u64, pushes: u64, canonicalizations: u64| {
+        if let Some(c) = counters {
+            c.dfs_steps.fetch_add(steps, Ordering::Relaxed);
+            c.cancel_polls.fetch_add(polls, Ordering::Relaxed);
+            c.record_dfs_depth(max_depth);
+            c.frontier_pushes.fetch_add(pushes, Ordering::Relaxed);
+            c.canonicalizations
+                .fetch_add(canonicalizations, Ordering::Relaxed);
+        }
+    };
+
+    for &root in frontier {
+        if color[root.index()] != WHITE {
+            continue;
+        }
+        color[root.index()] = GRAY;
+        frames.clear();
+        digits.clear();
+        locals.clear();
+        frames.push((root, 0, 0));
+        pushes += 1;
+        max_depth = max_depth.max(1);
+        digits.extend_from_slice(&ring.space().decode(root));
+        for i in 0..k {
+            locals.push(plan.local_id(&digits, i));
+        }
+
+        while !frames.is_empty() {
+            if steps.is_multiple_of(CANCEL_STRIDE) {
+                polls += 1;
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+            }
+            steps += 1;
+            let base = (frames.len() - 1) * k;
+            let &mut (state, ref mut proc, ref mut tidx) =
+                frames.last_mut().expect("loop guard ensures a frame");
+            // Advance to the next successor inside ¬I, canonicalized.
+            let mut next = None;
+            while *proc < k {
+                let targets = ring.targets_by_table(plan.tables[*proc], locals[base + *proc]);
+                if *tidx < targets.len() {
+                    let t = targets[*tidx];
+                    *tidx += 1;
+                    let delta = t as i64 - digits[base + *proc] as i64;
+                    let succ = GlobalStateId(
+                        (state.0 as i64 + delta * plan.state_weights[*proc] as i64) as u64,
+                    );
+                    // Legitimacy is rotation-invariant: test the raw id.
+                    if !scan.is_legit(succ) {
+                        scratch.copy_from_slice(&digits[base..base + k]);
+                        scratch[*proc] = t;
+                        canonicalizations += 1;
+                        let r = symmetry::min_rotation(&scratch);
+                        let mut canon: u64 = 0;
+                        for (slot, &w) in plan.state_weights.iter().enumerate() {
+                            let p = if r + slot < k { r + slot } else { r + slot - k };
+                            canon += scratch[p] as u64 * w;
+                        }
+                        next = Some((GlobalStateId(canon), r));
+                        break;
+                    }
+                } else {
+                    *proc += 1;
+                    *tidx = 0;
+                }
+            }
+            match next {
+                None => {
+                    color[state.index()] = BLACK;
+                    frames.pop();
+                    digits.truncate(base);
+                    locals.truncate(base);
+                }
+                Some((succ, r)) => match color[succ.index()] {
+                    WHITE => {
+                        color[succ.index()] = GRAY;
+                        // Child frame: the canonical rotation of the patched
+                        // digits; the windows are remapped wholesale, so the
+                        // locals are recomputed rather than patched.
+                        for slot in 0..k {
+                            let p = if r + slot < k { r + slot } else { r + slot - k };
+                            digits.push(scratch[p]);
+                        }
+                        let child = base + k;
+                        for i in 0..k {
+                            locals.push(plan.local_id(&digits[child..child + k], i));
+                        }
+                        frames.push((succ, 0, 0));
+                        pushes += 1;
+                        max_depth = max_depth.max(frames.len() as u64);
+                    }
+                    GRAY => {
+                        // Any back edge (including a quotient self-loop)
+                        // certifies a dense livelock; the caller re-runs
+                        // the dense walk for the exact witness.
+                        flush(steps, polls, max_depth, pushes, canonicalizations);
+                        return Ok(true);
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+    flush(steps, polls, max_depth, pushes, canonicalizations);
+    Ok(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,6 +1148,45 @@ mod tests {
             assert_scan_matches_naive(&ring, 1);
             assert_scan_matches_naive(&ring, 3);
         }
+    }
+
+    #[test]
+    fn single_process_ring_plan_is_degenerate_but_exact() {
+        // K=1 drives the `(0..k.saturating_sub(1))` state-weight loop in
+        // `ScanPlan::new` to zero iterations and wraps every window slot
+        // onto process 0. The plan must come out exact — `state_weights`
+        // is `[1]`, the window weights are still the full `d^(w-1-idx)`
+        // ladder — not silently empty, or the scan would skip the only
+        // window there is.
+        let p = Protocol::builder("bi", Domain::numeric("x", 2), Locality::bidirectional())
+            .action("x[r-1] == x[r+1] && x[r] != x[r-1] -> x[r] := x[r-1]")
+            .unwrap()
+            .legit("x[r] == x[r-1] && x[r] == x[r+1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        let ring = RingInstance::symmetric(&p, 1).unwrap();
+        let plan = ScanPlan::new(&ring);
+        assert_eq!(plan.state_weights, vec![1]);
+        assert_eq!(plan.weights, vec![4, 2, 1]);
+        assert_eq!(
+            plan.positions,
+            vec![0, 0, 0],
+            "all three window slots alias process 0"
+        );
+        // The aliased local id of state x_0 = v is v*(4+2+1).
+        for v in 0..2u8 {
+            let digits = vec![v];
+            assert_eq!(plan.local_id(&digits, 0).0, v as u32 * 7);
+        }
+        assert_scan_matches_naive(&ring, 1);
+        assert_scan_matches_naive(&ring, 4);
+        // With x[r-1] and x[r+1] aliasing x[r], both states are legit and
+        // no guard can fire: a correct degenerate scan reports exactly
+        // that instead of an empty sweep.
+        let scan = fused_scan(&ring, &EngineConfig::sequential());
+        assert_eq!(scan.legit_count, 2);
+        assert!(scan.illegitimate_deadlocks.is_empty());
     }
 
     #[test]
@@ -874,6 +1305,176 @@ mod tests {
         // Metered with `None` changes no result.
         let plain = fused_scan(&ring, &EngineConfig::sequential());
         assert_eq!(plain.legit_count, scan.legit_count);
+    }
+
+    /// Full-vs-reduced byte identity on one instance: every public field
+    /// of the scan, the whole bitmap, and the livelock witness.
+    fn assert_reduced_matches_full(ring: &RingInstance, ctx: &str) {
+        let full_cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Full);
+        let red_cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced);
+        let full = fused_scan(ring, &full_cfg);
+        let red = fused_scan(ring, &red_cfg);
+        assert_eq!(red.legit_count, full.legit_count, "{ctx}: legit_count");
+        assert_eq!(
+            red.illegitimate_deadlocks, full.illegitimate_deadlocks,
+            "{ctx}: deadlock list"
+        );
+        assert_eq!(
+            red.first_closure_violation, full.first_closure_violation,
+            "{ctx}: closure witness"
+        );
+        for s in ring.space().ids() {
+            assert_eq!(red.is_legit(s), full.is_legit(s), "{ctx}: bitmap at {s}");
+        }
+        assert_eq!(
+            find_livelock_with(ring, &red),
+            find_livelock_with(ring, &full),
+            "{ctx}: livelock witness"
+        );
+    }
+
+    #[test]
+    fn reduced_scan_is_byte_identical_to_full() {
+        let protocols = [
+            // Converges: exercises the None-livelock fast path.
+            agreement(&["x[r-1] == 1 && x[r] == 0 -> x[r] := 1"]),
+            // Livelocks at even K: exercises witness extraction.
+            agreement(&[
+                "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+                "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+            ]),
+        ];
+        for (pi, p) in protocols.iter().enumerate() {
+            for k in 1..=8 {
+                let ring = RingInstance::symmetric(p, k).unwrap();
+                assert_reduced_matches_full(&ring, &format!("protocol {pi} K={k}"));
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_handles_bidirectional_windows() {
+        let p = Protocol::builder("bi", Domain::numeric("x", 2), Locality::bidirectional())
+            .action("x[r-1] == x[r+1] && x[r] != x[r-1] -> x[r] := x[r-1]")
+            .unwrap()
+            .legit("x[r] == x[r-1] && x[r] == x[r+1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        for k in 2..=7 {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            assert_reduced_matches_full(&ring, &format!("bidirectional K={k}"));
+        }
+    }
+
+    #[test]
+    fn reduced_closure_witness_is_the_dense_first() {
+        // A protocol whose I(K) is not closed: the reduced scan must report
+        // the same (state, process, target) as the dense sweep.
+        let p = Protocol::builder("bad", Domain::numeric("x", 2), Locality::unidirectional())
+            .action("x[r-1] == 1 && x[r] == 1 -> x[r] := 0")
+            .unwrap()
+            .legit("x[r] == x[r-1]")
+            .unwrap()
+            .build()
+            .unwrap();
+        for k in 2..=7 {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            assert_reduced_matches_full(&ring, &format!("unclosed K={k}"));
+        }
+    }
+
+    #[test]
+    fn auto_mode_crosses_over_and_explicit_modes_pin() {
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        let token = CancelToken::new();
+        let orbits = |k: usize, cfg: &EngineConfig| {
+            let ring = RingInstance::symmetric(&p, k).unwrap();
+            let counters = EngineCounters::new();
+            fused_scan_metered(&ring, cfg, &token, Some(&counters)).unwrap();
+            counters.snapshot().orbits_visited
+        };
+        // Below the crossover Auto stays dense; explicit Reduced engages.
+        let auto = EngineConfig::sequential();
+        assert_eq!(orbits(6, &auto), 0, "64 states stay on the dense path");
+        assert!(orbits(6, &auto.with_symmetry(SymmetryMode::Reduced)) > 0);
+        // Past the crossover (2^15 = 32768 states) Auto flips to reduced —
+        // sequential only — and explicit Full pins the dense path.
+        assert!(orbits(15, &auto) > 0, "auto crossover at 32768 states");
+        assert_eq!(orbits(15, &EngineConfig::with_threads(4)), 0);
+        assert_eq!(orbits(15, &auto.with_symmetry(SymmetryMode::Full)), 0);
+        // The auto-reduced result still matches the dense one exactly.
+        let ring = RingInstance::symmetric(&p, 15).unwrap();
+        assert_reduced_matches_full(&ring, "K=15 crossover");
+    }
+
+    #[test]
+    fn reduced_degrades_to_full_on_heterogeneous_rings() {
+        let a = agreement(&["x[r-1] == 1 && x[r] == 0 -> x[r] := 1"]);
+        let b = agreement(&["x[r-1] == 0 && x[r] == 1 -> x[r] := 0"]);
+        let ring = RingInstance::heterogeneous(&[&a, &b, &a, &b], 1 << 20).unwrap();
+        assert!(!ring.is_rotation_symmetric());
+        let token = CancelToken::new();
+        let counters = EngineCounters::new();
+        let cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced);
+        let red = fused_scan_metered(&ring, &cfg, &token, Some(&counters)).unwrap();
+        assert_eq!(
+            counters.snapshot().orbits_visited,
+            0,
+            "no necklace walk on an asymmetric ring"
+        );
+        let full = fused_scan(
+            &ring,
+            &EngineConfig::sequential().with_symmetry(SymmetryMode::Full),
+        );
+        assert_eq!(red.legit_count, full.legit_count);
+        assert_eq!(red.illegitimate_deadlocks, full.illegitimate_deadlocks);
+    }
+
+    #[test]
+    fn reduced_scan_honors_cancellation() {
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        let ring = RingInstance::symmetric(&p, 6).unwrap();
+        let fired = CancelToken::new();
+        fired.cancel();
+        let cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced);
+        assert_eq!(
+            fused_scan_bounded(&ring, &cfg, &fired).err(),
+            Some(Cancelled)
+        );
+        let scan = fused_scan(&ring, &cfg);
+        assert_eq!(find_livelock_bounded(&ring, &scan, &fired), Err(Cancelled));
+    }
+
+    #[test]
+    fn reduced_counters_are_deterministic_and_orbit_weighted() {
+        let p = agreement(&[
+            "x[r-1] == 0 && x[r] == 1 -> x[r] := 0",
+            "x[r-1] == 1 && x[r] == 0 -> x[r] := 1",
+        ]);
+        let ring = RingInstance::symmetric(&p, 6).unwrap();
+        let token = CancelToken::new();
+        let cfg = EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced);
+        let run = || {
+            let counters = EngineCounters::new();
+            let scan = fused_scan_metered(&ring, &cfg, &token, Some(&counters)).unwrap();
+            find_livelock_metered(&ring, &scan, &token, Some(&counters)).unwrap();
+            counters.snapshot()
+        };
+        let first = run();
+        // `states_visited` stays orbit-weighted: it totals d^K exactly.
+        assert_eq!(first.states_visited, ring.space().len());
+        assert!(first.orbits_visited > 0);
+        assert!(first.orbits_visited < ring.space().len());
+        assert!(first.canonicalizations > 0, "the quotient walk ran");
+        assert!(first.frontier_pushes > 0);
+        assert_eq!(first.deterministic_json(), run().deterministic_json());
     }
 
     #[test]

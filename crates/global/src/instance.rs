@@ -242,6 +242,14 @@ impl RingInstance {
         self.table_of[i]
     }
 
+    /// `true` when every process runs the same behavior, making the
+    /// instance invariant under ring rotation — the precondition for the
+    /// symmetry-reduced engine mode. Heterogeneous rings (e.g. Dijkstra's
+    /// token ring with its distinguished process) are not.
+    pub fn is_rotation_symmetric(&self) -> bool {
+        self.table_of.iter().all(|&t| t == self.table_of[0])
+    }
+
     /// Number of *enabled processes* in `gid` (the `|E|` of Lemma 5.5).
     pub fn enabled_process_count(&self, gid: GlobalStateId) -> usize {
         (0..self.ring_size())

@@ -57,11 +57,12 @@ pub mod instance;
 pub mod schedule;
 pub mod sim;
 pub mod state;
+pub mod symmetry;
 
 pub use check::{find_livelock, global_deadlocks, ConvergenceReport};
 pub use engine::{
     fused_scan, fused_scan_bounded, fused_scan_metered, CancelToken, Cancelled, EngineConfig,
-    FusedScan,
+    FusedScan, SymmetryMode,
 };
 pub use error::GlobalError;
 pub use instance::{Move, RingInstance};

@@ -219,6 +219,43 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_schedules_survive_equivalence_enumeration() {
+        // The adjacent-pair loop is `0..moves.len().saturating_sub(1)`:
+        // for empty and single-move schedules it runs zero times, and the
+        // seed schedule itself must still come back as its own (singleton)
+        // equivalence class — not vanish or underflow.
+        let ring = RingInstance::symmetric(&two_sided_agreement(), 4).unwrap();
+        let start = ring.space().encode(&[1, 0, 0, 0]);
+        let empty = Schedule {
+            start,
+            moves: vec![],
+        };
+        assert_eq!(
+            equivalent_schedules(&ring, &empty, 1000),
+            vec![empty.clone()]
+        );
+        // One enabled move (process 1 copies x_0 = 1): no adjacent pair
+        // exists, so the class is again just the schedule itself.
+        let single = Schedule {
+            start,
+            moves: vec![Move {
+                process: 1,
+                target: 1,
+            }],
+        };
+        assert!(single.replay(&ring).is_ok(), "the single move is enabled");
+        assert_eq!(
+            equivalent_schedules(&ring, &single, 1000),
+            vec![single.clone()]
+        );
+        // A limit of 1 must cap the enumeration at the seed even when the
+        // true class is larger (Example 5.2's class has 8 members).
+        let cycle = find_livelock(&ring).unwrap();
+        let sch = Schedule::from_cycle(&ring, &cycle);
+        assert_eq!(equivalent_schedules(&ring, &sch, 1), vec![sch]);
+    }
+
+    #[test]
     fn example_5_2_has_eight_equivalent_livelocks() {
         // The paper's Example 5.2 livelock at K=4:
         // L = ≪1000,1100,0100,0110,0111,0011,1011,1001≫, whose precedence

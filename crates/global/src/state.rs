@@ -41,39 +41,54 @@ impl std::fmt::Display for GlobalStateId {
 /// assert_eq!(sp.len(), 16);
 /// # Ok::<(), selfstab_global::GlobalError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GlobalSpace {
     domain_size: usize,
     ring_size: usize,
     len: u64,
+    /// `weights[i] = d^(K-1-i)`, the significance of position `i` in the
+    /// dense id. Precomputed at construction with checked arithmetic so the
+    /// per-digit accessors never evaluate `pow` (and never wrap: every
+    /// weight divides `len`, which `new` proves fits in `u64`).
+    weights: Vec<u64>,
 }
 
 impl GlobalSpace {
     /// Creates the codec, refusing spaces larger than `max_states`.
     ///
+    /// All positional weights `d^(K-1-i)` are precomputed here under the
+    /// same checked arithmetic that bounds `len`, so id packing and
+    /// unpacking can never silently wrap no matter how large `d^K` is —
+    /// oversized spaces are rejected up front instead.
+    ///
     /// # Errors
     ///
     /// [`GlobalError::EmptyRing`] if `ring_size == 0`;
-    /// [`GlobalError::StateSpaceTooLarge`] if `d^K > max_states`.
+    /// [`GlobalError::StateSpaceTooLarge`] if `d^K > max_states` (or `d^K`
+    /// does not fit in `u64` at all).
     pub fn new(domain_size: usize, ring_size: usize, max_states: u64) -> Result<Self, GlobalError> {
         if ring_size == 0 {
             return Err(GlobalError::EmptyRing);
         }
+        let too_large = || GlobalError::StateSpaceTooLarge {
+            domain_size,
+            ring_size,
+            limit: max_states,
+        };
+        let mut weights = vec![1u64; ring_size];
         let mut len: u64 = 1;
-        for _ in 0..ring_size {
+        for i in (0..ring_size).rev() {
+            weights[i] = len;
             len = len
                 .checked_mul(domain_size as u64)
                 .filter(|&l| l <= max_states)
-                .ok_or(GlobalError::StateSpaceTooLarge {
-                    domain_size,
-                    ring_size,
-                    limit: max_states,
-                })?;
+                .ok_or_else(too_large)?;
         }
         Ok(GlobalSpace {
             domain_size,
             ring_size,
             len,
+            weights,
         })
     }
 
@@ -138,8 +153,7 @@ impl GlobalSpace {
     pub fn value_at(&self, id: GlobalStateId, i: isize) -> Value {
         assert!(id.0 < self.len, "global state id out of range");
         let i = i.rem_euclid(self.ring_size as isize) as usize;
-        let shift = (self.ring_size - 1 - i) as u32;
-        ((id.0 / (self.domain_size as u64).pow(shift)) % self.domain_size as u64) as Value
+        ((id.0 / self.weights[i]) % self.domain_size as u64) as Value
     }
 
     /// Returns `id` with `x_i := v` (index modulo `K`).
@@ -151,8 +165,14 @@ impl GlobalSpace {
         assert!((v as usize) < self.domain_size, "value {v} out of domain");
         let i = i.rem_euclid(self.ring_size as isize) as usize;
         let old = self.value_at(id, i as isize);
-        let weight = (self.domain_size as u64).pow((self.ring_size - 1 - i) as u32);
+        let weight = self.weights[i];
         GlobalStateId(id.0 - old as u64 * weight + v as u64 * weight)
+    }
+
+    /// The positional weight `d^(K-1-i)` of ring position `i` in the dense
+    /// id encoding (precomputed; see [`GlobalSpace::new`]).
+    pub(crate) fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
     }
 
     /// Iterates over every global state.
@@ -200,6 +220,42 @@ mod tests {
         assert!(matches!(e, GlobalError::StateSpaceTooLarge { .. }));
         assert!(GlobalSpace::new(2, 26, 1 << 26).is_ok());
         assert!(GlobalSpace::new(2, 27, 1 << 26).is_err());
+    }
+
+    #[test]
+    fn u64_boundary_is_an_error_not_a_wrap() {
+        // 2^63 states fit in u64; 2^64 must surface the capacity error
+        // instead of wrapping the id arithmetic.
+        let sp = GlobalSpace::new(2, 63, u64::MAX).unwrap();
+        assert_eq!(sp.len(), 1u64 << 63);
+        let e = GlobalSpace::new(2, 64, u64::MAX).unwrap_err();
+        assert!(matches!(e, GlobalError::StateSpaceTooLarge { .. }));
+        // 3^40 < 2^64 < 3^41.
+        assert!(GlobalSpace::new(3, 40, u64::MAX).is_ok());
+        assert!(GlobalSpace::new(3, 41, u64::MAX).is_err());
+
+        // Digit accessors stay exact at the top of the id range: the most
+        // significant weight is 2^62, which the old `pow`-per-access
+        // formulation computed on every call.
+        let top = GlobalStateId(sp.len() - 1); // all digits 1
+        assert_eq!(sp.value_at(top, 0), 1);
+        assert_eq!(sp.value_at(top, 62), 1);
+        let cleared = sp.with_value(top, 0, 0);
+        assert_eq!(cleared.0, (1u64 << 63) - 1 - (1u64 << 62));
+        assert_eq!(sp.value_at(cleared, 0), 0);
+        assert_eq!(sp.with_value(cleared, 0, 1), top);
+    }
+
+    #[test]
+    fn unit_domain_weights_are_degenerate_but_exact() {
+        // d=1 gives a single state and all-zero digits at any K.
+        let sp = GlobalSpace::new(1, 17, 1 << 20).unwrap();
+        assert_eq!(sp.len(), 1);
+        let only = GlobalStateId(0);
+        for i in 0..17 {
+            assert_eq!(sp.value_at(only, i as isize), 0);
+        }
+        assert_eq!(sp.with_value(only, 5, 0), only);
     }
 
     #[test]

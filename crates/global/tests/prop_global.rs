@@ -3,7 +3,9 @@
 //! unidirectional rings).
 
 use proptest::prelude::*;
-use selfstab_global::{check, schedule, EngineConfig, RingInstance, Scheduler, Simulator};
+use selfstab_global::{
+    check, schedule, EngineConfig, RingInstance, Scheduler, Simulator, SymmetryMode,
+};
 use selfstab_protocol::{Domain, LocalStateId, LocalTransition, Locality, Protocol};
 
 /// A random unidirectional protocol over domain size `d` with transitions
@@ -317,6 +319,29 @@ proptest! {
         prop_assert_eq!(seq.closure_violation, par.closure_violation);
         prop_assert_eq!(seq.illegitimate_deadlocks, par.illegitimate_deadlocks);
         prop_assert_eq!(seq.livelock, par.livelock);
+    }
+
+    /// The symmetry-reduced engine produces the byte-identical convergence
+    /// report as the full dense engine on random symmetric protocols —
+    /// counts, witness states, deadlock order, livelock cycle — whether
+    /// the full scan runs sequentially or parallel.
+    #[test]
+    fn reduced_engine_matches_full(p in arb_protocol(2), k in 1usize..=7, threads in 1usize..=8) {
+        let ring = RingInstance::symmetric(&p, k).unwrap();
+        let reduced = check::ConvergenceReport::check_with(
+            &ring,
+            &EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced),
+        );
+        let full = check::ConvergenceReport::check_with(
+            &ring,
+            &EngineConfig::with_threads(threads).with_symmetry(SymmetryMode::Full),
+        );
+        prop_assert_eq!(reduced.ring_size, full.ring_size);
+        prop_assert_eq!(reduced.state_count, full.state_count);
+        prop_assert_eq!(reduced.legit_count, full.legit_count);
+        prop_assert_eq!(reduced.closure_violation, full.closure_violation);
+        prop_assert_eq!(reduced.illegitimate_deadlocks, full.illegitimate_deadlocks);
+        prop_assert_eq!(reduced.livelock, full.livelock);
     }
 
     /// Successor/predecessor inversion also holds on heterogeneous rings,

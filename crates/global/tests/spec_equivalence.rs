@@ -1,15 +1,33 @@
 //! Acceptance gate for the fused engine: on every protocol spec shipped in
 //! `specs/`, the parallel engine must produce the *identical* convergence
 //! report as the sequential one at every ring size `K ∈ 2..=8` — same
-//! counts, same witness states, same ordering.
+//! counts, same witness states, same ordering. The symmetry-reduced
+//! engine is held to the same contract against the full scan at both
+//! thread counts.
 
 use std::path::PathBuf;
 
-use selfstab_global::{check::ConvergenceReport, EngineConfig, RingInstance};
+use selfstab_global::{check::ConvergenceReport, EngineConfig, RingInstance, SymmetryMode};
 use selfstab_protocol::file::parse_protocol_file;
 
 fn spec_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+fn spec_paths() -> Vec<PathBuf> {
+    let dir = spec_dir();
+    let mut specs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "stab"))
+        .collect();
+    specs.sort();
+    assert!(
+        specs.len() >= 10,
+        "expected the ten shipped specs, found {}",
+        specs.len()
+    );
+    specs
 }
 
 fn assert_reports_equal(a: &ConvergenceReport, b: &ConvergenceReport, ctx: &str) {
@@ -29,20 +47,7 @@ fn assert_reports_equal(a: &ConvergenceReport, b: &ConvergenceReport, ctx: &str)
 
 #[test]
 fn parallel_matches_sequential_on_every_spec() {
-    let dir = spec_dir();
-    let mut specs: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
-        .map(|entry| entry.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "stab"))
-        .collect();
-    specs.sort();
-    assert!(
-        specs.len() >= 10,
-        "expected the ten shipped specs, found {}",
-        specs.len()
-    );
-
-    for path in &specs {
+    for path in &spec_paths() {
         let source = std::fs::read_to_string(path).unwrap();
         let protocol =
             parse_protocol_file(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
@@ -64,6 +69,34 @@ fn parallel_matches_sequential_on_every_spec() {
                 selfstab_global::check::illegitimate_deadlocks(&ring),
                 "{ctx}: deadlocks vs reference"
             );
+        }
+    }
+}
+
+/// The differential gate for the tentpole: on every shipped spec and every
+/// `K ∈ 2..=8`, the symmetry-reduced engine must reproduce the full-scan
+/// convergence report byte for byte — with the full scan running both
+/// sequentially and on four threads.
+#[test]
+fn reduced_matches_full_on_every_spec() {
+    for path in &spec_paths() {
+        let source = std::fs::read_to_string(path).unwrap();
+        let protocol =
+            parse_protocol_file(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        for k in 2..=8 {
+            let ring = RingInstance::symmetric(&protocol, k).unwrap();
+            let reduced = ConvergenceReport::check_with(
+                &ring,
+                &EngineConfig::sequential().with_symmetry(SymmetryMode::Reduced),
+            );
+            for threads in [1usize, 4] {
+                let full = ConvergenceReport::check_with(
+                    &ring,
+                    &EngineConfig::with_threads(threads).with_symmetry(SymmetryMode::Full),
+                );
+                let ctx = format!("{} at K={k}, full threads={threads}", path.display());
+                assert_reports_equal(&reduced, &full, &ctx);
+            }
         }
     }
 }

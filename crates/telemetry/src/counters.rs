@@ -11,10 +11,12 @@ use serde_json::Value;
 /// Two classes live here, and they must not be confused:
 ///
 /// * **deterministic** — `states_visited`, `legit_states`,
-///   `deadlocks_found`, `dfs_steps`, `dfs_max_depth` and `cancel_polls`
-///   are pure functions of the instance for a *completed* check,
-///   identical for every engine thread count (scan polls fire on global
-///   id strides, the DFS is sequential);
+///   `deadlocks_found`, `dfs_steps`, `dfs_max_depth`, `cancel_polls`,
+///   `orbits_visited`, `canonicalizations` and `frontier_pushes` are pure
+///   functions of the instance (and the engine's resolved symmetry mode)
+///   for a *completed* check, identical for every engine thread count
+///   (scan polls fire on global id strides, the DFS and the reduced paths
+///   are sequential);
 /// * **scheduling-dependent** — `closure_checks` counts how many
 ///   legitimate states actually had their moves re-encoded, and the scan
 ///   short-circuits that work per chunk once a chunk finds its first
@@ -40,6 +42,13 @@ pub struct EngineCounters {
     pub dfs_max_depth: AtomicU64,
     /// Cancellation polls performed (scan strides + DFS strides).
     pub cancel_polls: AtomicU64,
+    /// Necklace orbits enumerated by the symmetry-reduced scan (zero under
+    /// the full scan; `states_visited` stays orbit-weighted either way).
+    pub orbits_visited: AtomicU64,
+    /// Booth canonicalizations performed by the reduced livelock search.
+    pub canonicalizations: AtomicU64,
+    /// Stack pushes of the reduced livelock search's frontier walk.
+    pub frontier_pushes: AtomicU64,
 }
 
 impl EngineCounters {
@@ -53,6 +62,9 @@ impl EngineCounters {
             dfs_steps: AtomicU64::new(0),
             dfs_max_depth: AtomicU64::new(0),
             cancel_polls: AtomicU64::new(0),
+            orbits_visited: AtomicU64::new(0),
+            canonicalizations: AtomicU64::new(0),
+            frontier_pushes: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +83,9 @@ impl EngineCounters {
             dfs_steps: self.dfs_steps.load(Ordering::Relaxed),
             dfs_max_depth: self.dfs_max_depth.load(Ordering::Relaxed),
             cancel_polls: self.cancel_polls.load(Ordering::Relaxed),
+            orbits_visited: self.orbits_visited.load(Ordering::Relaxed),
+            canonicalizations: self.canonicalizations.load(Ordering::Relaxed),
+            frontier_pushes: self.frontier_pushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -92,6 +107,12 @@ pub struct EngineCountersSnapshot {
     pub dfs_max_depth: u64,
     /// See [`EngineCounters::cancel_polls`].
     pub cancel_polls: u64,
+    /// See [`EngineCounters::orbits_visited`].
+    pub orbits_visited: u64,
+    /// See [`EngineCounters::canonicalizations`].
+    pub canonicalizations: u64,
+    /// See [`EngineCounters::frontier_pushes`].
+    pub frontier_pushes: u64,
 }
 
 impl EngineCountersSnapshot {
@@ -102,12 +123,24 @@ impl EngineCountersSnapshot {
         let mut map = std::collections::BTreeMap::new();
         map.insert("cancel_polls".to_owned(), Value::from(self.cancel_polls));
         map.insert(
+            "canonicalizations".to_owned(),
+            Value::from(self.canonicalizations),
+        );
+        map.insert(
             "deadlocks_found".to_owned(),
             Value::from(self.deadlocks_found),
         );
         map.insert("dfs_max_depth".to_owned(), Value::from(self.dfs_max_depth));
         map.insert("dfs_steps".to_owned(), Value::from(self.dfs_steps));
+        map.insert(
+            "frontier_pushes".to_owned(),
+            Value::from(self.frontier_pushes),
+        );
         map.insert("legit_states".to_owned(), Value::from(self.legit_states));
+        map.insert(
+            "orbits_visited".to_owned(),
+            Value::from(self.orbits_visited),
+        );
         map.insert(
             "states_visited".to_owned(),
             Value::from(self.states_visited),
