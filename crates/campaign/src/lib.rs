@@ -58,4 +58,5 @@ pub use chaos::ChaosPlan;
 pub use job::{JobResult, JobSpec, LocalVerdict, Outcome};
 pub use journal::{FsyncPolicy, Journal, Replay};
 pub use manifest::Manifest;
+pub use pool::{JobHandle, JobOutput, ServicePool};
 pub use runner::{run_campaign, CampaignConfig, CampaignError, CampaignOutcome};

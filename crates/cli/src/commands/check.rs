@@ -55,10 +55,9 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         }
     }
     if args.flag("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(json_rows))?
-        );
+        // The shared renderer frames the document, so the HTTP service's
+        // cached results stay byte-identical to this output.
+        print!("{}", selfstab_serve::render::check_document(json_rows));
     } else if all_ok {
         println!("strongly self-stabilizing at every checked size");
     } else {

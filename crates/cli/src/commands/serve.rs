@@ -1,0 +1,50 @@
+//! `selfstab serve [--port P] [--host H] [--threads T] [--cache-mb M]` —
+//! the long-running HTTP verification service.
+//!
+//! Binds the [`selfstab_serve`] server, prints the listening address to
+//! stdout (so scripts and CI can discover an ephemeral `--port 0`), and
+//! runs until SIGINT or SIGTERM. Either signal starts a graceful drain —
+//! stop accepting, cancel in-flight jobs cooperatively, flush responses —
+//! and the process exits 130, mirroring `sweep`'s interrupt convention.
+//!
+//! Bind failures (busy port, bad interface) and invalid flags are
+//! ordinary usage errors: a diagnostic on stderr and exit 1, never a
+//! panic.
+
+use std::io::Write;
+
+use selfstab_serve::{ServeConfig, Server};
+
+use crate::args::Args;
+use crate::signal;
+
+pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    let port_raw = args.get_usize("port", 7878)?;
+    let port = u16::try_from(port_raw)
+        .map_err(|_| format!("option --port expects 0..=65535, got `{port_raw}`"))?;
+    let threads = args.get_usize("threads", 2)?;
+    if threads == 0 {
+        return Err("option --threads expects a positive number".into());
+    }
+    let cache_mb = args.get_usize("cache-mb", 64)?;
+    let config = ServeConfig {
+        host: args.get("host").unwrap_or("127.0.0.1").to_owned(),
+        port,
+        threads,
+        cache_bytes: cache_mb.saturating_mul(1024 * 1024),
+    };
+
+    let server = Server::bind(&config)
+        .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
+    let addr = server.local_addr()?;
+    // Flushed eagerly: supervisors and tests parse this line to find the
+    // resolved (possibly ephemeral) port.
+    println!("listening on http://{addr}");
+    std::io::stdout().flush()?;
+
+    signal::hook_drain(&server.state().drain_token());
+    server.run()?;
+    eprintln!("drained; exiting");
+    std::process::exit(i32::from(signal::EXIT_SIGINT));
+}

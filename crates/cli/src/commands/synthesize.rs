@@ -45,10 +45,8 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     ));
 
     if args.flag("json") {
-        println!(
-            "{}",
-            json::synthesis_outcome(&protocol, &outcome, &counters.snapshot())
-        );
+        let value = json::synthesis_outcome(&protocol, &outcome, &counters.snapshot());
+        print!("{}", selfstab_serve::render::synthesis_document(&value));
         if !outcome.is_success() {
             logger::warn(
                 "synthesis failed: no candidate passes the livelock conditions \

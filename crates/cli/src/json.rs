@@ -1,13 +1,16 @@
 //! JSON rendering of analysis results (the `--json` flag), for piping into
 //! other tooling.
+//!
+//! The builders shared with the HTTP service — the per-K convergence row
+//! and the synthesis outcome — live in [`selfstab_serve::render`] so the
+//! service's result documents are byte-identical to the CLI's by
+//! construction; they are re-exported here for the commands. Only the
+//! purely local [`stabilization_report`] has no service counterpart.
 
 use selfstab_core::livelock::CertificateScope;
 use selfstab_core::report::StabilizationReport;
-use selfstab_global::check::ConvergenceReport;
-use selfstab_protocol::file::render_protocol_file;
 use selfstab_protocol::Protocol;
-use selfstab_synth::{SynthesisOutcome, SynthesisVerdict};
-use selfstab_telemetry::SynthesisCountersSnapshot;
+pub use selfstab_serve::render::{convergence_report, synthesis_outcome};
 use serde_json::{json, Value};
 
 /// The local [`StabilizationReport`] as JSON.
@@ -57,63 +60,10 @@ pub fn stabilization_report(protocol: &Protocol, report: &StabilizationReport) -
     })
 }
 
-/// A [`SynthesisOutcome`] as JSON. Only deterministic values appear (no
-/// durations, no thread count, no scheduling-dependent counters), so the
-/// document is byte-identical for every `--threads` setting.
-pub fn synthesis_outcome(
-    protocol: &Protocol,
-    outcome: &SynthesisOutcome,
-    counters: &SynthesisCountersSnapshot,
-) -> Value {
-    let solutions: Vec<Value> = outcome
-        .solutions()
-        .iter()
-        .map(|s| {
-            json!({
-                "verdict": match s.verdict {
-                    SynthesisVerdict::NoPseudoLivelock => "no_pseudo_livelock",
-                    SynthesisVerdict::PseudoLivelocksWithoutTrails =>
-                        "pseudo_livelocks_without_trails",
-                },
-                "resolve": s.resolve.iter()
-                    .map(|&st| protocol.space().format_compact(st, protocol.domain()))
-                    .collect::<Vec<_>>(),
-                "added": s.added.iter()
-                    .map(|t| json!({
-                        "from": protocol.space().format_compact(t.source, protocol.domain()),
-                        "to": protocol.domain().label(t.target),
-                    }))
-                    .collect::<Vec<_>>(),
-                "protocol_file": render_protocol_file(&s.protocol),
-            })
-        })
-        .collect();
-    json!({
-        "protocol": protocol.name(),
-        "success": outcome.is_success(),
-        "truncated": outcome.truncated(),
-        "cancelled": outcome.cancelled(),
-        "counters": counters.deterministic_json(),
-        "solutions": solutions,
-    })
-}
-
-/// A fixed-size global [`ConvergenceReport`] as JSON.
-pub fn convergence_report(report: &ConvergenceReport) -> Value {
-    json!({
-        "ring_size": report.ring_size,
-        "state_count": report.state_count,
-        "legit_count": report.legit_count,
-        "closure_ok": report.closure_violation.is_none(),
-        "illegitimate_deadlocks": report.illegitimate_deadlocks.len(),
-        "livelock_length": report.livelock.as_ref().map(Vec::len),
-        "self_stabilizing": report.self_stabilizing(),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use selfstab_global::check::ConvergenceReport;
     use selfstab_global::RingInstance;
     use selfstab_protocol::{Domain, Locality};
 

@@ -7,6 +7,7 @@
 //! selfstab sweep      <manifest.json> [--jobs J] [--threads T] [--symmetry M]  batch campaign over a spec corpus
 //! selfstab stats      <metrics.json>                phase-time cross-tab of a sweep --metrics file
 //! selfstab synthesize <file.stab> [--first] [--threads T] [--json]  Section 6 synthesis methodology
+//! selfstab serve      [--port P] [--threads T] [--cache-mb M]  HTTP verification service with result caching
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
 //! selfstab dot        <file.stab> [--ltg] [-o F]   Graphviz export of the RCG/LTG
@@ -56,6 +57,7 @@ fn run(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         "sweep" => commands::sweep::run(rest),
         "stats" => commands::stats::run(rest),
         "synthesize" => commands::synthesize::run(rest),
+        "serve" => commands::serve::run(rest),
         "sizes" => commands::sizes::run(rest),
         "simulate" => commands::simulate::run(rest),
         "dot" => commands::dot::run(rest),
@@ -106,6 +108,13 @@ SUBCOMMANDS:
                  candidate verification — same output for every T,
                  [--json] machine-readable outcome; exit 2 when the
                  methodology declares failure)
+    serve       long-running HTTP verification service (JSON job API)
+                ([--port P] default 7878, 0 = ephemeral; [--host H] default
+                 127.0.0.1; [--threads T] pool workers, default 2;
+                 [--cache-mb M] content-addressed result cache budget,
+                 default 64; results are byte-identical to the CLI --json
+                 output and repeated submissions are answered from cache;
+                 SIGINT/SIGTERM drain gracefully and exit 130)
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])
     dot         Graphviz export of the RCG ([--ltg] for the LTG, [-o FILE])

@@ -1,4 +1,5 @@
-//! SIGINT → cooperative cancellation, without any signal-handling crate.
+//! SIGINT/SIGTERM → cooperative cancellation, without any signal-handling
+//! crate.
 //!
 //! Long sweeps must survive a Ctrl-C with their journal intact: the
 //! handler itself only flips an [`AtomicBool`] (the one action that is
@@ -9,7 +10,12 @@
 //! which point the CLI exits with the conventional `128 + SIGINT = 130`
 //! and every completed job is safely on disk for `--resume`.
 //!
-//! On non-Unix targets the hook is a no-op: the token simply never fires
+//! The `serve` subcommand additionally hooks **SIGTERM** (what service
+//! managers send on shutdown) through [`drain_token`]: either signal
+//! fires the same token, the server stops accepting, in-flight jobs
+//! cancel cooperatively, and the process exits 130.
+//!
+//! On non-Unix targets the hooks are no-ops: the token simply never fires
 //! from a signal (the process dies the default way), and everything else
 //! still works.
 
@@ -19,18 +25,21 @@ use std::time::Duration;
 
 use selfstab_global::CancelToken;
 
-/// Set (only) by the signal handler; drained by the watcher thread.
-static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+/// Set (only) by the signal handlers; drained by the watcher thread.
+static SIGNAL_RECEIVED: AtomicBool = AtomicBool::new(false);
 
-/// Conventional exit code for "terminated by SIGINT" (128 + 2).
+/// Conventional exit code for "terminated by SIGINT" (128 + 2); `serve`
+/// reuses it for SIGTERM-initiated drains too, so supervisors observe one
+/// stable shutdown code.
 pub const EXIT_SIGINT: u8 = 130;
 
 #[cfg(unix)]
 mod hook {
-    use super::SIGINT_RECEIVED;
+    use super::SIGNAL_RECEIVED;
     use std::sync::atomic::Ordering;
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" {
         /// ISO C `signal(2)` — present in every libc we build against, so
@@ -40,41 +49,63 @@ mod hook {
 
     /// The handler: store one flag and return. Anything more (locks,
     /// allocation, IO) is not async-signal-safe.
-    extern "C" fn on_sigint(_signum: i32) {
-        SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_RECEIVED.store(true, Ordering::SeqCst);
     }
 
-    pub fn install() {
+    pub fn install_sigint() {
         // Safety: `signal` is the ISO C signal-installation call; the
         // handler only touches an atomic, which is async-signal-safe.
         unsafe {
-            signal(SIGINT, on_sigint);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn install_sigterm() {
+        // Safety: as above.
+        unsafe {
+            signal(SIGTERM, on_signal);
         }
     }
 }
 
 #[cfg(not(unix))]
 mod hook {
-    pub fn install() {}
+    pub fn install_sigint() {}
+    pub fn install_sigterm() {}
 }
 
-/// Installs the SIGINT hook and returns a token that fires shortly after
-/// the first Ctrl-C. Dropping every clone of the token retires the watcher
-/// thread.
-pub fn interrupt_token() -> Arc<CancelToken> {
-    hook::install();
-    let token = Arc::new(CancelToken::new());
-    let weak = Arc::downgrade(&token);
+/// Spawns the watcher that fires `token` once a hooked signal lands.
+/// Dropping every external clone of the token retires the watcher thread.
+fn watch(token: &Arc<CancelToken>) {
+    let weak = Arc::downgrade(token);
     std::thread::spawn(move || loop {
         let Some(token) = weak.upgrade() else {
-            return; // the sweep finished; nobody is listening any more
+            return; // the command finished; nobody is listening any more
         };
-        if SIGINT_RECEIVED.load(Ordering::SeqCst) {
+        if SIGNAL_RECEIVED.load(Ordering::SeqCst) {
             token.cancel();
             return;
         }
         drop(token);
         std::thread::sleep(Duration::from_millis(20));
     });
+}
+
+/// Installs the SIGINT hook and returns a token that fires shortly after
+/// the first Ctrl-C.
+pub fn interrupt_token() -> Arc<CancelToken> {
+    hook::install_sigint();
+    let token = Arc::new(CancelToken::new());
+    watch(&token);
     token
+}
+
+/// Installs both SIGINT and SIGTERM hooks and arms the watcher to fire
+/// `token` — the `serve` drain path, where a supervisor's SIGTERM must
+/// behave exactly like an operator's Ctrl-C.
+pub fn hook_drain(token: &Arc<CancelToken>) {
+    hook::install_sigint();
+    hook::install_sigterm();
+    watch(token);
 }

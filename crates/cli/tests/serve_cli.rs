@@ -1,0 +1,159 @@
+//! End-to-end tests of the `selfstab serve` subcommand: flag validation,
+//! bind diagnostics, and a full spawn → submit → poll → compare-to-CLI →
+//! SIGTERM-drain round trip against the real binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn selfstab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_selfstab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Kills the serve child if a test panics before its orderly shutdown.
+struct ServeChild(Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn help_documents_the_serve_subcommand() {
+    let out = selfstab(&["help"]);
+    assert!(out.status.success());
+    let text = stderr(&out);
+    assert!(text.contains("serve"), "{text}");
+    for flag in ["--port", "--threads", "--cache-mb"] {
+        assert!(text.contains(flag), "help must document {flag}: {text}");
+    }
+}
+
+#[test]
+fn invalid_port_exits_one_with_a_diagnostic() {
+    let out = selfstab(&["serve", "--port", "99999"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--port"), "{}", stderr(&out));
+
+    let out = selfstab(&["serve", "--port", "some"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = selfstab(&["serve", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--threads"), "{}", stderr(&out));
+}
+
+#[test]
+fn busy_port_exits_one_with_a_diagnostic() {
+    // Occupy a port, then ask serve to bind it.
+    let holder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = holder.local_addr().unwrap().port();
+    let out = selfstab(&["serve", "--port", &port.to_string()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("cannot bind"), "{}", stderr(&out));
+}
+
+/// One request over a fresh connection; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_round_trip_matches_check_json_and_drains_on_sigterm() {
+    let spec_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/agreement.stab");
+    let spec_source = std::fs::read_to_string(&spec_path).unwrap();
+
+    let mut child = ServeChild(
+        Command::new(env!("CARGO_BIN_EXE_selfstab"))
+            .args(["serve", "--port", "0", "--threads", "1"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs"),
+    );
+    // The first stdout line announces the resolved ephemeral address.
+    let mut line = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_owned();
+
+    // Submit the corpus spec and poll the job to completion.
+    let submit = format!(
+        "{{\"kind\": \"verify\", \"k\": 4, \"spec\": {}}}",
+        serde_json::Value::String(spec_source)
+    );
+    let (status, body) = http(&addr, "POST", "/v1/jobs", &submit);
+    assert_eq!(status, 202, "{body}");
+    let id = serde_json::from_str(&body).unwrap()["id"].as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        match serde_json::from_str(&body).unwrap()["status"].as_str() {
+            Some("queued") | Some("running") => {
+                assert!(Instant::now() < deadline, "job never settled");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Some("done") => break,
+            other => panic!("unexpected job status {other:?}: {body}"),
+        }
+    }
+
+    // The served result is byte-identical to `check --json`.
+    let (status, served) = http(&addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200);
+    let cli = selfstab(&["check", spec_path.to_str().unwrap(), "--k", "4", "--json"]);
+    assert!(cli.status.success(), "{}", stderr(&cli));
+    assert_eq!(
+        served.as_bytes(),
+        cli.stdout.as_slice(),
+        "service bytes differ from CLI --json bytes"
+    );
+
+    // A resubmit is a cache hit answered in-line.
+    let (status, body) = http(&addr, "POST", "/v1/jobs", &submit);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(serde_json::from_str(&body).unwrap()["cached"], true);
+
+    // SIGTERM → graceful drain → exit 130.
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.0.id().to_string()])
+        .status();
+    let status = child.0.wait().expect("child exits");
+    assert_eq!(status.code(), Some(130), "drain exits 130");
+}

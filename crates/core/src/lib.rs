@@ -23,6 +23,8 @@
 //!   the protocol is livelock-free on unidirectional rings of every size.
 //! * [`closure`] — a window-local closure check for `I(K)`.
 //! * [`report`] — [`StabilizationReport`], bundling everything.
+//! * [`hash`] — canonical, parse-tree-based spec hashing for
+//!   content-addressed result caching (the `selfstab serve` layer).
 //!
 //! # Examples
 //!
@@ -51,6 +53,7 @@
 
 pub mod closure;
 pub mod deadlock;
+pub mod hash;
 pub mod livelock;
 pub mod ltg;
 pub mod pseudo;
@@ -60,6 +63,7 @@ pub mod trail;
 
 pub use closure::{local_closure_check, ClosureViolation};
 pub use deadlock::DeadlockAnalysis;
+pub use hash::{spec_hash, SpecHash};
 pub use livelock::LivelockAnalysis;
 pub use ltg::Ltg;
 pub use rcg::Rcg;

@@ -1,0 +1,290 @@
+//! The content-addressed result cache with single-flight deduplication.
+//!
+//! Real verification traffic is repetitive: iterating the same specs
+//! across K ranges and candidate sets re-submits near-identical requests
+//! over and over. Every completed result document is a pure function of
+//! `(spec semantics, kind, K range, state budget, symmetry mode)`, so the
+//! service memoizes the **rendered bytes** under exactly that key (see
+//! [`crate::jobs::JobRequest::cache_key`], built on
+//! [`selfstab_core::spec_hash`]). A repeat request is then served straight
+//! from memory — no parse, no analysis, no pool job.
+//!
+//! Two request-shape subtleties:
+//!
+//! * **Single flight.** N clients racing the same cold key must cost one
+//!   pool job, not N. The first submit atomically reserves the key as
+//!   in-flight and carries the job id; every racer is *coalesced* onto
+//!   that id and polls the same job. Only completion (or abandonment —
+//!   timeout, panic, drain) resolves the reservation.
+//! * **Byte budget.** Result documents are small but unbounded in number;
+//!   an LRU byte budget caps the memory. Eviction walks off the least
+//!   recently *hit* completed entries; in-flight reservations hold no
+//!   bytes and are never evicted.
+//!
+//! Only *completed* documents are cached. A cancelled or timed-out job
+//! produced partial bytes that depend on where the deadline landed —
+//! caching those would serve nondeterministic documents, so the
+//! reservation is abandoned instead and the next request retries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use selfstab_telemetry::Registry;
+use serde_json::{json, Value};
+
+/// A completed, cacheable result: the exact response bytes plus the CLI
+/// exit code the document maps to (0 verified / 2 violation found).
+#[derive(Debug)]
+pub struct CachedDoc {
+    /// The canonical rendered document — byte-identical to the
+    /// corresponding CLI `--json` output.
+    pub body: String,
+    /// The CLI exit-code equivalent, echoed as `X-Selfstab-Exit-Code`.
+    pub exit_code: u8,
+}
+
+/// What a submit found under its cache key.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A completed document: serve it, enqueue nothing.
+    Hit(Arc<CachedDoc>),
+    /// Another request is already computing this key; the id is that
+    /// request's job. Coalesce onto it, enqueue nothing.
+    InFlight(u64),
+    /// Nothing cached; the key is now reserved for the caller's job id.
+    Miss,
+}
+
+enum Entry {
+    Done {
+        doc: Arc<CachedDoc>,
+        bytes: usize,
+        last_used: u64,
+    },
+    InFlight {
+        job: u64,
+    },
+}
+
+struct CacheInner {
+    entries: HashMap<String, Entry>,
+    /// Total bytes held by `Done` entries.
+    bytes: usize,
+    /// Monotone recency clock (bumped per touch).
+    tick: u64,
+}
+
+/// The cache. All operations take one short mutex; the documents
+/// themselves are shared out as `Arc`s, so a hit never copies the body.
+pub struct ResultCache {
+    budget: usize,
+    inner: Mutex<CacheInner>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    coalesced: Arc<AtomicU64>,
+    insertions: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+}
+
+impl ResultCache {
+    /// A cache bounded to `budget` bytes of completed documents, its
+    /// counters registered in `registry` under `cache/…`.
+    pub fn new(budget: usize, registry: &Registry) -> Self {
+        ResultCache {
+            budget,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            hits: registry.counter("cache/hits"),
+            misses: registry.counter("cache/misses"),
+            coalesced: registry.counter("cache/coalesced"),
+            insertions: registry.counter("cache/insertions"),
+            evictions: registry.counter("cache/evictions"),
+        }
+    }
+
+    /// Looks up `key`; on a miss, atomically reserves the key for
+    /// `job_id` so concurrent identical submits coalesce instead of
+    /// duplicating work.
+    pub fn lookup_or_reserve(&self, key: &str, job_id: u64) -> Lookup {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(Entry::Done { doc, last_used, .. }) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Arc::clone(doc))
+            }
+            Some(Entry::InFlight { job }) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Lookup::InFlight(*job)
+            }
+            None => {
+                inner
+                    .entries
+                    .insert(key.to_owned(), Entry::InFlight { job: job_id });
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Resolves an in-flight reservation with its completed document and
+    /// enforces the byte budget (evicting least-recently-used completed
+    /// entries; a document larger than the whole budget is simply not
+    /// retained).
+    pub fn fulfill(&self, key: &str, doc: Arc<CachedDoc>) {
+        let bytes = doc.body.len();
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if bytes > self.budget {
+            inner.entries.remove(key);
+            return;
+        }
+        if let Some(Entry::Done { bytes, .. }) = inner.entries.insert(
+            key.to_owned(),
+            Entry::Done {
+                doc,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= bytes;
+        }
+        inner.bytes += bytes;
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while inner.bytes > self.budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Done { last_used, .. } if k != key => Some((*last_used, k.clone())),
+                    _ => None,
+                })
+                .min();
+            let Some((_, victim)) = victim else {
+                break; // nothing evictable but the fresh entry itself
+            };
+            if let Some(Entry::Done { bytes, .. }) = inner.entries.remove(&victim) {
+                inner.bytes -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops an in-flight reservation whose job did not complete
+    /// (timeout, panic, drain): the next identical request starts fresh.
+    pub fn abandon(&self, key: &str) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if matches!(inner.entries.get(key), Some(Entry::InFlight { .. })) {
+            inner.entries.remove(key);
+        }
+    }
+
+    /// The `/v1/cache/stats` document.
+    pub fn stats_json(&self) -> Value {
+        let inner = self.inner.lock().expect("cache poisoned");
+        let completed = inner
+            .entries
+            .values()
+            .filter(|e| matches!(e, Entry::Done { .. }))
+            .count();
+        let in_flight = inner.entries.len() - completed;
+        json!({
+            "budget_bytes": self.budget,
+            "bytes": inner.bytes,
+            "entries": completed,
+            "in_flight": in_flight,
+            "hits": self.hits.load(Ordering::Relaxed),
+            "misses": self.misses.load(Ordering::Relaxed),
+            "coalesced": self.coalesced.load(Ordering::Relaxed),
+            "insertions": self.insertions.load(Ordering::Relaxed),
+            "evictions": self.evictions.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(body: &str) -> Arc<CachedDoc> {
+        Arc::new(CachedDoc {
+            body: body.to_owned(),
+            exit_code: 0,
+        })
+    }
+
+    fn cache(budget: usize) -> ResultCache {
+        ResultCache::new(budget, &Registry::new())
+    }
+
+    #[test]
+    fn miss_reserves_then_hit_serves() {
+        let c = cache(1024);
+        assert!(matches!(c.lookup_or_reserve("k", 1), Lookup::Miss));
+        // A racer coalesces onto job 1.
+        match c.lookup_or_reserve("k", 2) {
+            Lookup::InFlight(job) => assert_eq!(job, 1),
+            other => panic!("expected coalesce, got {other:?}"),
+        }
+        c.fulfill("k", doc("result"));
+        match c.lookup_or_reserve("k", 3) {
+            Lookup::Hit(d) => assert_eq!(d.body, "result"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = c.stats_json();
+        assert_eq!(stats["hits"], 1u64);
+        assert_eq!(stats["misses"], 1u64);
+        assert_eq!(stats["coalesced"], 1u64);
+        assert_eq!(stats["bytes"], 6u64);
+    }
+
+    #[test]
+    fn abandon_reopens_the_key() {
+        let c = cache(1024);
+        assert!(matches!(c.lookup_or_reserve("k", 1), Lookup::Miss));
+        c.abandon("k");
+        assert!(matches!(c.lookup_or_reserve("k", 2), Lookup::Miss));
+        // Abandon never drops a completed document.
+        c.fulfill("k", doc("done"));
+        c.abandon("k");
+        assert!(matches!(c.lookup_or_reserve("k", 3), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let c = cache(10);
+        for (key, body) in [("a", "aaaa"), ("b", "bbbb")] {
+            assert!(matches!(c.lookup_or_reserve(key, 0), Lookup::Miss));
+            c.fulfill(key, doc(body));
+        }
+        // Touch `a` so `b` is the LRU victim.
+        assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Hit(_)));
+        assert!(matches!(c.lookup_or_reserve("c", 0), Lookup::Miss));
+        c.fulfill("c", doc("cccc"));
+        assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Hit(_)));
+        assert!(matches!(c.lookup_or_reserve("c", 0), Lookup::Hit(_)));
+        assert!(
+            matches!(c.lookup_or_reserve("b", 9), Lookup::Miss),
+            "b was evicted"
+        );
+        let stats = c.stats_json();
+        assert_eq!(stats["evictions"], 1u64);
+        assert!(stats["bytes"].as_u64().unwrap() <= 10);
+    }
+
+    #[test]
+    fn documents_over_the_whole_budget_are_not_retained() {
+        let c = cache(4);
+        assert!(matches!(c.lookup_or_reserve("big", 0), Lookup::Miss));
+        c.fulfill("big", doc("way too large"));
+        assert!(matches!(c.lookup_or_reserve("big", 1), Lookup::Miss));
+        assert_eq!(c.stats_json()["bytes"], 0u64);
+    }
+}

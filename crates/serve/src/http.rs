@@ -1,0 +1,413 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The workspace is offline — every dependency is a vendored path crate —
+//! so there is no tokio/hyper to lean on. What the service actually needs
+//! from HTTP is small and is implemented here directly over `std::io`:
+//!
+//! * request line + headers + `Content-Length` bodies (no chunked
+//!   encoding — the JSON API never produces it, and a request that asks
+//!   for it is rejected as unsupported);
+//! * keep-alive with pipelining: the connection buffer preserves bytes
+//!   beyond the current request, so back-to-back requests written in one
+//!   TCP segment each get their own response;
+//! * hard limits instead of trust: oversized heads are rejected with
+//!   `400`, oversized bodies with `413`, and a torn request (peer went
+//!   away mid-head or mid-body) just closes the connection — none of
+//!   these can panic or allocate unboundedly.
+//!
+//! The parser is generic over `Read` so unit tests feed it byte slices;
+//! the server hands it a `TcpStream` with a read timeout.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, in bytes. Spec sources are a few
+/// hundred bytes; a megabyte leaves three orders of magnitude of slack.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path only; the service ignores query strings).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, and what the connection handler
+/// should do about it.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically broken request → respond `400` and close.
+    Malformed(String),
+    /// Request line + headers exceed [`MAX_HEAD_BYTES`] → `400`, close.
+    HeadTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`] → `413`, close.
+    BodyTooLarge,
+    /// The peer disappeared mid-request (torn request, read timeout) →
+    /// close silently; there is nobody left to answer.
+    Truncated,
+    /// Transport-level trouble → close silently.
+    Io(std::io::Error),
+}
+
+/// Reads requests off one connection, preserving pipelined bytes between
+/// calls.
+pub struct RequestReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// A reader over `stream` with an empty buffer.
+    pub fn new(stream: R) -> Self {
+        RequestReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Parses the next request. `Ok(None)` means the peer closed the
+    /// connection cleanly between requests — the normal end of keep-alive.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`] for the response/close protocol per variant.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        // Accumulate until the head terminator is in the buffer.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge);
+            }
+            match self.fill()? {
+                0 if self.buf.is_empty() => return Ok(None),
+                0 => return Err(HttpError::Truncated),
+                _ => {}
+            }
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?
+            .to_owned();
+        let (method, path, version, headers) = parse_head(&head)?;
+
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::Malformed(
+                "transfer-encoding is not supported; send a Content-Length body".into(),
+            ));
+        }
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{v}`")))?,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge);
+        }
+
+        // Pull the body in, then carve request bytes out of the buffer —
+        // whatever follows belongs to the next pipelined request.
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(HttpError::Truncated);
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+
+        let keep_alive = wants_keep_alive(version, &headers);
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+
+    /// One `read` into the buffer; returns the byte count (0 = EOF).
+    fn fill(&mut self) -> Result<usize, HttpError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Read timeout: the peer is stalling mid-request.
+                    return Err(HttpError::Truncated);
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits the head into (method, path, version, lowercased headers).
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Result<(String, String, u8, Vec<(String, String)>), HttpError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    let minor = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported version `{other}`"
+            )))
+        }
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    // Strip any query string: the API routes on the path alone.
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    Ok((method.to_owned(), path, minor, headers))
+}
+
+/// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+/// `Connection` header overrides either way.
+fn wants_keep_alive(minor: u8, headers: &[(String, String)]) -> bool {
+    match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => minor >= 1,
+    }
+}
+
+/// One HTTP response, always carrying a JSON body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set (name, value).
+    pub headers: Vec<(String, String)>,
+    /// The response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// Serializes the response; `keep_alive` selects the `Connection`
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write errors.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(bytes: &[u8]) -> RequestReader<&[u8]> {
+        RequestReader::new(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let mut r = read_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = r.next_request().unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+        assert!(r.next_request().unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let mut r =
+            read_all(b"POST /v1/jobs?x=1 HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"k\":\"v\" }!");
+        let req = r.next_request().unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"{\"k\":\"v\" }!");
+    }
+
+    #[test]
+    fn pipelined_requests_each_parse() {
+        let mut r = read_all(
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let a = r.next_request().unwrap().unwrap();
+        let b = r.next_request().unwrap().unwrap();
+        let c = r.next_request().unwrap().unwrap();
+        assert_eq!((a.path.as_str(), a.keep_alive), ("/a", true));
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"hi"[..]));
+        assert_eq!((c.path.as_str(), c.keep_alive), ("/c", false));
+        assert!(r.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_requests_truncate_instead_of_panicking() {
+        // Mid-head.
+        let mut r = read_all(b"GET /v1/he");
+        assert!(matches!(r.next_request(), Err(HttpError::Truncated)));
+        // Mid-body.
+        let mut r = read_all(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
+        assert!(matches!(r.next_request(), Err(HttpError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        let mut r = RequestReader::new(huge_header.as_bytes());
+        assert!(matches!(r.next_request(), Err(HttpError::HeadTooLarge)));
+
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut r = RequestReader::new(huge_body.as_bytes());
+        assert!(matches!(r.next_request(), Err(HttpError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn malformed_heads_are_diagnosed() {
+        for bad in [
+            &b"NOT_A_REQUEST\r\n\r\n"[..],
+            &b"GET / HTTP/2.0\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            let mut r = RequestReader::new(bad);
+            assert!(
+                matches!(r.next_request(), Err(HttpError::Malformed(_))),
+                "{}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let mut r = read_all(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.next_request().unwrap().unwrap().keep_alive);
+        let mut r = read_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.next_request().unwrap().unwrap().keep_alive);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("x-selfstab-exit-code", "0")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("x-selfstab-exit-code: 0\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+}

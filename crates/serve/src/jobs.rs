@@ -1,0 +1,591 @@
+//! Job requests, states, and execution.
+//!
+//! A job is one parsed, validated `POST /v1/jobs` body: a `.stab` spec
+//! plus a kind (`verify` | `sweep` | `synthesize`), a K range, and
+//! budgets. Validation happens **at submit** — malformed JSON or an
+//! unparsable/over-budget spec is rejected with a structured error before
+//! anything reaches the pool, so queued work is always runnable.
+//!
+//! Execution ([`execute`]) is the CLI's own pipeline re-expressed for a
+//! service: the same fused scan + livelock DFS (or Section-6 synthesis)
+//! under a [`CancelToken`], with per-phase durations accumulated into the
+//! job's [`JobTelemetry`] so `GET /v1/jobs/:id` can show where the time
+//! went. A deadline that fires mid-run yields the rows completed so far
+//! as a *partial* document — served with 504, never cached.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use selfstab_campaign::telemetry::JobTelemetry;
+use selfstab_core::{spec_hash, SpecHash};
+use selfstab_global::check::ConvergenceReport;
+use selfstab_global::engine::{find_livelock_metered, fused_scan_metered};
+use selfstab_global::{instance, CancelToken, EngineConfig, RingInstance, SymmetryMode};
+use selfstab_protocol::file::parse_protocol_file;
+use selfstab_protocol::Protocol;
+use selfstab_synth::{LocalSynthesizer, SynthesisConfig};
+use selfstab_telemetry::{EngineCounters, Phase, SynthesisCounters};
+use serde_json::{json, Value};
+
+use crate::cache::CachedDoc;
+use crate::render;
+
+/// What the job computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// One fixed-K convergence check (`check --k K`).
+    Verify,
+    /// A K-range of convergence checks (`check --k FROM --to TO`).
+    Sweep,
+    /// Section-6 local synthesis (`synthesize`).
+    Synthesize,
+}
+
+impl JobKind {
+    fn name(self) -> &'static str {
+        match self {
+            JobKind::Verify => "verify",
+            JobKind::Sweep => "sweep",
+            JobKind::Synthesize => "synthesize",
+        }
+    }
+}
+
+/// Why a submit was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The request body itself is unusable (missing/ill-typed fields,
+    /// unknown kind) — HTTP 400.
+    BadRequest(String),
+    /// The body is well-formed but the spec cannot run (parse error,
+    /// over-budget instance) — HTTP 422.
+    BadSpec(String),
+}
+
+impl SubmitError {
+    /// The HTTP status this rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            SubmitError::BadRequest(_) => 400,
+            SubmitError::BadSpec(_) => 422,
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            SubmitError::BadRequest(m) | SubmitError::BadSpec(m) => m,
+        }
+    }
+}
+
+/// A validated job request: everything execution needs, plus the spec's
+/// canonical hash for cache addressing.
+#[derive(Debug)]
+pub struct JobRequest {
+    /// What to compute.
+    pub kind: JobKind,
+    /// The parsed protocol.
+    pub protocol: Protocol,
+    /// Canonical parse-tree hash of the spec (see [`selfstab_core::hash`]).
+    pub hash: SpecHash,
+    /// First ring size (ignored by `synthesize`).
+    pub k_from: usize,
+    /// Last ring size, inclusive (equals `k_from` for `verify`).
+    pub k_to: usize,
+    /// Per-instance global-state budget.
+    pub max_states: u64,
+    /// Rotation-symmetry policy for the scan.
+    pub symmetry: SymmetryMode,
+    /// Engine threads per job (results are thread-count-invariant).
+    pub threads: usize,
+    /// Wall-clock deadline for the whole job.
+    pub timeout: Option<Duration>,
+}
+
+fn usize_field(body: &Value, key: &str) -> Result<Option<usize>, SubmitError> {
+    match &body[key] {
+        Value::Null => Ok(None),
+        v => v.as_u64().map(|n| Some(n as usize)).ok_or_else(|| {
+            SubmitError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+impl JobRequest {
+    /// Parses and validates a `POST /v1/jobs` body.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::BadRequest`] for structural problems (400),
+    /// [`SubmitError::BadSpec`] for a spec that parses as JSON but cannot
+    /// run (422).
+    pub fn from_json(body: &Value) -> Result<Self, SubmitError> {
+        let kind = match body["kind"].as_str() {
+            Some("verify") => JobKind::Verify,
+            Some("sweep") => JobKind::Sweep,
+            Some("synthesize") => JobKind::Synthesize,
+            Some(other) => {
+                return Err(SubmitError::BadRequest(format!(
+                    "unknown kind `{other}` (expected verify, sweep, or synthesize)"
+                )))
+            }
+            None => {
+                return Err(SubmitError::BadRequest(
+                    "field `kind` is required and must be a string".to_owned(),
+                ))
+            }
+        };
+        let spec = body["spec"].as_str().ok_or_else(|| {
+            SubmitError::BadRequest("field `spec` is required and must be a string".to_owned())
+        })?;
+        let protocol = parse_protocol_file(spec)
+            .map_err(|e| SubmitError::BadSpec(format!("spec does not parse: {e}")))?;
+        let hash = spec_hash(&protocol);
+
+        let (k_from, k_to) = match kind {
+            JobKind::Synthesize => {
+                // Synthesis quantifies over every ring size; a K field in
+                // the body is a caller mistake worth flagging.
+                if !body["k"].is_null() || !body["to"].is_null() {
+                    return Err(SubmitError::BadRequest(
+                        "`synthesize` takes no `k`/`to` fields".to_owned(),
+                    ));
+                }
+                (0, 0)
+            }
+            JobKind::Verify => {
+                if !body["to"].is_null() {
+                    return Err(SubmitError::BadRequest(
+                        "`verify` checks one size; use kind `sweep` for a range".to_owned(),
+                    ));
+                }
+                let k = usize_field(body, "k")?
+                    .ok_or_else(|| SubmitError::BadRequest("field `k` is required".to_owned()))?;
+                (k, k)
+            }
+            JobKind::Sweep => {
+                let from = usize_field(body, "k")?
+                    .ok_or_else(|| SubmitError::BadRequest("field `k` is required".to_owned()))?;
+                let to = usize_field(body, "to")?.unwrap_or(from);
+                if to < from {
+                    return Err(SubmitError::BadRequest(
+                        "`to` must be at least `k`".to_owned(),
+                    ));
+                }
+                (from, to)
+            }
+        };
+        if kind != JobKind::Synthesize && k_from < 2 {
+            return Err(SubmitError::BadRequest(
+                "`k` must be at least 2 (a ring needs two processes)".to_owned(),
+            ));
+        }
+
+        let max_states = match &body["max_states"] {
+            Value::Null => instance::DEFAULT_MAX_STATES,
+            v => v.as_u64().ok_or_else(|| {
+                SubmitError::BadRequest(
+                    "field `max_states` must be a non-negative integer".to_owned(),
+                )
+            })?,
+        };
+        // Budget precheck: reject a d^K blowup at submit instead of
+        // queueing a job that can only fail.
+        if kind != JobKind::Synthesize {
+            let d = protocol.domain().size() as u64;
+            let over = (d.checked_pow(k_to as u32)).is_none_or(|n| n > max_states);
+            if over {
+                return Err(SubmitError::BadSpec(format!(
+                    "instance over budget: {d}^{k_to} global states exceeds max_states {max_states}"
+                )));
+            }
+        }
+
+        let symmetry: SymmetryMode = match body["symmetry"].as_str() {
+            None if body["symmetry"].is_null() => SymmetryMode::Auto,
+            None => {
+                return Err(SubmitError::BadRequest(
+                    "field `symmetry` must be a string".to_owned(),
+                ))
+            }
+            Some(s) => s
+                .parse()
+                .map_err(|e| SubmitError::BadRequest(format!("field `symmetry`: {e}")))?,
+        };
+        let threads = usize_field(body, "threads")?.unwrap_or(1).max(1);
+        let timeout = match &body["timeout_ms"] {
+            Value::Null => None,
+            v => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+                SubmitError::BadRequest(
+                    "field `timeout_ms` must be a non-negative integer".to_owned(),
+                )
+            })?)),
+        };
+
+        Ok(JobRequest {
+            kind,
+            protocol,
+            hash,
+            k_from,
+            k_to,
+            max_states,
+            symmetry,
+            threads,
+            timeout,
+        })
+    }
+
+    /// The content address of this request's *completed* result: the
+    /// canonical spec hash plus every input the rendered document depends
+    /// on. Engine `threads` is deliberately excluded (documents are
+    /// thread-count-invariant), as is `timeout_ms` (only completed,
+    /// deadline-independent results are ever cached).
+    pub fn cache_key(&self) -> String {
+        let symmetry = match self.symmetry {
+            SymmetryMode::Auto => "auto",
+            SymmetryMode::Full => "full",
+            SymmetryMode::Reduced => "reduced",
+        };
+        format!(
+            "{}:{}:{}..{}:{}:{}",
+            self.hash,
+            self.kind.name(),
+            self.k_from,
+            self.k_to,
+            self.max_states,
+            symmetry,
+        )
+    }
+
+    /// The job's deadline instant, if a timeout was requested. Anchored
+    /// at submit time, not dequeue time: queue wait counts against the
+    /// budget, matching what the client observes.
+    pub fn deadline_from(&self, submitted: Instant) -> Option<Instant> {
+        self.timeout.map(|t| submitted + t)
+    }
+}
+
+/// Where a job currently is.
+pub enum JobState {
+    /// Accepted, waiting for a pool worker.
+    Queued,
+    /// Executing.
+    Running,
+    /// Completed; `doc` is the canonical result document.
+    Done { doc: Arc<CachedDoc> },
+    /// Deadline fired mid-run; `partial` holds the rows completed before
+    /// the cut (never cached).
+    TimedOut { partial: String },
+    /// Cancelled by server drain before completing.
+    Drained,
+    /// Could not run or panicked; `status` is the HTTP mapping.
+    Failed { status: u16, message: String },
+}
+
+impl JobState {
+    /// The status label shown by `GET /v1/jobs/:id`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::TimedOut { .. } => "timed_out",
+            JobState::Drained => "drained",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// One tracked job: identity, current state, and its telemetry
+/// accumulator. Shared between the HTTP handlers and the pool closure.
+pub struct JobEntry {
+    /// The job id (`/v1/jobs/:id`).
+    pub id: u64,
+    /// What it computes.
+    pub kind: JobKind,
+    /// The request's content address.
+    pub cache_key: String,
+    /// Current state.
+    pub state: Mutex<JobState>,
+    /// Phase breakdown + engine counters, filled during execution.
+    pub telemetry: JobTelemetry,
+    /// `true` iff the submit was answered from cache (no pool work).
+    pub cached: bool,
+}
+
+impl JobEntry {
+    /// The `GET /v1/jobs/:id` status document.
+    pub fn status_json(&self) -> Value {
+        let state = self.state.lock().expect("job state poisoned");
+        let mut doc = json!({
+            "id": self.id,
+            "kind": self.kind.name(),
+            "status": state.label(),
+            "cached": self.cached,
+            "cache_key": self.cache_key.clone(),
+            "phases_us": self.telemetry.phases.snapshot().to_json(),
+        });
+        if let JobState::Failed { message, .. } = &*state {
+            if let Value::Object(map) = &mut doc {
+                map.insert("error".to_owned(), Value::String(message.clone()));
+            }
+        }
+        doc
+    }
+}
+
+/// How an execution ended.
+pub enum ExecOutcome {
+    /// Completed: the canonical document, cacheable.
+    Done(CachedDoc),
+    /// The cancel token fired mid-run (deadline or drain); `partial`
+    /// holds the completed rows.
+    Cancelled { partial: String },
+    /// The job could not run.
+    Failed { status: u16, message: String },
+}
+
+/// Runs a validated request to completion (or cancellation), timing each
+/// phase into `telemetry`. This is the exact CLI pipeline: the returned
+/// `Done` document is byte-identical to `selfstab check --json` /
+/// `selfstab synthesize --json` on the same inputs.
+pub fn execute(req: &JobRequest, telemetry: &JobTelemetry, cancel: &CancelToken) -> ExecOutcome {
+    match req.kind {
+        JobKind::Verify | JobKind::Sweep => execute_check(req, telemetry, cancel),
+        JobKind::Synthesize => execute_synthesis(req, telemetry, cancel),
+    }
+}
+
+fn execute_check(req: &JobRequest, telemetry: &JobTelemetry, cancel: &CancelToken) -> ExecOutcome {
+    let engine = EngineConfig::with_threads(req.threads).with_symmetry(req.symmetry);
+    let counters = EngineCounters::new();
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for k in req.k_from..=req.k_to {
+        let ring = match RingInstance::symmetric_with_limit(&req.protocol, k, req.max_states) {
+            Ok(ring) => ring,
+            Err(e) => {
+                return ExecOutcome::Failed {
+                    status: 422,
+                    message: format!("cannot instantiate K={k}: {e}"),
+                }
+            }
+        };
+        let scan = match telemetry
+            .phases
+            .time(Phase::FusedScan, || {
+                fused_scan_metered(&ring, &engine, cancel, Some(&counters))
+            })
+            .ok()
+        {
+            Some(scan) => scan,
+            None => return cancelled_check(rows, &counters, telemetry),
+        };
+        let livelock = match telemetry
+            .phases
+            .time(Phase::LivelockDfs, || {
+                find_livelock_metered(&ring, &scan, cancel, Some(&counters))
+            })
+            .ok()
+        {
+            Some(livelock) => livelock,
+            None => return cancelled_check(rows, &counters, telemetry),
+        };
+        let report = ConvergenceReport {
+            ring_size: ring.ring_size(),
+            state_count: ring.space().len(),
+            legit_count: scan.legit_count,
+            closure_violation: scan.first_closure_violation,
+            illegitimate_deadlocks: scan.illegitimate_deadlocks,
+            livelock,
+        };
+        if !report.self_stabilizing() {
+            all_ok = false;
+        }
+        rows.push(render::convergence_report(&report));
+    }
+    telemetry.set_counters(counters.snapshot());
+    ExecOutcome::Done(CachedDoc {
+        body: render::check_document(rows),
+        exit_code: if all_ok { 0 } else { 2 },
+    })
+}
+
+fn cancelled_check(
+    rows: Vec<Value>,
+    counters: &EngineCounters,
+    telemetry: &JobTelemetry,
+) -> ExecOutcome {
+    telemetry.set_counters(counters.snapshot());
+    ExecOutcome::Cancelled {
+        partial: format!("{}\n", json!({ "partial": true, "rows": rows })),
+    }
+}
+
+fn execute_synthesis(
+    req: &JobRequest,
+    telemetry: &JobTelemetry,
+    cancel: &CancelToken,
+) -> ExecOutcome {
+    // Mirrors `selfstab synthesize --json` without `--first`: up to 64
+    // solutions, default exploration bounds.
+    let config = SynthesisConfig {
+        max_solutions: 64,
+        threads: req.threads,
+        ..SynthesisConfig::default()
+    };
+    let counters = SynthesisCounters::new();
+    let outcome = match LocalSynthesizer::new(config).synthesize_metered(
+        &req.protocol,
+        cancel,
+        Some(&counters),
+        Some(&telemetry.phases),
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return ExecOutcome::Failed {
+                status: 422,
+                message: format!("synthesis cannot run: {e}"),
+            }
+        }
+    };
+    let value = render::synthesis_outcome(&req.protocol, &outcome, &counters.snapshot());
+    if outcome.cancelled() {
+        return ExecOutcome::Cancelled {
+            partial: format!("{}\n", json!({ "partial": true, "outcome": value })),
+        };
+    }
+    ExecOutcome::Done(CachedDoc {
+        body: render::synthesis_document(&value),
+        exit_code: if outcome.is_success() { 0 } else { 2 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AGREEMENT: &str = "\
+protocol agreement
+domain x { 0 1 }
+locality unidirectional
+legit x[r] == x[r-1]
+action x[r-1] == 1 && x[r] == 0 -> x[r] := 1
+";
+
+    fn body(json_text: &str) -> Value {
+        serde_json::from_str(json_text).unwrap()
+    }
+
+    fn spec_body(extra: &str) -> Value {
+        let spec = serde_json::Value::String(AGREEMENT.to_owned());
+        body(&format!("{{\"spec\": {spec}, {extra}}}"))
+    }
+
+    #[test]
+    fn verify_request_parses_and_keys() {
+        let req = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 4")).unwrap();
+        assert_eq!(req.kind, JobKind::Verify);
+        assert_eq!((req.k_from, req.k_to), (4, 4));
+        assert_eq!(req.threads, 1);
+        let key = req.cache_key();
+        assert!(key.contains(":verify:4..4:"), "key was {key}");
+        assert!(key.ends_with(":auto"));
+        assert!(key.starts_with(&req.hash.to_string()));
+    }
+
+    #[test]
+    fn sweep_defaults_and_range_validation() {
+        let req =
+            JobRequest::from_json(&spec_body("\"kind\": \"sweep\", \"k\": 3, \"to\": 5")).unwrap();
+        assert_eq!((req.k_from, req.k_to), (3, 5));
+        let err = JobRequest::from_json(&spec_body("\"kind\": \"sweep\", \"k\": 5, \"to\": 3"))
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn structural_errors_are_400() {
+        for extra in [
+            "\"kind\": \"explode\", \"k\": 3",
+            "\"kind\": \"verify\"",
+            "\"kind\": \"verify\", \"k\": \"three\"",
+            "\"kind\": \"verify\", \"k\": 3, \"to\": 5",
+            "\"kind\": \"verify\", \"k\": 1",
+            "\"kind\": \"synthesize\", \"k\": 3",
+            "\"kind\": \"verify\", \"k\": 3, \"symmetry\": \"sideways\"",
+        ] {
+            let err = JobRequest::from_json(&spec_body(extra)).unwrap_err();
+            assert_eq!(err.status(), 400, "case: {extra}");
+        }
+        let err = JobRequest::from_json(&body("{\"kind\": \"verify\", \"k\": 3}")).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn bad_specs_and_blowups_are_422() {
+        let err = JobRequest::from_json(&body(
+            "{\"kind\": \"verify\", \"k\": 3, \"spec\": \"not a protocol\"}",
+        ))
+        .unwrap_err();
+        assert_eq!(err.status(), 422);
+        // 2^40 states blows the default budget at submit, not at run time.
+        let err = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 40")).unwrap_err();
+        assert_eq!(err.status(), 422);
+        assert!(err.message().contains("over budget"));
+    }
+
+    #[test]
+    fn cache_key_is_spec_content_addressed() {
+        let spec_b = AGREEMENT
+            .replace("action", "  action")
+            .replace("protocol agreement", "# a comment\nprotocol agreement");
+        let a = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 4")).unwrap();
+        let b = JobRequest::from_json(&body(&format!(
+            "{{\"kind\": \"verify\", \"k\": 4, \"spec\": {}}}",
+            serde_json::Value::String(spec_b)
+        )))
+        .unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Different K → different address.
+        let c = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 5")).unwrap();
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn execute_verify_matches_cli_render() {
+        let req = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 4")).unwrap();
+        let telemetry = JobTelemetry::default();
+        let outcome = execute(&req, &telemetry, &CancelToken::new());
+        let ExecOutcome::Done(doc) = outcome else {
+            panic!("expected completion");
+        };
+        assert_eq!(doc.exit_code, 0);
+        // Byte-identity with the CLI path: same row builder, same framing.
+        let ring = RingInstance::symmetric(&req.protocol, 4).unwrap();
+        let report = ConvergenceReport::check(&ring);
+        let expected = render::check_document(vec![render::convergence_report(&report)]);
+        assert_eq!(doc.body, expected);
+        // Phases were attributed.
+        let phases = telemetry.phases.snapshot();
+        assert!(phases.calls[Phase::FusedScan.index()] > 0);
+        assert!(phases.calls[Phase::LivelockDfs.index()] > 0);
+        assert!(telemetry.counters().is_some());
+    }
+
+    #[test]
+    fn execute_respects_a_pre_fired_token() {
+        let req =
+            JobRequest::from_json(&spec_body("\"kind\": \"sweep\", \"k\": 3, \"to\": 8")).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = execute(&req, &JobTelemetry::default(), &token);
+        let ExecOutcome::Cancelled { partial } = outcome else {
+            panic!("expected cancellation");
+        };
+        let doc: Value = serde_json::from_str(&partial).unwrap();
+        assert_eq!(doc["partial"], true);
+        assert_eq!(doc["rows"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! `selfstab-serve` — a long-running HTTP verification service over the
+//! selfstab compute core.
+//!
+//! The CLI model is one process per question; this crate amortizes the
+//! process across many questions. `selfstab serve` binds a threaded,
+//! std-only HTTP/1.1 server (the workspace is offline, so the protocol
+//! layer is hand-rolled in [`http`] — no tokio/hyper) exposing a small
+//! JSON API:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a spec + kind (`verify`\|`sweep`\|`synthesize`) + K range + budgets |
+//! | `GET /v1/jobs/:id` | status + per-phase time breakdown |
+//! | `GET /v1/jobs/:id/result` | the result document, **byte-identical** to the CLI's `--json` output |
+//! | `GET /v1/cache/stats` | content-addressed cache counters |
+//! | `GET /v1/metrics` | the full telemetry registry |
+//! | `GET /v1/healthz` | liveness (`ok` / `draining`) |
+//!
+//! The headline mechanism is the **content-addressed result cache**
+//! ([`cache`]): requests are keyed by the canonical parse-tree hash of
+//! the spec ([`selfstab_core::spec_hash`] — whitespace-, comment- and
+//! declaration-order-invariant) combined with every input the document
+//! depends on (kind, K range, state budget, symmetry mode). A repeated
+//! question is answered from memory without touching the worker pool,
+//! and N clients racing the same cold key coalesce onto one pool job.
+//!
+//! Work runs on a persistent FIFO pool
+//! ([`selfstab_campaign::ServicePool`]) under per-request deadlines via
+//! [`selfstab_global::CancelToken`]; a deadline that fires mid-check
+//! degrades to HTTP 504 carrying the rows completed so far. SIGINT /
+//! SIGTERM drain gracefully: stop accepting, cancel in-flight work
+//! cooperatively, exit 130.
+//!
+//! Module map: [`http`] (parser/writer), [`render`] (the canonical JSON
+//! rendering shared with the CLI), [`jobs`] (validation + execution),
+//! [`cache`] (content-addressed store), [`server`] (routing, submit
+//! flow, drain).
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod render;
+pub mod server;
+
+pub use cache::{CachedDoc, ResultCache};
+pub use jobs::{JobKind, JobRequest, JobState};
+pub use server::{ServeConfig, ServeState, Server};

@@ -1,0 +1,438 @@
+//! The HTTP service: socket handling, routing, the submit flow, and
+//! graceful drain.
+//!
+//! One accept loop (non-blocking, polling the drain token every 10 ms)
+//! hands each connection to its own thread; connections are cheap because
+//! all heavy work runs on the shared [`ServicePool`]. The router itself
+//! is a pure function over [`ServeState`] ([`ServeState::handle`]), so
+//! integration tests exercise the full API in-process without a socket.
+//!
+//! **Submit flow** (`POST /v1/jobs`): parse → validate ([`JobRequest`])
+//! → consult the content-addressed cache. A hit answers immediately with
+//! a `done` job backed by the cached document — no pool work. A key
+//! already in flight coalesces onto the computing job's id. Only a true
+//! miss enqueues pool work, under a [`CancelToken`] linked to the drain
+//! token and carrying the request deadline.
+//!
+//! **Drain** (SIGINT/SIGTERM or [`ServeState::begin_drain`]): stop
+//! accepting, fire the drain token (in-flight scans abort at their next
+//! cancel poll), shut the pool down, then give connection threads a
+//! bounded grace period to flush their last response.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use selfstab_campaign::telemetry::JobTelemetry;
+use selfstab_campaign::ServicePool;
+use selfstab_global::CancelToken;
+use selfstab_telemetry::Registry;
+use serde_json::{json, Value};
+
+use crate::cache::{Lookup, ResultCache};
+use crate::http::{HttpError, Request, RequestReader, Response};
+use crate::jobs::{execute, ExecOutcome, JobEntry, JobRequest, JobState};
+
+/// How long an idle keep-alive connection may sit between requests before
+/// the server closes it (also bounds how long a drain waits on a silent
+/// client).
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// How long [`Server::run`] waits for connection threads to flush after
+/// the drain token fires.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Server construction parameters (the CLI's `serve` flags).
+pub struct ServeConfig {
+    /// Interface to bind, e.g. `127.0.0.1`.
+    pub host: String,
+    /// Port to bind; `0` picks an ephemeral port.
+    pub port: u16,
+    /// Pool worker threads executing jobs.
+    pub threads: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 7878,
+            threads: 2,
+            cache_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything the handlers share: the job table, the cache, the pool,
+/// and the metrics registry (one registry — cache and pool counters land
+/// in the same `/v1/metrics` document).
+pub struct ServeState {
+    registry: Registry,
+    cache: ResultCache,
+    pool: ServicePool,
+    jobs: Mutex<HashMap<u64, Arc<JobEntry>>>,
+    next_id: AtomicU64,
+    drain: Arc<CancelToken>,
+    jobs_submitted: Arc<AtomicU64>,
+}
+
+impl ServeState {
+    /// Fresh state for `config`.
+    pub fn new(config: &ServeConfig) -> Arc<Self> {
+        let registry = Registry::new();
+        let cache = ResultCache::new(config.cache_bytes, &registry);
+        let pool = ServicePool::with_registry(config.threads, Some(&registry));
+        let jobs_submitted = registry.counter("serve/jobs_submitted");
+        Arc::new(ServeState {
+            registry,
+            cache,
+            pool,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            drain: Arc::new(CancelToken::new()),
+            jobs_submitted,
+        })
+    }
+
+    /// The drain token: fire it (or call [`ServeState::begin_drain`]) to
+    /// wind the service down.
+    pub fn drain_token(&self) -> Arc<CancelToken> {
+        Arc::clone(&self.drain)
+    }
+
+    /// `true` once a drain has started.
+    pub fn draining(&self) -> bool {
+        self.drain.is_cancelled()
+    }
+
+    /// Starts a drain: new submits are refused, in-flight jobs abort at
+    /// their next cancel poll.
+    pub fn begin_drain(&self) {
+        self.drain.cancel();
+    }
+
+    /// Jobs actually executed on the pool (cache hits and coalesced
+    /// submits do not count).
+    pub fn executed(&self) -> u64 {
+        self.pool.executed()
+    }
+
+    /// Routes one parsed request. Pure over the state — no socket — so
+    /// tests can drive the full API in-process.
+    pub fn handle(self: &Arc<Self>, req: &Request) -> Response {
+        let response = self.route(req);
+        let class = match response.status {
+            200..=299 => "http/2xx",
+            400..=499 => "http/4xx",
+            _ => "http/5xx",
+        };
+        self.registry.counter(class).fetch_add(1, Ordering::Relaxed);
+        response
+    }
+
+    fn route(self: &Arc<Self>, req: &Request) -> Response {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["v1", "healthz"]) => json_response(
+                200,
+                json!({"status": if self.draining() { "draining" } else { "ok" }}),
+            ),
+            ("GET", ["v1", "metrics"]) => json_response(200, self.registry.snapshot_json()),
+            ("GET", ["v1", "cache", "stats"]) => json_response(200, self.cache.stats_json()),
+            ("POST", ["v1", "jobs"]) => self.submit(req),
+            ("GET", ["v1", "jobs", id]) => match self.job(id) {
+                Some(entry) => json_response(200, entry.status_json()),
+                None => not_found(),
+            },
+            ("GET", ["v1", "jobs", id, "result"]) => match self.job(id) {
+                Some(entry) => result_response(&entry),
+                None => not_found(),
+            },
+            (
+                _,
+                ["v1", "healthz"]
+                | ["v1", "metrics"]
+                | ["v1", "cache", "stats"]
+                | ["v1", "jobs"]
+                | ["v1", "jobs", _]
+                | ["v1", "jobs", _, "result"],
+            ) => json_response(405, json!({"error": "method not allowed"})),
+            _ => not_found(),
+        }
+    }
+
+    fn job(&self, id: &str) -> Option<Arc<JobEntry>> {
+        let id: u64 = id.parse().ok()?;
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn submit(self: &Arc<Self>, req: &Request) -> Response {
+        if self.draining() {
+            return json_response(503, json!({"error": "server is draining"}));
+        }
+        let body = match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not UTF-8".to_owned())
+            .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => return json_response(400, json!({"error": format!("invalid JSON: {e}")})),
+        };
+        let request = match JobRequest::from_json(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                return json_response(e.status(), json!({"error": e.message()}));
+            }
+        };
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let key = request.cache_key();
+        // The table lock spans reserve + insert so a coalesced submit
+        // never hands out a job id before that job is observable. Lock
+        // order is always table → cache; the pool side touches the cache
+        // alone, so the nesting cannot deadlock.
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        match self.cache.lookup_or_reserve(&key, id) {
+            Lookup::Hit(doc) => {
+                // Served entirely from cache: a `done` job exists for
+                // uniform polling, but nothing touches the pool.
+                let entry = Arc::new(JobEntry {
+                    id,
+                    kind: request.kind,
+                    cache_key: key,
+                    state: Mutex::new(JobState::Done { doc }),
+                    telemetry: JobTelemetry::default(),
+                    cached: true,
+                });
+                jobs.insert(id, entry);
+                json_response(200, json!({"id": id, "status": "done", "cached": true}))
+            }
+            Lookup::InFlight(job) => json_response(
+                202,
+                json!({"id": job, "status": "queued", "coalesced": true}),
+            ),
+            Lookup::Miss => {
+                let entry = Arc::new(JobEntry {
+                    id,
+                    kind: request.kind,
+                    cache_key: key.clone(),
+                    state: Mutex::new(JobState::Queued),
+                    telemetry: JobTelemetry::default(),
+                    cached: false,
+                });
+                jobs.insert(id, Arc::clone(&entry));
+                drop(jobs);
+                self.enqueue(request, entry, key);
+                json_response(202, json!({"id": id, "status": "queued", "cached": false}))
+            }
+        }
+    }
+
+    fn enqueue(self: &Arc<Self>, request: JobRequest, entry: Arc<JobEntry>, key: String) {
+        // Deadlines anchor at submit: queue wait burns request budget.
+        let token = match request.deadline_from(Instant::now()) {
+            Some(deadline) => CancelToken::linked_with_deadline(self.drain_token(), deadline),
+            None => CancelToken::linked(self.drain_token()),
+        };
+        let state = Arc::clone(self);
+        let handle = self.pool.submit::<(), _>(move || {
+            *entry.state.lock().expect("job state poisoned") = JobState::Running;
+            entry.telemetry.attempts.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute(&request, &entry.telemetry, &token)
+            }))
+            .unwrap_or_else(|_| ExecOutcome::Failed {
+                status: 500,
+                message: "job panicked".to_owned(),
+            });
+            let next = match outcome {
+                ExecOutcome::Done(doc) => {
+                    let doc = Arc::new(doc);
+                    state.cache.fulfill(&key, Arc::clone(&doc));
+                    JobState::Done { doc }
+                }
+                ExecOutcome::Cancelled { partial } => {
+                    state.cache.abandon(&key);
+                    if state.draining() {
+                        JobState::Drained
+                    } else {
+                        JobState::TimedOut { partial }
+                    }
+                }
+                ExecOutcome::Failed { status, message } => {
+                    state.cache.abandon(&key);
+                    JobState::Failed { status, message }
+                }
+            };
+            *entry.state.lock().expect("job state poisoned") = next;
+        });
+        // Completion is observed through the job table; the handle's only
+        // remaining duty is the shutdown edge, where the pool refuses the
+        // job and the closure never runs.
+        drop(handle);
+    }
+
+    /// Winds the pool down after a drain; queued-but-unstarted jobs run
+    /// against the already-fired token and park as `drained`.
+    pub fn shutdown_pool(&self) {
+        self.pool.shutdown();
+    }
+}
+
+/// A compact-JSON response body.
+fn json_response(status: u16, value: Value) -> Response {
+    Response::json(status, value.to_string())
+}
+
+fn not_found() -> Response {
+    json_response(404, json!({"error": "not found"}))
+}
+
+fn result_response(entry: &JobEntry) -> Response {
+    let state = entry.state.lock().expect("job state poisoned");
+    match &*state {
+        JobState::Queued | JobState::Running => {
+            json_response(202, json!({"id": entry.id, "status": state.label()}))
+        }
+        JobState::Done { doc } => Response {
+            status: 200,
+            headers: vec![("x-selfstab-exit-code".to_owned(), doc.exit_code.to_string())],
+            body: doc.body.clone().into_bytes(),
+        },
+        JobState::TimedOut { partial } => Response {
+            status: 504,
+            headers: Vec::new(),
+            body: partial.clone().into_bytes(),
+        },
+        JobState::Drained => json_response(503, json!({"error": "cancelled by server drain"})),
+        JobState::Failed { status, message } => {
+            json_response(*status, json!({"error": message.clone()}))
+        }
+    }
+}
+
+/// A bound listener plus its shared state.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    active: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds `config.host:config.port`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port busy, bad interface) so the CLI
+    /// can exit 1 with a diagnostic instead of panicking.
+    pub fn bind(config: &ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        Ok(Server {
+            listener,
+            state: ServeState::new(config),
+            active: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (drain token, counters) — lets the CLI arm signal
+    /// handling and lets tests drive the API in-process.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts connections until the drain token fires, then winds down:
+    /// pool shutdown, then a bounded grace period for connection threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (transient `accept` errors on one
+    /// connection are swallowed).
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.spawn_connection(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.state.shutdown_pool();
+        let deadline = Instant::now() + DRAIN_GRACE;
+        while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+
+    fn spawn_connection(&self, stream: TcpStream) {
+        let state = Arc::clone(&self.state);
+        let active = Arc::clone(&self.active);
+        active.fetch_add(1, Ordering::AcqRel);
+        std::thread::spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
+            serve_connection(&state, &stream);
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// Drives one connection: reads requests (pipelining-aware), routes each,
+/// writes responses, and closes on error, on `Connection: close`, or when
+/// a drain begins.
+fn serve_connection(state: &Arc<ServeState>, stream: &TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = RequestReader::new(stream);
+    loop {
+        match reader.next_request() {
+            Ok(Some(request)) => {
+                let response = state.handle(&request);
+                let keep_alive = request.keep_alive && !state.draining();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(HttpError::Malformed(m)) => {
+                let _ = json_response(400, json!({"error": m})).write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::HeadTooLarge) => {
+                let _ = json_response(400, json!({"error": "request head too large"}))
+                    .write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::BodyTooLarge) => {
+                let _ = json_response(413, json!({"error": "request body too large"}))
+                    .write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Truncated) | Err(HttpError::Io(_)) => return,
+        }
+    }
+}
