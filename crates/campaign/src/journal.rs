@@ -291,6 +291,54 @@ pub fn finished_event_with_phases(
     row
 }
 
+/// The raw frame-level view of a journal: every event payload in the
+/// longest valid prefix, plus that prefix's byte length. This is the
+/// format-agnostic layer under [`replay`] — other subsystems (the serve
+/// daemon's job journal, the cache snapshot) share the framing and fold
+/// the events with their own semantics.
+#[derive(Debug, Default)]
+pub struct FrameReplay {
+    /// Every valid event payload, in append order.
+    pub events: Vec<Value>,
+    /// Byte length of the valid framed prefix; everything beyond it is a
+    /// torn or corrupt tail.
+    pub valid_len: u64,
+}
+
+/// Replays a framed file at the record level: validates each frame
+/// (length + CRC-32) in order and stops at the first torn or corrupt
+/// record, returning the surviving payloads and the valid prefix length.
+/// A missing file replays as empty.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Io`] only if the file exists but cannot be
+/// read.
+pub fn replay_frames(path: &Path) -> Result<FrameReplay, CampaignError> {
+    let mut out = FrameReplay::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => {
+            return Err(CampaignError::Io(format!(
+                "cannot read journal `{}`: {e}",
+                path.display()
+            )))
+        }
+    };
+    for chunk in text.split_inclusive('\n') {
+        let Some(line) = chunk.strip_suffix('\n') else {
+            break; // torn tail: the final record never got its newline
+        };
+        let Some(ev) = unframe(line) else {
+            break; // corrupt record: everything at and past it is dropped
+        };
+        out.events.push(ev);
+        out.valid_len += chunk.len() as u64;
+    }
+    Ok(out)
+}
+
 /// A journal folded back into campaign state.
 #[derive(Debug, Default)]
 pub struct Replay {
@@ -320,24 +368,12 @@ pub struct Replay {
 /// Returns [`CampaignError::Io`] only if the journal cannot be read at all;
 /// a missing file replays as empty.
 pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
-    let mut out = Replay::default();
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
-        Err(e) => {
-            return Err(CampaignError::Io(format!(
-                "cannot read journal `{}`: {e}",
-                path.display()
-            )))
-        }
+    let frames = replay_frames(path)?;
+    let mut out = Replay {
+        valid_len: frames.valid_len,
+        ..Replay::default()
     };
-    for chunk in text.split_inclusive('\n') {
-        let Some(line) = chunk.strip_suffix('\n') else {
-            break; // torn tail: the final record never got its newline
-        };
-        let Some(ev) = unframe(line) else {
-            break; // corrupt record: everything at and past it is dropped
-        };
+    for ev in frames.events {
         match ev["ev"].as_str() {
             Some("campaign") => {
                 if let Some(fp) = ev["fingerprint"].as_str() {
@@ -367,7 +403,6 @@ pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
             }
             _ => {}
         }
-        out.valid_len += chunk.len() as u64;
     }
     Ok(out)
 }

@@ -56,7 +56,7 @@ pub mod telemetry;
 
 pub use chaos::ChaosPlan;
 pub use job::{JobResult, JobSpec, LocalVerdict, Outcome};
-pub use journal::{FsyncPolicy, Journal, Replay};
+pub use journal::{FrameReplay, FsyncPolicy, Journal, Replay};
 pub use manifest::Manifest;
 pub use pool::{JobHandle, JobOutput, ServicePool};
 pub use runner::{run_campaign, CampaignConfig, CampaignError, CampaignOutcome};

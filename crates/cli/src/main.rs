@@ -7,7 +7,7 @@
 //! selfstab sweep      <manifest.json> [--jobs J] [--threads T] [--symmetry M]  batch campaign over a spec corpus
 //! selfstab stats      <metrics.json>                phase-time cross-tab of a sweep --metrics file
 //! selfstab synthesize <file.stab> [--first] [--threads T] [--json]  Section 6 synthesis methodology
-//! selfstab serve      [--port P] [--threads T] [--cache-mb M]  HTTP verification service with result caching
+//! selfstab serve      [--port P] [--threads T] [--cache-mb M] [--journal F] [--cache-snapshot F]  HTTP verification service with result caching and crash durability
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
 //! selfstab simulate   <file.stab> --k 10 [...]     random-daemon convergence runs
 //! selfstab dot        <file.stab> [--ltg] [-o F]   Graphviz export of the RCG/LTG
@@ -114,6 +114,16 @@ SUBCOMMANDS:
                  [--cache-mb M] content-addressed result cache budget,
                  default 64; results are byte-identical to the CLI --json
                  output and repeated submissions are answered from cache;
+                 [--journal F] durable job journal — restart with the same
+                 path after any crash and accepted jobs survive;
+                 [--cache-snapshot F] warm-restart cache snapshot;
+                 [--fsync always|batch] journal durability, default batch;
+                 [--retries N] panic retries per job, default 2;
+                 [--backoff-ms MS] retry backoff base, default 50;
+                 [--max-pending N] admission cap base (shed with 429);
+                 [--max-connections N] connection cap, default 256;
+                 [--max-rss-mb M] memory watchdog budget — sheds
+                 synthesize, then sweep, then verify as RSS climbs;
                  SIGINT/SIGTERM drain gracefully and exit 130)
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])

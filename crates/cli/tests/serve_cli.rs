@@ -87,6 +87,110 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
     (status, payload)
 }
 
+/// Spawns `selfstab serve` on an ephemeral port with `extra` flags and
+/// returns the child plus the announced address.
+#[cfg(unix)]
+fn spawn_serve(extra: &[&str]) -> (ServeChild, String) {
+    let mut child = ServeChild(
+        Command::new(env!("CARGO_BIN_EXE_selfstab"))
+            .args(["serve", "--port", "0", "--threads", "1"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs"),
+    );
+    let mut line = String::new();
+    BufReader::new(child.0.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+/// Polls a job id until it reaches `done`.
+fn await_done(addr: &str, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "job {id} must resolve: {body}");
+        match serde_json::from_str(&body).unwrap()["status"].as_str() {
+            Some("queued") | Some("running") => {
+                assert!(Instant::now() < deadline, "job {id} never settled");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Some("done") => return,
+            other => panic!("unexpected job status {other:?}: {body}"),
+        }
+    }
+}
+
+/// The kill-mid-job crash drill, in-tree: submit against a journaled
+/// server, `SIGKILL` it (no drain, no fsync-on-exit courtesy), restart
+/// with the same journal, and require every submitted job to reach
+/// `done` with bytes identical to the fault-free `check --json` run.
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_job_and_restart_replays_to_byte_identical_results() {
+    let spec_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/agreement.stab");
+    let spec_source = std::fs::read_to_string(&spec_path).unwrap();
+    let dir = std::env::temp_dir().join(format!("selfstab-serve-crash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("serve.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let journal_flag = journal.to_str().unwrap().to_owned();
+
+    let (mut child, addr) = spawn_serve(&["--journal", &journal_flag, "--fsync", "always"]);
+    // Two accepted jobs; the 202s guarantee their `submitted` records are
+    // durable. SIGKILL lands before we ever poll, so at least the second
+    // job is (very likely) mid-flight — and correctness must not depend
+    // on which side of `done` the crash landed.
+    let submit_verify = format!(
+        "{{\"kind\": \"verify\", \"k\": 4, \"spec\": {}}}",
+        serde_json::Value::String(spec_source.clone())
+    );
+    let submit_sweep = format!(
+        "{{\"kind\": \"sweep\", \"k\": 2, \"to\": 9, \"spec\": {}}}",
+        serde_json::Value::String(spec_source)
+    );
+    let (status, body) = http(&addr, "POST", "/v1/jobs", &submit_verify);
+    assert_eq!(status, 202, "{body}");
+    let id_verify = serde_json::from_str(&body).unwrap()["id"].as_u64().unwrap();
+    let (status, body) = http(&addr, "POST", "/v1/jobs", &submit_sweep);
+    assert_eq!(status, 202, "{body}");
+    let id_sweep = serde_json::from_str(&body).unwrap()["id"].as_u64().unwrap();
+
+    child.0.kill().expect("SIGKILL the server");
+    let _ = child.0.wait();
+
+    // Restart on the same journal: both ids resolve (no 404), both reach
+    // `done`, and the verify document byte-matches the CLI's.
+    let (mut child, addr) = spawn_serve(&["--journal", &journal_flag, "--fsync", "always"]);
+    await_done(&addr, id_verify);
+    await_done(&addr, id_sweep);
+    let (status, served) = http(&addr, "GET", &format!("/v1/jobs/{id_verify}/result"), "");
+    assert_eq!(status, 200);
+    let cli = selfstab(&["check", spec_path.to_str().unwrap(), "--k", "4", "--json"]);
+    assert!(cli.status.success(), "{}", stderr(&cli));
+    assert_eq!(
+        served.as_bytes(),
+        cli.stdout.as_slice(),
+        "replayed result differs from the fault-free bytes"
+    );
+    let (status, _) = http(&addr, "GET", &format!("/v1/jobs/{id_sweep}/result"), "");
+    assert_eq!(status, 200);
+
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.0.id().to_string()])
+        .status();
+    let status = child.0.wait().expect("child exits");
+    assert_eq!(status.code(), Some(130), "drain exits 130");
+}
+
 #[cfg(unix)]
 #[test]
 fn serve_round_trip_matches_check_json_and_drains_on_sigterm() {

@@ -25,17 +25,29 @@
 //! produced partial bytes that depend on where the deadline landed —
 //! caching those would serve nondeterministic documents, so the
 //! reservation is abandoned instead and the next request retries.
+//!
+//! **Warm restarts.** With a snapshot path configured, every completed
+//! document is also written through to an append-only, CRC-framed
+//! snapshot file (`{"key","exit_code","body"}` records under the
+//! campaign journal's `len crc payload\n` framing). At boot the snapshot
+//! is replayed — longest valid prefix, later records win — through the
+//! ordinary insert path, so the restored set respects the LRU byte
+//! budget, and the file is compacted to exactly the surviving entries. A
+//! restarted server therefore answers repeat traffic from cache
+//! immediately instead of re-verifying its whole working set.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use selfstab_campaign::journal::replay_frames;
 use selfstab_telemetry::Registry;
 use serde_json::{json, Value};
 
 /// A completed, cacheable result: the exact response bytes plus the CLI
 /// exit code the document maps to (0 verified / 2 violation found).
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct CachedDoc {
     /// The canonical rendered document — byte-identical to the
     /// corresponding CLI `--json` output.
@@ -73,6 +85,8 @@ struct CacheInner {
     bytes: usize,
     /// Monotone recency clock (bumped per touch).
     tick: u64,
+    /// The write-through snapshot appender, if snapshotting is on.
+    snapshot: Option<selfstab_campaign::Journal>,
 }
 
 /// The cache. All operations take one short mutex; the documents
@@ -85,6 +99,7 @@ pub struct ResultCache {
     coalesced: Arc<AtomicU64>,
     insertions: Arc<AtomicU64>,
     evictions: Arc<AtomicU64>,
+    snapshot_restored: Arc<AtomicU64>,
 }
 
 impl ResultCache {
@@ -97,13 +112,88 @@ impl ResultCache {
                 entries: HashMap::new(),
                 bytes: 0,
                 tick: 0,
+                snapshot: None,
             }),
             hits: registry.counter("cache/hits"),
             misses: registry.counter("cache/misses"),
             coalesced: registry.counter("cache/coalesced"),
             insertions: registry.counter("cache/insertions"),
             evictions: registry.counter("cache/evictions"),
+            snapshot_restored: registry.counter("cache/snapshot_restored"),
         }
+    }
+
+    /// A cache backed by a write-through snapshot at `path`: existing
+    /// records are replayed (longest valid prefix; later records win)
+    /// under the byte budget, the file is compacted to the surviving
+    /// entries, and every future [`ResultCache::fulfill`] appends a
+    /// CRC-framed record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered IO failure if the snapshot file exists but
+    /// cannot be read, or cannot be rewritten.
+    pub fn with_snapshot(
+        budget: usize,
+        registry: &Registry,
+        path: &Path,
+        fsync: selfstab_campaign::FsyncPolicy,
+    ) -> Result<Self, String> {
+        let cache = ResultCache::new(budget, registry);
+        let frames = replay_frames(path).map_err(|e| e.to_string())?;
+        for ev in frames.events {
+            let (Some(key), Some(body), Some(code)) = (
+                ev["key"].as_str(),
+                ev["body"].as_str(),
+                ev["exit_code"].as_u64(),
+            ) else {
+                continue;
+            };
+            cache.insert_restored(
+                key,
+                Arc::new(CachedDoc {
+                    body: body.to_owned(),
+                    exit_code: code as u8,
+                }),
+            );
+            cache.snapshot_restored.fetch_add(1, Ordering::Relaxed);
+        }
+        // Compact: rewrite the file to exactly the entries that survived
+        // the budget, so the snapshot cannot grow without bound across
+        // restarts, then keep it open for write-through appends.
+        let journal = selfstab_campaign::Journal::create(path, fsync).map_err(|e| e.to_string())?;
+        {
+            let inner = cache.inner.lock().expect("cache poisoned");
+            let mut live: Vec<(&String, &Arc<CachedDoc>, u64)> = inner
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Done { doc, last_used, .. } => Some((k, doc, *last_used)),
+                    Entry::InFlight { .. } => None,
+                })
+                .collect();
+            // Oldest first, so a future replay's later-wins order equals
+            // today's recency order.
+            live.sort_by_key(|(_, _, last_used)| *last_used);
+            for (key, doc, _) in live {
+                journal.event(&snapshot_record(key, doc));
+            }
+            journal.sync();
+        }
+        cache
+            .inner
+            .lock()
+            .expect("cache poisoned")
+            .snapshot
+            .replace(journal);
+        Ok(cache)
+    }
+
+    /// Inserts a restored document without touching the snapshot file —
+    /// the boot path for snapshot replay and journal-replayed results.
+    /// Budget enforcement is identical to [`ResultCache::fulfill`].
+    pub fn insert_restored(&self, key: &str, doc: Arc<CachedDoc>) {
+        self.insert(key, doc, false);
     }
 
     /// Looks up `key`; on a miss, atomically reserves the key for
@@ -136,15 +226,35 @@ impl ResultCache {
     /// Resolves an in-flight reservation with its completed document and
     /// enforces the byte budget (evicting least-recently-used completed
     /// entries; a document larger than the whole budget is simply not
-    /// retained).
+    /// retained). With a snapshot configured, the document is also written
+    /// through as a CRC-framed record.
     pub fn fulfill(&self, key: &str, doc: Arc<CachedDoc>) {
+        self.insert(key, doc, true);
+    }
+
+    /// The shared insert path behind [`ResultCache::fulfill`] (which
+    /// writes through to the snapshot) and
+    /// [`ResultCache::insert_restored`] (which must not, or boot replay
+    /// would double every record).
+    fn insert(&self, key: &str, doc: Arc<CachedDoc>, write_through: bool) {
         let bytes = doc.body.len();
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         if bytes > self.budget {
-            inner.entries.remove(key);
+            // Too large to ever retain: clear the reservation (and any
+            // stale completed entry), giving its bytes back so `bytes`
+            // tracks live entries rather than a high-water mark.
+            if let Some(Entry::Done { bytes, .. }) = inner.entries.remove(key) {
+                inner.bytes -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
             return;
+        }
+        if write_through {
+            if let Some(snapshot) = &inner.snapshot {
+                snapshot.event(&snapshot_record(key, &doc));
+            }
         }
         if let Some(Entry::Done { bytes, .. }) = inner.entries.insert(
             key.to_owned(),
@@ -205,8 +315,15 @@ impl ResultCache {
             "coalesced": self.coalesced.load(Ordering::Relaxed),
             "insertions": self.insertions.load(Ordering::Relaxed),
             "evictions": self.evictions.load(Ordering::Relaxed),
+            "snapshot_restored": self.snapshot_restored.load(Ordering::Relaxed),
         })
     }
+}
+
+/// One snapshot record: everything [`ResultCache::with_snapshot`] needs to
+/// rebuild the entry at the next boot.
+fn snapshot_record(key: &str, doc: &CachedDoc) -> Value {
+    json!({"key": key, "exit_code": doc.exit_code, "body": doc.body.clone()})
 }
 
 #[cfg(test)]
@@ -286,5 +403,133 @@ mod tests {
         c.fulfill("big", doc("way too large"));
         assert!(matches!(c.lookup_or_reserve("big", 1), Lookup::Miss));
         assert_eq!(c.stats_json()["bytes"], 0u64);
+    }
+
+    #[test]
+    fn oversized_replacement_releases_the_old_entrys_bytes() {
+        // Regression: replacing a completed entry with a document too big
+        // to retain must give the old bytes back — `bytes` reports live
+        // entries, not a high-water mark.
+        let c = cache(8);
+        assert!(matches!(c.lookup_or_reserve("k", 0), Lookup::Miss));
+        c.fulfill("k", doc("eight!!!"));
+        assert_eq!(c.stats_json()["bytes"], 8u64);
+        c.fulfill("k", doc("far more than the whole budget"));
+        assert!(matches!(c.lookup_or_reserve("k", 1), Lookup::Miss));
+        assert_eq!(c.stats_json()["bytes"], 0u64);
+        assert_eq!(c.stats_json()["evictions"], 1u64);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("selfstab-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_across_restart() {
+        let path = tmp("roundtrip.snap");
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = ResultCache::with_snapshot(
+                1024,
+                &Registry::new(),
+                &path,
+                selfstab_campaign::FsyncPolicy::Always,
+            )
+            .unwrap();
+            assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Miss));
+            c.fulfill("a", doc("alpha"));
+            assert!(matches!(c.lookup_or_reserve("b", 1), Lookup::Miss));
+            c.fulfill("b", doc("beta"));
+        }
+        let reg = Registry::new();
+        let c =
+            ResultCache::with_snapshot(1024, &reg, &path, selfstab_campaign::FsyncPolicy::Always)
+                .unwrap();
+        match c.lookup_or_reserve("a", 0) {
+            Lookup::Hit(d) => assert_eq!(d.body, "alpha"),
+            other => panic!("expected restored hit, got {other:?}"),
+        }
+        assert!(matches!(c.lookup_or_reserve("b", 0), Lookup::Hit(_)));
+        let stats = c.stats_json();
+        assert_eq!(stats["snapshot_restored"], 2u64);
+        assert_eq!(stats["bytes"], 9u64);
+    }
+
+    #[test]
+    fn snapshot_replay_respects_the_budget_and_compacts() {
+        let path = tmp("compaction.snap");
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = ResultCache::with_snapshot(
+                1024,
+                &Registry::new(),
+                &path,
+                selfstab_campaign::FsyncPolicy::Always,
+            )
+            .unwrap();
+            for (k, b) in [("a", "aaaa"), ("b", "bbbb"), ("c", "cccc")] {
+                assert!(matches!(c.lookup_or_reserve(k, 0), Lookup::Miss));
+                c.fulfill(k, doc(b));
+            }
+        }
+        // Reboot with a budget that only fits two entries: replay must
+        // keep the most recently written (later-wins) and compact the
+        // file to exactly the survivors.
+        let c = ResultCache::with_snapshot(
+            8,
+            &Registry::new(),
+            &path,
+            selfstab_campaign::FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Miss));
+        c.abandon("a");
+        assert!(matches!(c.lookup_or_reserve("b", 0), Lookup::Hit(_)));
+        assert!(matches!(c.lookup_or_reserve("c", 0), Lookup::Hit(_)));
+        drop(c);
+        let frames = selfstab_campaign::journal::replay_frames(&path).unwrap();
+        let keys: Vec<&str> = frames
+            .events
+            .iter()
+            .filter_map(|e| e["key"].as_str())
+            .collect();
+        assert_eq!(keys, ["b", "c"], "compacted to survivors, oldest first");
+    }
+
+    #[test]
+    fn torn_snapshot_tail_is_dropped_and_rewritten() {
+        let path = tmp("torn.snap");
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = ResultCache::with_snapshot(
+                1024,
+                &Registry::new(),
+                &path,
+                selfstab_campaign::FsyncPolicy::Always,
+            )
+            .unwrap();
+            assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Miss));
+            c.fulfill("a", doc("alpha"));
+            assert!(matches!(c.lookup_or_reserve("b", 1), Lookup::Miss));
+            c.fulfill("b", doc("beta"));
+        }
+        // Tear the final record in half, as a crash mid-write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let c = ResultCache::with_snapshot(
+            1024,
+            &Registry::new(),
+            &path,
+            selfstab_campaign::FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert!(matches!(c.lookup_or_reserve("a", 0), Lookup::Hit(_)));
+        assert!(
+            matches!(c.lookup_or_reserve("b", 0), Lookup::Miss),
+            "the torn record is gone, not resurrected"
+        );
+        assert_eq!(c.stats_json()["snapshot_restored"], 1u64);
     }
 }

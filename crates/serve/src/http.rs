@@ -11,14 +11,27 @@
 //!   beyond the current request, so back-to-back requests written in one
 //!   TCP segment each get their own response;
 //! * hard limits instead of trust: oversized heads are rejected with
-//!   `400`, oversized bodies with `413`, and a torn request (peer went
-//!   away mid-head or mid-body) just closes the connection — none of
-//!   these can panic or allocate unboundedly.
+//!   `400`, oversized bodies with `413`, and a request that stalls,
+//!   dribbles, or half-closes mid-transfer gets `408 Request Timeout`
+//!   and a closed connection — none of these can panic or allocate
+//!   unboundedly.
+//!
+//! The slow-loris defenses are two distinct clocks with two distinct
+//! outcomes. Between requests, a keep-alive connection may sit idle
+//! until the socket read timeout fires; that is normal and the
+//! connection just closes (no response — there is no request to answer).
+//! *Inside* a request — one the peer has started but not finished — a
+//! read timeout, a per-request deadline expiry ([`RequestReader`] with a
+//! deadline counts from the request's first byte, which catches clients
+//! dribbling one header byte per poll forever), or an EOF/half-close all
+//! yield [`HttpError::RequestTimedOut`], and the handler answers `408`
+//! before closing so the worker is freed and the client is told why.
 //!
 //! The parser is generic over `Read` so unit tests feed it byte slices;
 //! the server hands it a `TcpStream` with a read timeout.
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -61,9 +74,10 @@ pub enum HttpError {
     HeadTooLarge,
     /// Declared body exceeds [`MAX_BODY_BYTES`] → `413`, close.
     BodyTooLarge,
-    /// The peer disappeared mid-request (torn request, read timeout) →
-    /// close silently; there is nobody left to answer.
-    Truncated,
+    /// The request stalled, dribbled past its deadline, or was torn /
+    /// half-closed mid-transfer → respond `408` and close, freeing the
+    /// worker.
+    RequestTimedOut,
     /// Transport-level trouble → close silently.
     Io(std::io::Error),
 }
@@ -73,24 +87,48 @@ pub enum HttpError {
 pub struct RequestReader<R> {
     stream: R,
     buf: Vec<u8>,
+    /// Wall-clock budget for one whole request, counted from its first
+    /// byte. `None` disables the clock (unit tests over byte slices).
+    deadline: Option<Duration>,
+    /// When the current request's first byte arrived.
+    started: Option<Instant>,
 }
 
 impl<R: Read> RequestReader<R> {
-    /// A reader over `stream` with an empty buffer.
+    /// A reader over `stream` with an empty buffer and no request
+    /// deadline.
     pub fn new(stream: R) -> Self {
         RequestReader {
             stream,
             buf: Vec::new(),
+            deadline: None,
+            started: None,
         }
     }
 
-    /// Parses the next request. `Ok(None)` means the peer closed the
-    /// connection cleanly between requests — the normal end of keep-alive.
+    /// A reader that bounds every request to `deadline` of wall clock,
+    /// first byte to last — the defense against clients that dribble
+    /// bytes fast enough to keep resetting the socket read timeout.
+    pub fn with_deadline(stream: R, deadline: Duration) -> Self {
+        RequestReader {
+            deadline: Some(deadline),
+            ..RequestReader::new(stream)
+        }
+    }
+
+    /// Parses the next request. `Ok(None)` means the connection ended
+    /// *between* requests — a clean peer close or an idle keep-alive
+    /// timeout, the normal ends of keep-alive. The same conditions
+    /// mid-request are [`HttpError::RequestTimedOut`] instead: the peer
+    /// started something it never finished.
     ///
     /// # Errors
     ///
     /// See [`HttpError`] for the response/close protocol per variant.
     pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        // The request clock starts at its first byte; pipelined bytes
+        // already buffered count as that first byte.
+        self.started = (!self.buf.is_empty()).then(Instant::now);
         // Accumulate until the head terminator is in the buffer.
         let head_end = loop {
             if let Some(pos) = find_head_end(&self.buf) {
@@ -99,10 +137,14 @@ impl<R: Read> RequestReader<R> {
             if self.buf.len() > MAX_HEAD_BYTES {
                 return Err(HttpError::HeadTooLarge);
             }
-            match self.fill()? {
-                0 if self.buf.is_empty() => return Ok(None),
-                0 => return Err(HttpError::Truncated),
-                _ => {}
+            match self.fill() {
+                Ok(0) if self.buf.is_empty() => return Ok(None),
+                Ok(0) => return Err(HttpError::RequestTimedOut),
+                Ok(_) => {}
+                // A read timeout with nothing buffered is keep-alive
+                // idleness, not an offense.
+                Err(HttpError::RequestTimedOut) if self.buf.is_empty() => return Ok(None),
+                Err(e) => return Err(e),
             }
         };
         if head_end > MAX_HEAD_BYTES {
@@ -134,7 +176,8 @@ impl<R: Read> RequestReader<R> {
         let body_start = head_end + 4;
         while self.buf.len() < body_start + content_length {
             if self.fill()? == 0 {
-                return Err(HttpError::Truncated);
+                // Half-close or disappearance mid-body.
+                return Err(HttpError::RequestTimedOut);
             }
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
@@ -151,12 +194,23 @@ impl<R: Read> RequestReader<R> {
     }
 
     /// One `read` into the buffer; returns the byte count (0 = EOF).
+    /// Enforces the per-request deadline before blocking, so a dribbling
+    /// peer cannot stretch one request forever by always arriving just
+    /// inside the socket timeout.
     fn fill(&mut self) -> Result<usize, HttpError> {
+        if let (Some(started), Some(deadline)) = (self.started, self.deadline) {
+            if started.elapsed() >= deadline {
+                return Err(HttpError::RequestTimedOut);
+            }
+        }
         let mut chunk = [0u8; 4096];
         loop {
             match self.stream.read(&mut chunk) {
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
+                    if n > 0 && self.started.is_none() {
+                        self.started = Some(Instant::now());
+                    }
                     return Ok(n);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -164,8 +218,10 @@ impl<R: Read> RequestReader<R> {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    // Read timeout: the peer is stalling mid-request.
-                    return Err(HttpError::Truncated);
+                    // Socket read timeout: the peer is stalling. The
+                    // caller decides whether that is idleness (between
+                    // requests) or an offense (mid-request).
+                    return Err(HttpError::RequestTimedOut);
                 }
                 Err(e) => return Err(HttpError::Io(e)),
             }
@@ -291,7 +347,9 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -344,13 +402,78 @@ mod tests {
     }
 
     #[test]
-    fn torn_requests_truncate_instead_of_panicking() {
-        // Mid-head.
+    fn torn_requests_time_out_instead_of_panicking() {
+        // Half-close mid-head.
         let mut r = read_all(b"GET /v1/he");
-        assert!(matches!(r.next_request(), Err(HttpError::Truncated)));
-        // Mid-body.
+        assert!(matches!(r.next_request(), Err(HttpError::RequestTimedOut)));
+        // Half-close mid-body.
         let mut r = read_all(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
-        assert!(matches!(r.next_request(), Err(HttpError::Truncated)));
+        assert!(matches!(r.next_request(), Err(HttpError::RequestTimedOut)));
+    }
+
+    /// A reader that yields `data` one byte per call, then stalls with
+    /// `WouldBlock` forever — the slow-loris shape.
+    struct Dribble {
+        data: Vec<u8>,
+        at: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at < self.data.len() {
+                buf[0] = self.data[self.at];
+                self.at += 1;
+                Ok(1)
+            } else {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeout_between_requests_is_a_clean_close() {
+        // Nothing buffered, peer never sends a byte: keep-alive idleness.
+        let mut r = RequestReader::new(Dribble {
+            data: Vec::new(),
+            at: 0,
+        });
+        assert!(r.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn stalls_mid_request_are_request_timeouts() {
+        // Some head bytes arrive, then the peer stalls forever.
+        let mut r = RequestReader::new(Dribble {
+            data: b"GET /v1/he".to_vec(),
+            at: 0,
+        });
+        assert!(matches!(r.next_request(), Err(HttpError::RequestTimedOut)));
+    }
+
+    #[test]
+    fn the_request_deadline_catches_a_dribbler() {
+        // The peer delivers a full (long) request one byte at a time —
+        // never stalling long enough for a socket timeout — but the
+        // per-request deadline has already expired by the second byte.
+        let head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(512));
+        let mut r = RequestReader::with_deadline(
+            Dribble {
+                data: head.into_bytes(),
+                at: 0,
+            },
+            Duration::ZERO,
+        );
+        assert!(matches!(r.next_request(), Err(HttpError::RequestTimedOut)));
+    }
+
+    #[test]
+    fn a_roomy_deadline_does_not_reject_normal_requests() {
+        let mut r = RequestReader::with_deadline(
+            &b"GET /v1/healthz HTTP/1.1\r\n\r\n"[..],
+            Duration::from_secs(60),
+        );
+        assert_eq!(r.next_request().unwrap().unwrap().path, "/v1/healthz");
+        assert!(r.next_request().unwrap().is_none());
     }
 
     #[test]

@@ -42,11 +42,35 @@ pub enum JobKind {
 }
 
 impl JobKind {
-    fn name(self) -> &'static str {
+    /// The wire name, as it appears in request bodies and status
+    /// documents.
+    pub fn name(self) -> &'static str {
         match self {
             JobKind::Verify => "verify",
             JobKind::Sweep => "sweep",
             JobKind::Synthesize => "synthesize",
+        }
+    }
+
+    /// A dense index ordered by typical cost — `verify` (0) is cheapest,
+    /// `synthesize` (2) dearest. Admission control sheds the most
+    /// expensive kinds first under memory pressure.
+    pub fn index(self) -> usize {
+        match self {
+            JobKind::Verify => 0,
+            JobKind::Sweep => 1,
+            JobKind::Synthesize => 2,
+        }
+    }
+
+    /// Parses a wire name back to a kind (the admission pre-check uses
+    /// this before full request validation).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "verify" => Some(JobKind::Verify),
+            "sweep" => Some(JobKind::Sweep),
+            "synthesize" => Some(JobKind::Synthesize),
+            _ => None,
         }
     }
 }
@@ -68,6 +92,14 @@ impl SubmitError {
         match self {
             SubmitError::BadRequest(_) => 400,
             SubmitError::BadSpec(_) => 422,
+        }
+    }
+
+    /// The machine-readable `code` for the structured error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SubmitError::BadRequest(_) => "bad_request",
+            SubmitError::BadSpec(_) => "bad_spec",
         }
     }
 
@@ -324,6 +356,7 @@ impl JobEntry {
             "status": state.label(),
             "cached": self.cached,
             "cache_key": self.cache_key.clone(),
+            "attempts": self.telemetry.attempts.load(std::sync::atomic::Ordering::Relaxed),
             "phases_us": self.telemetry.phases.snapshot().to_json(),
         });
         if let JobState::Failed { message, .. } = &*state {

@@ -1,0 +1,392 @@
+//! The durable job journal: accepted jobs and their terminal results,
+//! persisted through the campaign crate's CRC-32-framed torn-write-safe
+//! journal so a crashed or SIGKILLed server restarts without losing work.
+//!
+//! The contract mirrors PR 3's sweep checkpointing, lifted to the service
+//! layer. Every record is one `len crc payload\n` frame
+//! ([`selfstab_campaign::journal::frame`]); the payloads are:
+//!
+//! ```text
+//! {"ev":"serve","version":1}
+//! {"ev":"submitted","id":3,"kind":"verify","key":"…","request":{…}}
+//! {"ev":"done","id":3,"exit_code":0,"body":"…"}
+//! {"ev":"failed","id":3,"status":500,"message":"…"}
+//! {"ev":"timed_out","id":3,"partial":"…"}
+//! ```
+//!
+//! `submitted` is written **before** the 202 reaches the client, so every
+//! job a client was told about is on disk; the `request` field is the
+//! original validated POST body, which is everything needed to re-run the
+//! job. The three terminal events carry the full response payload, so a
+//! client polling `/v1/jobs/:id/result` across a restart reads the same
+//! bytes it would have read before the crash.
+//!
+//! [`replay`] folds the longest valid frame prefix back into the job
+//! table: jobs with a terminal event become resolvable results; jobs
+//! without one are exactly the crash's collateral and are **re-enqueued**
+//! by the server at boot. A job re-executed after a crash produces a
+//! byte-identical document (the engines are deterministic), so replay
+//! plus re-execution converges to the fault-free outcome — the property
+//! the CI crash drill byte-diffs.
+//!
+//! Drained jobs are deliberately *not* terminal on disk: a drain is a
+//! shutdown, and the next boot re-enqueues them.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use selfstab_campaign::journal::{frame, replay_frames, Journal};
+use selfstab_campaign::FsyncPolicy;
+use serde_json::{json, Value};
+
+use crate::cache::CachedDoc;
+
+/// Journal format version, bumped on incompatible payload changes.
+const SERVE_JOURNAL_VERSION: u64 = 1;
+
+/// The server's append side of the job journal. Thin wrapper over the
+/// campaign [`Journal`] that renders serve-specific events.
+#[derive(Debug)]
+pub struct ServeJournal {
+    inner: Journal,
+}
+
+impl ServeJournal {
+    /// Creates a fresh journal at `path` (truncating) and writes the
+    /// header record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure as an [`std::io::Error`]-like
+    /// string so the CLI can exit 1 with a diagnostic.
+    pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Self, String> {
+        let inner = Journal::create(path, fsync).map_err(|e| e.to_string())?;
+        let journal = ServeJournal { inner };
+        journal
+            .inner
+            .event(&json!({"ev": "serve", "version": SERVE_JOURNAL_VERSION}));
+        Ok(journal)
+    }
+
+    /// Opens `path` for appending, first truncating the torn tail to
+    /// `valid_len` (from [`replay`]). Writes the header only when the
+    /// journal is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/truncate failures.
+    pub fn append(path: &Path, valid_len: u64, fsync: FsyncPolicy) -> Result<Self, String> {
+        let inner = Journal::append(path, valid_len, fsync).map_err(|e| e.to_string())?;
+        let journal = ServeJournal { inner };
+        if valid_len == 0 {
+            journal
+                .inner
+                .event(&json!({"ev": "serve", "version": SERVE_JOURNAL_VERSION}));
+        }
+        Ok(journal)
+    }
+
+    /// Journals an accepted job before its 202 is sent: id, kind, cache
+    /// key, and the full validated request body (everything re-execution
+    /// needs).
+    pub fn submitted(&self, id: u64, kind: &str, key: &str, request: &Value) {
+        self.inner.event(&json!({
+            "ev": "submitted",
+            "id": id,
+            "kind": kind,
+            "key": key,
+            "request": request.clone(),
+        }));
+    }
+
+    /// Journals a completed job with its canonical result bytes.
+    pub fn done(&self, id: u64, doc: &CachedDoc) {
+        self.inner.event(&json!({
+            "ev": "done",
+            "id": id,
+            "exit_code": doc.exit_code,
+            "body": doc.body.clone(),
+        }));
+    }
+
+    /// Journals a failed job (could not run, or panicked out of retries).
+    pub fn failed(&self, id: u64, status: u16, message: &str) {
+        self.inner.event(&json!({
+            "ev": "failed",
+            "id": id,
+            "status": status,
+            "message": message,
+        }));
+    }
+
+    /// Journals a deadline expiry with the partial rows completed before
+    /// the cut.
+    pub fn timed_out(&self, id: u64, partial: &str) {
+        self.inner.event(&json!({
+            "ev": "timed_out",
+            "id": id,
+            "partial": partial,
+        }));
+    }
+
+    /// Flushes and fsyncs everything written so far (the drain path).
+    pub fn sync(&self) {
+        self.inner.sync();
+    }
+}
+
+/// A replayed job's terminal state, if it reached one before the crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayedTerminal {
+    /// The job completed; the document is byte-identical to what was
+    /// served before the crash.
+    Done(Arc<CachedDoc>),
+    /// The job failed with an HTTP status and message.
+    Failed {
+        /// HTTP status the failure maps to.
+        status: u16,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The job's deadline fired; `partial` holds the completed rows.
+    TimedOut {
+        /// The partial document served with 504.
+        partial: String,
+    },
+}
+
+/// One job recovered from the journal.
+#[derive(Clone, Debug)]
+pub struct ReplayedJob {
+    /// The job id (preserved across restarts).
+    pub id: u64,
+    /// The kind string from the `submitted` record.
+    pub kind: String,
+    /// The content-address key from the `submitted` record.
+    pub key: String,
+    /// The original validated request body.
+    pub request: Value,
+    /// The terminal state, or `None` for a job the crash interrupted —
+    /// the server re-enqueues exactly these.
+    pub terminal: Option<ReplayedTerminal>,
+}
+
+/// The journal folded back into boot state.
+#[derive(Debug, Default)]
+pub struct ServeReplay {
+    /// Every journaled job in id order.
+    pub jobs: BTreeMap<u64, ReplayedJob>,
+    /// The next job id to hand out (max journaled id + 1).
+    pub next_id: u64,
+    /// Byte length of the valid frame prefix (pass to
+    /// [`ServeJournal::append`]).
+    pub valid_len: u64,
+}
+
+impl ServeReplay {
+    /// Jobs that never reached a terminal state, in id order — the set a
+    /// restart re-enqueues.
+    pub fn non_terminal(&self) -> impl Iterator<Item = &ReplayedJob> {
+        self.jobs.values().filter(|j| j.terminal.is_none())
+    }
+}
+
+/// Replays a serve journal: validates frames in order, truncates at the
+/// first torn or corrupt record, and folds `submitted`/terminal events
+/// into per-id job state. A terminal event for an unknown id (its
+/// `submitted` record fell past the torn tail) is dropped — a result is
+/// only resolvable if its acceptance survived too, so replay can never
+/// invent a job the client was never told about.
+///
+/// # Errors
+///
+/// Propagates the underlying read failure; a missing file replays as
+/// empty.
+pub fn replay(path: &Path) -> Result<ServeReplay, String> {
+    let frames = replay_frames(path).map_err(|e| e.to_string())?;
+    let mut out = ServeReplay {
+        valid_len: frames.valid_len,
+        ..ServeReplay::default()
+    };
+    for ev in frames.events {
+        let Some(id) = ev["id"].as_u64() else {
+            continue; // header or unknown record
+        };
+        match ev["ev"].as_str() {
+            Some("submitted") => {
+                out.jobs.insert(
+                    id,
+                    ReplayedJob {
+                        id,
+                        kind: ev["kind"].as_str().unwrap_or_default().to_owned(),
+                        key: ev["key"].as_str().unwrap_or_default().to_owned(),
+                        request: ev["request"].clone(),
+                        terminal: None,
+                    },
+                );
+                out.next_id = out.next_id.max(id + 1);
+            }
+            Some("done") => {
+                if let (Some(job), Some(body), Some(code)) = (
+                    out.jobs.get_mut(&id),
+                    ev["body"].as_str(),
+                    ev["exit_code"].as_u64(),
+                ) {
+                    job.terminal = Some(ReplayedTerminal::Done(Arc::new(CachedDoc {
+                        body: body.to_owned(),
+                        exit_code: code as u8,
+                    })));
+                }
+            }
+            Some("failed") => {
+                if let (Some(job), Some(status)) = (out.jobs.get_mut(&id), ev["status"].as_u64()) {
+                    job.terminal = Some(ReplayedTerminal::Failed {
+                        status: status as u16,
+                        message: ev["message"].as_str().unwrap_or_default().to_owned(),
+                    });
+                }
+            }
+            Some("timed_out") => {
+                if let (Some(job), Some(partial)) = (out.jobs.get_mut(&id), ev["partial"].as_str())
+                {
+                    job.terminal = Some(ReplayedTerminal::TimedOut {
+                        partial: partial.to_owned(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Frames one serve event for tests that hand-assemble journals.
+pub fn frame_event(v: &Value) -> String {
+    frame(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("selfstab-serve-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn doc(body: &str) -> CachedDoc {
+        CachedDoc {
+            body: body.to_owned(),
+            exit_code: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_terminal_and_pending_jobs() {
+        let path = tmp("roundtrip.jsonl");
+        let j = ServeJournal::create(&path, FsyncPolicy::Always).unwrap();
+        j.submitted(
+            1,
+            "verify",
+            "h:verify:4..4",
+            &json!({"kind": "verify", "k": 4}),
+        );
+        j.submitted(
+            2,
+            "sweep",
+            "h:sweep:2..9",
+            &json!({"kind": "sweep", "k": 2, "to": 9}),
+        );
+        j.submitted(
+            3,
+            "synthesize",
+            "h:synthesize",
+            &json!({"kind": "synthesize"}),
+        );
+        j.done(1, &doc("{\"rows\":[]}\n"));
+        j.failed(3, 500, "job panicked");
+        j.sync();
+        drop(j);
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.jobs.len(), 3);
+        assert_eq!(replayed.next_id, 4);
+        assert!(matches!(
+            replayed.jobs[&1].terminal,
+            Some(ReplayedTerminal::Done(_))
+        ));
+        assert!(matches!(
+            replayed.jobs[&3].terminal,
+            Some(ReplayedTerminal::Failed { status: 500, .. })
+        ));
+        let pending: Vec<u64> = replayed.non_terminal().map(|job| job.id).collect();
+        assert_eq!(pending, vec![2], "only the sweep never finished");
+        assert_eq!(replayed.jobs[&2].request["to"], 9);
+        assert_eq!(
+            replayed.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "a clean journal is valid to its last byte"
+        );
+    }
+
+    #[test]
+    fn torn_tail_drops_the_last_record_only() {
+        let path = tmp("torn.jsonl");
+        let good = format!(
+            "{}{}{}",
+            frame_event(&json!({"ev": "serve", "version": 1})),
+            frame_event(
+                &json!({"ev": "submitted", "id": 1, "kind": "verify", "key": "k", "request": {}})
+            ),
+            frame_event(&json!({"ev": "done", "id": 1, "exit_code": 0, "body": "b"})),
+        );
+        let torn = frame_event(
+            &json!({"ev": "submitted", "id": 2, "kind": "verify", "key": "k2", "request": {}}),
+        );
+        std::fs::write(&path, format!("{good}{}", &torn[..torn.len() / 2])).unwrap();
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.jobs.len(), 1);
+        assert!(replayed.jobs[&1].terminal.is_some());
+        assert_eq!(replayed.valid_len as usize, good.len());
+        assert_eq!(replayed.next_id, 2, "the torn submit never happened");
+    }
+
+    #[test]
+    fn terminal_without_submitted_is_dropped() {
+        // A `done` whose `submitted` record was lost to an earlier
+        // truncation must not resurrect a job nobody was told about.
+        let path = tmp("orphan.jsonl");
+        std::fs::write(
+            &path,
+            frame_event(&json!({"ev": "done", "id": 9, "exit_code": 0, "body": "b"})),
+        )
+        .unwrap();
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.jobs.is_empty());
+        assert_eq!(replayed.next_id, 0);
+    }
+
+    #[test]
+    fn append_after_replay_continues_the_id_space() {
+        let path = tmp("append.jsonl");
+        let j = ServeJournal::create(&path, FsyncPolicy::Batch).unwrap();
+        j.submitted(1, "verify", "k1", &json!({}));
+        j.sync();
+        drop(j);
+
+        let replayed = replay(&path).unwrap();
+        let j = ServeJournal::append(&path, replayed.valid_len, FsyncPolicy::Batch).unwrap();
+        j.submitted(replayed.next_id + 1, "verify", "k2", &json!({}));
+        j.sync();
+        drop(j);
+
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.jobs.len(), 2);
+        assert_eq!(replayed.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+}

@@ -15,6 +15,7 @@
 //! | `GET /v1/cache/stats` | content-addressed cache counters |
 //! | `GET /v1/metrics` | the full telemetry registry |
 //! | `GET /v1/healthz` | liveness (`ok` / `draining`) |
+//! | `GET /v1/readyz` | readiness: `ready` / `draining` / `saturated`, with shed level and queue occupancy |
 //!
 //! The headline mechanism is the **content-addressed result cache**
 //! ([`cache`]): requests are keyed by the canonical parse-tree hash of
@@ -31,19 +32,42 @@
 //! SIGTERM drain gracefully: stop accepting, cancel in-flight work
 //! cooperatively, exit 130.
 //!
-//! Module map: [`http`] (parser/writer), [`render`] (the canonical JSON
-//! rendering shared with the CLI), [`jobs`] (validation + execution),
-//! [`cache`] (content-addressed store), [`server`] (routing, submit
-//! flow, drain).
+//! The service is **crash-durable and overload-safe**:
+//!
+//! * [`journal`] persists every accepted job and terminal result through
+//!   the campaign crate's CRC-framed torn-write-safe journal — a
+//!   SIGKILLed server restarts with the same job ids resolvable and
+//!   re-enqueues exactly the jobs the crash interrupted;
+//! * [`cache`] optionally writes completed documents through to a
+//!   snapshot file, so a restarted server answers repeat traffic warm;
+//! * [`admission`] bounds per-kind acceptance (`429` + `Retry-After`
+//!   past the caps) and degrades gracefully under a memory watchdog —
+//!   `synthesize` sheds before `sweep` before `verify`;
+//! * [`chaos`] is the seeded service-fault injector behind the hidden
+//!   `--chaos` flag (injected job panics, torn responses), complementing
+//!   the CI crash drill's literal `SIGKILL`.
+//!
+//! Module map: [`http`] (parser/writer, slow-loris defenses), [`render`]
+//! (the canonical JSON rendering shared with the CLI), [`jobs`]
+//! (validation + execution), [`cache`] (content-addressed store + warm
+//! snapshot), [`journal`] (durable job journal), [`admission`]
+//! (backpressure + watchdog), [`chaos`] (fault injection), [`server`]
+//! (routing, submit flow, replay, drain).
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod render;
 pub mod server;
 
+pub use admission::{Admission, PendingCaps, Shed};
 pub use cache::{CachedDoc, ResultCache};
+pub use chaos::ServeChaos;
 pub use jobs::{JobKind, JobRequest, JobState};
+pub use journal::{ReplayedJob, ReplayedTerminal, ServeJournal, ServeReplay};
 pub use server::{ServeConfig, ServeState, Server};

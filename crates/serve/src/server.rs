@@ -1,50 +1,77 @@
-//! The HTTP service: socket handling, routing, the submit flow, and
-//! graceful drain.
+//! The HTTP service: socket handling, routing, the submit flow, journal
+//! replay, admission control, and graceful drain.
 //!
 //! One accept loop (non-blocking, polling the drain token every 10 ms)
-//! hands each connection to its own thread; connections are cheap because
-//! all heavy work runs on the shared [`ServicePool`]. The router itself
-//! is a pure function over [`ServeState`] ([`ServeState::handle`]), so
-//! integration tests exercise the full API in-process without a socket.
+//! hands each connection to its own thread, up to a connection cap;
+//! connections are cheap because all heavy work runs on the shared
+//! [`ServicePool`]. The router itself is a pure function over
+//! [`ServeState`] ([`ServeState::handle`]), so integration tests exercise
+//! the full API in-process without a socket.
 //!
-//! **Submit flow** (`POST /v1/jobs`): parse → validate ([`JobRequest`])
-//! → consult the content-addressed cache. A hit answers immediately with
-//! a `done` job backed by the cached document — no pool work. A key
-//! already in flight coalesces onto the computing job's id. Only a true
-//! miss enqueues pool work, under a [`CancelToken`] linked to the drain
-//! token and carrying the request deadline.
+//! **Submit flow** (`POST /v1/jobs`): parse → admission gate
+//! ([`Admission`]: per-kind caps and the memory watchdog's shed level —
+//! rejections are `429` + `Retry-After`) → validate ([`JobRequest`]) →
+//! journal the acceptance (when a journal is configured, the `submitted`
+//! record is durable **before** the `202` reaches the client) → consult
+//! the content-addressed cache. A hit answers immediately with a `done`
+//! job backed by the cached document — no pool work. A key already in
+//! flight coalesces onto the computing job's id. Only a true miss
+//! enqueues pool work, under a [`CancelToken`] linked to the drain token
+//! and carrying the request deadline.
+//!
+//! **Crash recovery**: at boot, a configured journal is replayed
+//! ([`crate::journal::replay`]) — jobs with terminal records become
+//! resolvable results again (their ids never 404), jobs the crash
+//! interrupted are re-enqueued with their original ids, and the torn
+//! tail, if any, is truncated before appending resumes. Re-execution is
+//! deterministic, so a replayed job's result is byte-identical to the
+//! fault-free run — the property the CI crash drill checks with `cmp`.
 //!
 //! **Drain** (SIGINT/SIGTERM or [`ServeState::begin_drain`]): stop
 //! accepting, fire the drain token (in-flight scans abort at their next
-//! cancel poll), shut the pool down, then give connection threads a
-//! bounded grace period to flush their last response.
+//! cancel poll), shut the pool down, fsync the journal, then give
+//! connection threads a bounded grace period to flush their last
+//! response. Drained jobs are *not* journaled as terminal: the next boot
+//! re-enqueues them.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use selfstab_campaign::telemetry::JobTelemetry;
-use selfstab_campaign::ServicePool;
+use selfstab_campaign::{FsyncPolicy, ServicePool};
 use selfstab_global::CancelToken;
 use selfstab_telemetry::Registry;
 use serde_json::{json, Value};
 
+use crate::admission::{spawn_watchdog, Admission, PendingCaps};
 use crate::cache::{Lookup, ResultCache};
+use crate::chaos::ServeChaos;
 use crate::http::{HttpError, Request, RequestReader, Response};
-use crate::jobs::{execute, ExecOutcome, JobEntry, JobRequest, JobState};
-
-/// How long an idle keep-alive connection may sit between requests before
-/// the server closes it (also bounds how long a drain waits on a silent
-/// client).
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+use crate::jobs::{execute, ExecOutcome, JobEntry, JobKind, JobRequest, JobState};
+use crate::journal::{replay, ReplayedTerminal, ServeJournal};
 
 /// How long [`Server::run`] waits for connection threads to flush after
 /// the drain token fires.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// `Retry-After` seconds suggested on shed (`429`) and overload (`503`)
+/// responses — long enough to spread a retry storm, short enough that
+/// clients fall back quickly once pressure clears.
+const RETRY_AFTER_SECS: &str = "1";
+
+/// `Retry-After` seconds suggested while draining: the process is going
+/// away; point clients at its replacement on a drain-sized delay.
+const DRAIN_RETRY_AFTER_SECS: &str = "5";
+
+/// Exponent cap for the deterministic retry backoff (`backoff * 2^n`),
+/// mirroring the campaign runner's retry machinery.
+const BACKOFF_EXP_CAP: u32 = 6;
 
 /// Server construction parameters (the CLI's `serve` flags).
 pub struct ServeConfig {
@@ -56,6 +83,34 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
+    /// Durable job journal path (`--journal`); `None` disables
+    /// durability.
+    pub journal: Option<PathBuf>,
+    /// Cache snapshot path (`--cache-snapshot`); `None` disables warm
+    /// restarts.
+    pub cache_snapshot: Option<PathBuf>,
+    /// Fsync policy shared by the journal and the snapshot (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Extra execution attempts after a panicked one (`--retries`).
+    pub retries: u32,
+    /// Base of the deterministic exponential retry backoff
+    /// (`--backoff-ms`).
+    pub backoff: Duration,
+    /// Per-kind admission caps (`--max-pending` scales all three).
+    pub caps: PendingCaps,
+    /// Concurrent connection cap (`--max-connections`).
+    pub max_connections: usize,
+    /// RSS budget for the memory watchdog (`--max-rss-mb`); `None`
+    /// disables it.
+    pub max_rss_bytes: Option<u64>,
+    /// How long an idle keep-alive connection may sit between requests.
+    pub idle_timeout: Duration,
+    /// Wall-clock budget for receiving one whole request (the
+    /// slow-loris/dribble bound).
+    pub request_deadline: Duration,
+    /// Seed for the service-fault injector (hidden `--chaos`); `None`
+    /// disables it.
+    pub chaos: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -65,39 +120,187 @@ impl Default for ServeConfig {
             port: 7878,
             threads: 2,
             cache_bytes: 64 * 1024 * 1024,
+            journal: None,
+            cache_snapshot: None,
+            fsync: FsyncPolicy::Batch,
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            caps: PendingCaps::default(),
+            max_connections: 256,
+            max_rss_bytes: None,
+            idle_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
+            chaos: None,
         }
     }
 }
 
 /// Everything the handlers share: the job table, the cache, the pool,
-/// and the metrics registry (one registry — cache and pool counters land
-/// in the same `/v1/metrics` document).
+/// the admission gate, the journal, and the metrics registry (one
+/// registry — cache, pool, and admission counters land in the same
+/// `/v1/metrics` document).
 pub struct ServeState {
     registry: Registry,
     cache: ResultCache,
     pool: ServicePool,
+    admission: Admission,
+    journal: Option<ServeJournal>,
+    chaos: Option<ServeChaos>,
+    retries: u32,
+    backoff: Duration,
     jobs: Mutex<HashMap<u64, Arc<JobEntry>>>,
     next_id: AtomicU64,
     drain: Arc<CancelToken>,
     jobs_submitted: Arc<AtomicU64>,
+    jobs_replayed: Arc<AtomicU64>,
+    responses: AtomicU64,
 }
 
 impl ServeState {
-    /// Fresh state for `config`.
-    pub fn new(config: &ServeConfig) -> Arc<Self> {
+    /// Fresh state for `config`: opens (or creates) the cache snapshot
+    /// and job journal, replays both, re-enqueues the jobs a crash
+    /// interrupted, and arms the memory watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered diagnostic if the journal or snapshot exists
+    /// but cannot be read/reopened — the CLI exits 1 with it.
+    pub fn new(config: &ServeConfig) -> Result<Arc<Self>, String> {
         let registry = Registry::new();
-        let cache = ResultCache::new(config.cache_bytes, &registry);
+        let cache = match &config.cache_snapshot {
+            Some(path) => {
+                ResultCache::with_snapshot(config.cache_bytes, &registry, path, config.fsync)?
+            }
+            None => ResultCache::new(config.cache_bytes, &registry),
+        };
         let pool = ServicePool::with_registry(config.threads, Some(&registry));
+        let admission = Admission::new(config.caps, &registry);
+        if let Some(limit) = config.max_rss_bytes {
+            spawn_watchdog(&admission.shed_handle(), limit, &registry);
+        }
+        let (journal, replayed) = match &config.journal {
+            Some(path) => {
+                let replayed = replay(path)?;
+                let journal = ServeJournal::append(path, replayed.valid_len, config.fsync)?;
+                (Some(journal), Some(replayed))
+            }
+            None => (None, None),
+        };
         let jobs_submitted = registry.counter("serve/jobs_submitted");
-        Arc::new(ServeState {
+        let jobs_replayed = registry.counter("serve/jobs_replayed");
+        let next_id = replayed.as_ref().map_or(0, |r| r.next_id.saturating_sub(1));
+        let state = Arc::new(ServeState {
             registry,
             cache,
             pool,
+            admission,
+            journal,
+            chaos: config.chaos.map(ServeChaos::from_seed),
+            retries: config.retries,
+            backoff: config.backoff,
             jobs: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
+            next_id: AtomicU64::new(next_id),
             drain: Arc::new(CancelToken::new()),
             jobs_submitted,
-        })
+            jobs_replayed,
+            responses: AtomicU64::new(0),
+        });
+        if let Some(replayed) = replayed {
+            state.restore(replayed);
+        }
+        Ok(state)
+    }
+
+    /// Folds a journal replay back into the live job table: terminal jobs
+    /// become resolvable entries, non-terminal jobs re-enqueue with their
+    /// original ids (answered from cache when a warm snapshot already has
+    /// their document).
+    fn restore(self: &Arc<Self>, replayed: crate::journal::ServeReplay) {
+        for job in replayed.jobs.into_values() {
+            self.jobs_replayed.fetch_add(1, Ordering::Relaxed);
+            let kind = JobKind::from_name(&job.kind).unwrap_or(JobKind::Verify);
+            match job.terminal {
+                Some(ReplayedTerminal::Done(doc)) => {
+                    // The result resolves again AND warms the cache (no
+                    // snapshot write-through: the journal already holds
+                    // these bytes durably).
+                    self.cache.insert_restored(&job.key, Arc::clone(&doc));
+                    self.insert_replayed(job.id, kind, &job.key, JobState::Done { doc });
+                }
+                Some(ReplayedTerminal::Failed { status, message }) => {
+                    self.insert_replayed(
+                        job.id,
+                        kind,
+                        &job.key,
+                        JobState::Failed { status, message },
+                    );
+                }
+                Some(ReplayedTerminal::TimedOut { partial }) => {
+                    self.insert_replayed(job.id, kind, &job.key, JobState::TimedOut { partial });
+                }
+                None => match JobRequest::from_json(&job.request) {
+                    Ok(request) => {
+                        let entry =
+                            self.insert_replayed(job.id, request.kind, &job.key, JobState::Queued);
+                        match self.cache.lookup_or_reserve(&job.key, job.id) {
+                            Lookup::Hit(doc) => {
+                                // The snapshot (or an earlier replayed
+                                // job) already has the bytes: terminal
+                                // without pool work, journaled so the
+                                // *next* restart needs no re-run either.
+                                if let Some(journal) = &self.journal {
+                                    journal.done(job.id, &doc);
+                                }
+                                *entry.state.lock().expect("job state poisoned") =
+                                    JobState::Done { doc };
+                            }
+                            Lookup::InFlight(_) | Lookup::Miss => {
+                                // Accepted before the crash: admission
+                                // caps never apply ("no accepted job is
+                                // ever lost" outranks them).
+                                self.admission.admit_replayed(request.kind);
+                                self.enqueue(request, entry, job.key);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Validated at the original submit, so this means
+                        // the environment changed under the journal.
+                        // Surface it as the job's terminal state instead
+                        // of wedging the boot.
+                        let message = format!("replayed request no longer valid: {}", e.message());
+                        if let Some(journal) = &self.journal {
+                            journal.failed(job.id, 500, &message);
+                        }
+                        self.insert_replayed(
+                            job.id,
+                            kind,
+                            &job.key,
+                            JobState::Failed {
+                                status: 500,
+                                message,
+                            },
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    fn insert_replayed(&self, id: u64, kind: JobKind, key: &str, state: JobState) -> Arc<JobEntry> {
+        let entry = Arc::new(JobEntry {
+            id,
+            kind,
+            cache_key: key.to_owned(),
+            state: Mutex::new(state),
+            telemetry: JobTelemetry::default(),
+            cached: false,
+        });
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .insert(id, Arc::clone(&entry));
+        entry
     }
 
     /// The drain token: fire it (or call [`ServeState::begin_drain`]) to
@@ -123,6 +326,12 @@ impl ServeState {
         self.pool.executed()
     }
 
+    /// The admission gate — exposed so drills and tests can force shed
+    /// levels and read occupancy.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
     /// Routes one parsed request. Pure over the state — no socket — so
     /// tests can drive the full API in-process.
     pub fn handle(self: &Arc<Self>, req: &Request) -> Response {
@@ -139,10 +348,13 @@ impl ServeState {
     fn route(self: &Arc<Self>, req: &Request) -> Response {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match (req.method.as_str(), segments.as_slice()) {
+            // Liveness: answers 200 as long as the process can serve at
+            // all (even while draining — the process is alive).
             ("GET", ["v1", "healthz"]) => json_response(
                 200,
                 json!({"status": if self.draining() { "draining" } else { "ok" }}),
             ),
+            ("GET", ["v1", "readyz"]) => self.readyz(),
             ("GET", ["v1", "metrics"]) => json_response(200, self.registry.snapshot_json()),
             ("GET", ["v1", "cache", "stats"]) => json_response(200, self.cache.stats_json()),
             ("POST", ["v1", "jobs"]) => self.submit(req),
@@ -157,14 +369,39 @@ impl ServeState {
             (
                 _,
                 ["v1", "healthz"]
+                | ["v1", "readyz"]
                 | ["v1", "metrics"]
                 | ["v1", "cache", "stats"]
                 | ["v1", "jobs"]
                 | ["v1", "jobs", _]
                 | ["v1", "jobs", _, "result"],
-            ) => json_response(405, json!({"error": "method not allowed"})),
+            ) => error_response(405, "method_not_allowed", "method not allowed"),
             _ => not_found(),
         }
+    }
+
+    /// Readiness: whether a load balancer should keep routing here.
+    /// `503 draining` while winding down, `503 saturated` when the
+    /// watchdog is shedding or any admission queue is at its cap, `200
+    /// ready` otherwise — always with shed level and per-kind occupancy
+    /// so routers can back off *before* the 429s start.
+    fn readyz(&self) -> Response {
+        let (status, label) = if self.draining() {
+            (503, "draining")
+        } else if self.admission.saturated() {
+            (503, "saturated")
+        } else {
+            (200, "ready")
+        };
+        json_response(
+            status,
+            json!({
+                "status": label,
+                "shed_level": self.admission.shed_level(),
+                "shedding": self.admission.shed_kinds(),
+                "pending": self.admission.pending_json(),
+            }),
+        )
     }
 
     fn job(&self, id: &str) -> Option<Arc<JobEntry>> {
@@ -178,19 +415,42 @@ impl ServeState {
 
     fn submit(self: &Arc<Self>, req: &Request) -> Response {
         if self.draining() {
-            return json_response(503, json!({"error": "server is draining"}));
+            return error_response(503, "draining", "server is draining")
+                .with_header("retry-after", DRAIN_RETRY_AFTER_SECS);
         }
-        let body = match std::str::from_utf8(&req.body)
+        let body: Value = match std::str::from_utf8(&req.body)
             .map_err(|_| "body is not UTF-8".to_owned())
             .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
         {
             Ok(v) => v,
-            Err(e) => return json_response(400, json!({"error": format!("invalid JSON: {e}")})),
+            Err(e) => {
+                return error_response(400, "bad_json", &format!("invalid JSON: {e}"));
+            }
+        };
+        // Admission gates on the cheap kind extraction, before the
+        // expensive spec parse — shed traffic costs almost nothing.
+        let admitted_kind = match body["kind"].as_str().and_then(JobKind::from_name) {
+            Some(kind) => match self.admission.admit(kind) {
+                Ok(()) => Some(kind),
+                Err(shed) => {
+                    return error_response(429, shed.code(), &shed.reason(kind))
+                        .with_header("retry-after", RETRY_AFTER_SECS);
+                }
+            },
+            // Missing/unknown kind: fall through so validation renders
+            // its precise 400.
+            None => None,
+        };
+        let release_on_reject = |response: Response| {
+            if let Some(kind) = admitted_kind {
+                self.admission.release(kind);
+            }
+            response
         };
         let request = match JobRequest::from_json(&body) {
             Ok(r) => r,
             Err(e) => {
-                return json_response(e.status(), json!({"error": e.message()}));
+                return release_on_reject(error_response(e.status(), e.code(), e.message()));
             }
         };
         self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
@@ -205,7 +465,16 @@ impl ServeState {
         match self.cache.lookup_or_reserve(&key, id) {
             Lookup::Hit(doc) => {
                 // Served entirely from cache: a `done` job exists for
-                // uniform polling, but nothing touches the pool.
+                // uniform polling, but nothing touches the pool. Journal
+                // acceptance + completion so the id resolves across a
+                // restart exactly like a computed job's.
+                if let Some(journal) = &self.journal {
+                    journal.submitted(id, request.kind.name(), &key, &body);
+                    journal.done(id, &doc);
+                }
+                if let Some(kind) = admitted_kind {
+                    self.admission.release(kind);
+                }
                 let entry = Arc::new(JobEntry {
                     id,
                     kind: request.kind,
@@ -217,11 +486,24 @@ impl ServeState {
                 jobs.insert(id, entry);
                 json_response(200, json!({"id": id, "status": "done", "cached": true}))
             }
-            Lookup::InFlight(job) => json_response(
-                202,
-                json!({"id": job, "status": "queued", "coalesced": true}),
-            ),
+            Lookup::InFlight(job) => {
+                // Coalesced onto an already-journaled job: this submit
+                // holds no admission slot and needs no journal record.
+                if let Some(kind) = admitted_kind {
+                    self.admission.release(kind);
+                }
+                json_response(
+                    202,
+                    json!({"id": job, "status": "queued", "coalesced": true}),
+                )
+            }
             Lookup::Miss => {
+                // Durability point: the acceptance is on disk before the
+                // client hears 202, so a crash after this line can only
+                // delay the job, never lose it.
+                if let Some(journal) = &self.journal {
+                    journal.submitted(id, request.kind.name(), &key, &body);
+                }
                 let entry = Arc::new(JobEntry {
                     id,
                     kind: request.kind,
@@ -247,34 +529,70 @@ impl ServeState {
         let state = Arc::clone(self);
         let handle = self.pool.submit::<(), _>(move || {
             *entry.state.lock().expect("job state poisoned") = JobState::Running;
-            entry.telemetry.attempts.fetch_add(1, Ordering::Relaxed);
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute(&request, &entry.telemetry, &token)
-            }))
-            .unwrap_or_else(|_| ExecOutcome::Failed {
-                status: 500,
-                message: "job panicked".to_owned(),
-            });
+            // Panic isolation with deterministic retry: a panicked
+            // attempt (organic or chaos-injected) backs off
+            // `backoff * 2^min(attempt, cap)` and re-executes, up to the
+            // retry budget — the campaign runner's machinery at the
+            // service layer.
+            let mut attempt: u32 = 0;
+            let outcome = loop {
+                entry.telemetry.attempts.fetch_add(1, Ordering::Relaxed);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(chaos) = &state.chaos {
+                        if chaos.should_panic(&key, attempt) {
+                            panic!("chaos: injected job panic");
+                        }
+                    }
+                    execute(&request, &entry.telemetry, &token)
+                }));
+                match run {
+                    Ok(outcome) => break outcome,
+                    Err(_) if attempt < state.retries && !token.is_cancelled() => {
+                        let backoff =
+                            state.backoff * 2u32.saturating_pow(attempt.min(BACKOFF_EXP_CAP));
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                    }
+                    Err(_) => {
+                        break ExecOutcome::Failed {
+                            status: 500,
+                            message: "job panicked".to_owned(),
+                        }
+                    }
+                }
+            };
             let next = match outcome {
                 ExecOutcome::Done(doc) => {
                     let doc = Arc::new(doc);
                     state.cache.fulfill(&key, Arc::clone(&doc));
+                    if let Some(journal) = &state.journal {
+                        journal.done(entry.id, &doc);
+                    }
                     JobState::Done { doc }
                 }
                 ExecOutcome::Cancelled { partial } => {
                     state.cache.abandon(&key);
                     if state.draining() {
+                        // Deliberately not journaled: a drain is a
+                        // shutdown, and the next boot re-enqueues.
                         JobState::Drained
                     } else {
+                        if let Some(journal) = &state.journal {
+                            journal.timed_out(entry.id, &partial);
+                        }
                         JobState::TimedOut { partial }
                     }
                 }
                 ExecOutcome::Failed { status, message } => {
                     state.cache.abandon(&key);
+                    if let Some(journal) = &state.journal {
+                        journal.failed(entry.id, status, &message);
+                    }
                     JobState::Failed { status, message }
                 }
             };
             *entry.state.lock().expect("job state poisoned") = next;
+            state.admission.release(entry.kind);
         });
         // Completion is observed through the job table; the handle's only
         // remaining duty is the shutdown edge, where the pool refuses the
@@ -282,10 +600,27 @@ impl ServeState {
         drop(handle);
     }
 
-    /// Winds the pool down after a drain; queued-but-unstarted jobs run
-    /// against the already-fired token and park as `drained`.
+    /// Should this response be torn by the chaos plan? Consumes one
+    /// response index either way, so tear decisions stay deterministic
+    /// per seed.
+    fn chaos_tears_response(&self) -> bool {
+        match &self.chaos {
+            Some(chaos) => {
+                let index = self.responses.fetch_add(1, Ordering::Relaxed);
+                chaos.should_tear_response(index)
+            }
+            None => false,
+        }
+    }
+
+    /// Winds the pool down after a drain and fsyncs the journal;
+    /// queued-but-unstarted jobs run against the already-fired token and
+    /// park as `drained`.
     pub fn shutdown_pool(&self) {
         self.pool.shutdown();
+        if let Some(journal) = &self.journal {
+            journal.sync();
+        }
     }
 }
 
@@ -294,8 +629,16 @@ fn json_response(status: u16, value: Value) -> Response {
     Response::json(status, value.to_string())
 }
 
+/// The structured error body every non-2xx carries: `error` stays the
+/// human-readable reason, `code` is the stable machine-readable
+/// discriminator (`queue_full` vs `draining` vs `bad_spec` …), so
+/// clients branch on `code`, never on prose.
+fn error_response(status: u16, code: &str, reason: &str) -> Response {
+    json_response(status, json!({"error": reason, "code": code}))
+}
+
 fn not_found() -> Response {
-    json_response(404, json!({"error": "not found"}))
+    error_response(404, "not_found", "not found")
 }
 
 fn result_response(entry: &JobEntry) -> Response {
@@ -314,33 +657,41 @@ fn result_response(entry: &JobEntry) -> Response {
             headers: Vec::new(),
             body: partial.clone().into_bytes(),
         },
-        JobState::Drained => json_response(503, json!({"error": "cancelled by server drain"})),
-        JobState::Failed { status, message } => {
-            json_response(*status, json!({"error": message.clone()}))
-        }
+        JobState::Drained => error_response(503, "drained", "cancelled by server drain")
+            .with_header("retry-after", DRAIN_RETRY_AFTER_SECS),
+        JobState::Failed { status, message } => error_response(*status, "job_failed", message),
     }
 }
 
-/// A bound listener plus its shared state.
+/// A bound listener plus its shared state and connection limits.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
     active: Arc<AtomicUsize>,
+    max_connections: usize,
+    idle_timeout: Duration,
+    request_deadline: Duration,
 }
 
 impl Server {
-    /// Binds `config.host:config.port`.
+    /// Binds `config.host:config.port` and builds (replaying journal and
+    /// snapshot, if configured) the shared state.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure (port busy, bad interface) so the CLI
-    /// can exit 1 with a diagnostic instead of panicking.
-    pub fn bind(config: &ServeConfig) -> io::Result<Self> {
-        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    /// Returns a rendered diagnostic on bind failure (port busy, bad
+    /// interface) or journal/snapshot trouble so the CLI can exit 1
+    /// instead of panicking.
+    pub fn bind(config: &ServeConfig) -> Result<Self, String> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))
+            .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
         Ok(Server {
             listener,
-            state: ServeState::new(config),
+            state: ServeState::new(config)?,
             active: Arc::new(AtomicUsize::new(0)),
+            max_connections: config.max_connections.max(1),
+            idle_timeout: config.idle_timeout,
+            request_deadline: config.request_deadline,
         })
     }
 
@@ -360,7 +711,8 @@ impl Server {
     }
 
     /// Accepts connections until the drain token fires, then winds down:
-    /// pool shutdown, then a bounded grace period for connection threads.
+    /// pool shutdown + journal fsync, then a bounded grace period for
+    /// connection threads.
     ///
     /// # Errors
     ///
@@ -387,52 +739,87 @@ impl Server {
     }
 
     fn spawn_connection(&self, stream: TcpStream) {
+        // Connection cap: refuse with a structured 503 instead of
+        // accepting unboundedly many handler threads. The response is
+        // written on the accept thread — it is one small buffered write.
+        if self.active.load(Ordering::Acquire) >= self.max_connections {
+            self.state
+                .registry
+                .counter("serve/connections_refused")
+                .fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = error_response(503, "overloaded", "connection limit reached; retry shortly")
+                .with_header("retry-after", RETRY_AFTER_SECS)
+                .write_to(&mut stream, false);
+            return;
+        }
         let state = Arc::clone(&self.state);
         let active = Arc::clone(&self.active);
+        let idle_timeout = self.idle_timeout;
+        let request_deadline = self.request_deadline;
         active.fetch_add(1, Ordering::AcqRel);
         std::thread::spawn(move || {
             let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
-            serve_connection(&state, &stream);
+            let _ = stream.set_read_timeout(Some(idle_timeout));
+            let _ = stream.set_write_timeout(Some(request_deadline));
+            serve_connection(&state, &stream, request_deadline);
             active.fetch_sub(1, Ordering::AcqRel);
         });
     }
 }
 
-/// Drives one connection: reads requests (pipelining-aware), routes each,
-/// writes responses, and closes on error, on `Connection: close`, or when
-/// a drain begins.
-fn serve_connection(state: &Arc<ServeState>, stream: &TcpStream) {
+/// Drives one connection: reads requests (pipelining-aware, bounded by
+/// the per-request deadline), routes each, writes responses, and closes
+/// on error, on `Connection: close`, on a request timeout (after a
+/// `408`), or when a drain begins.
+fn serve_connection(state: &Arc<ServeState>, stream: &TcpStream, request_deadline: Duration) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = RequestReader::new(stream);
+    let mut reader = RequestReader::with_deadline(stream, request_deadline);
     loop {
         match reader.next_request() {
             Ok(Some(request)) => {
                 let response = state.handle(&request);
                 let keep_alive = request.keep_alive && !state.draining();
+                if state.chaos_tears_response() {
+                    // Chaos: send half the bytes and slam the connection
+                    // — the client sees a torn response, but the job
+                    // behind it is untouched and stays resolvable.
+                    let mut bytes = Vec::new();
+                    let _ = response.write_to(&mut bytes, keep_alive);
+                    let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+                    return;
+                }
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
             }
             Ok(None) => return,
             Err(HttpError::Malformed(m)) => {
-                let _ = json_response(400, json!({"error": m})).write_to(&mut writer, false);
+                let _ = error_response(400, "malformed", &m).write_to(&mut writer, false);
                 return;
             }
             Err(HttpError::HeadTooLarge) => {
-                let _ = json_response(400, json!({"error": "request head too large"}))
+                let _ = error_response(400, "head_too_large", "request head too large")
                     .write_to(&mut writer, false);
                 return;
             }
             Err(HttpError::BodyTooLarge) => {
-                let _ = json_response(413, json!({"error": "request body too large"}))
+                let _ = error_response(413, "body_too_large", "request body too large")
                     .write_to(&mut writer, false);
                 return;
             }
-            Err(HttpError::Truncated) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::RequestTimedOut) => {
+                // Slow-loris/stall/half-close: answer 408 so the peer
+                // knows, then free this worker thread.
+                let _ = error_response(408, "request_timeout", "request was not completed in time")
+                    .write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
         }
     }
 }

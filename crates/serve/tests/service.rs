@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use selfstab_global::{check::ConvergenceReport, EngineConfig, RingInstance};
 use selfstab_protocol::file::parse_protocol_file;
 use selfstab_serve::http::Request;
-use selfstab_serve::{render, ServeConfig, ServeState, Server};
+use selfstab_serve::{render, PendingCaps, ServeConfig, ServeState, Server};
 use serde_json::Value;
 
 const AGREEMENT: &str = "\
@@ -25,10 +25,14 @@ action x[r-1] == 1 && x[r] == 0 -> x[r] := 1
 ";
 
 fn state() -> Arc<ServeState> {
-    ServeState::new(&ServeConfig {
+    state_with(ServeConfig {
         threads: 2,
         ..ServeConfig::default()
     })
+}
+
+fn state_with(config: ServeConfig) -> Arc<ServeState> {
+    ServeState::new(&config).expect("state builds")
 }
 
 fn request(method: &str, path: &str, body: &str) -> Request {
@@ -275,10 +279,11 @@ fn synthesize_jobs_complete_with_solutions() {
 }
 
 #[test]
-fn draining_state_refuses_submits() {
+fn draining_state_refuses_submits_with_structured_retry_after() {
     let s = state();
     s.begin_drain();
     let resp = s.handle(&request("GET", "/v1/healthz", ""));
+    assert_eq!(resp.status, 200, "liveness stays 200 while draining");
     assert_eq!(body_json(&resp.body)["status"], "draining");
     let resp = s.handle(&request(
         "POST",
@@ -286,6 +291,108 @@ fn draining_state_refuses_submits() {
         &submit_body("verify", ", \"k\": 3"),
     ));
     assert_eq!(resp.status, 503);
+    let doc = body_json(&resp.body);
+    assert_eq!(doc["code"], "draining", "{doc}");
+    assert!(!doc["error"].is_null());
+    assert!(
+        resp.headers.iter().any(|(n, _)| n == "retry-after"),
+        "503 drain carries Retry-After"
+    );
+}
+
+#[test]
+fn readyz_reports_ready_saturated_and_draining() {
+    let s = state();
+    let resp = s.handle(&request("GET", "/v1/readyz", ""));
+    assert_eq!(resp.status, 200);
+    let doc = body_json(&resp.body);
+    assert_eq!(doc["status"], "ready");
+    assert_eq!(doc["shed_level"], 0u64);
+    assert_eq!(doc["pending"]["verify"], 0u64);
+
+    s.admission().force_shed_level(2);
+    let resp = s.handle(&request("GET", "/v1/readyz", ""));
+    assert_eq!(resp.status, 503);
+    let doc = body_json(&resp.body);
+    assert_eq!(doc["status"], "saturated");
+    assert_eq!(doc["shed_level"], 2u64);
+    let shedding: Vec<&str> = doc["shedding"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(shedding, ["synthesize", "sweep"]);
+    s.admission().force_shed_level(0);
+
+    s.begin_drain();
+    let resp = s.handle(&request("GET", "/v1/readyz", ""));
+    assert_eq!(resp.status, 503);
+    assert_eq!(body_json(&resp.body)["status"], "draining");
+}
+
+#[test]
+fn full_admission_queue_sheds_with_429_and_retry_after() {
+    // A zero synthesize cap makes the queue-full path deterministic.
+    let s = state_with(ServeConfig {
+        caps: PendingCaps {
+            verify: 256,
+            sweep: 64,
+            synthesize: 0,
+        },
+        ..ServeConfig::default()
+    });
+    let resp = s.handle(&request("POST", "/v1/jobs", &submit_body("synthesize", "")));
+    assert_eq!(resp.status, 429);
+    let doc = body_json(&resp.body);
+    assert_eq!(doc["code"], "queue_full", "{doc}");
+    assert!(doc["error"].as_str().unwrap().contains("synthesize"));
+    assert!(
+        resp.headers.iter().any(|(n, _)| n == "retry-after"),
+        "429 carries Retry-After"
+    );
+    assert_eq!(s.executed(), 0, "shed traffic never reaches the pool");
+    // Cheaper kinds are untouched by the synthesize cap.
+    let resp = s.handle(&request(
+        "POST",
+        "/v1/jobs",
+        &submit_body("verify", ", \"k\": 3"),
+    ));
+    assert_eq!(resp.status, 202);
+    let id = body_json(&resp.body)["id"].as_u64().unwrap();
+    assert_eq!(await_job(&s, id), "done");
+}
+
+#[test]
+fn memory_pressure_sheds_expensive_kinds_first() {
+    let s = state();
+    s.admission().force_shed_level(1);
+    let resp = s.handle(&request("POST", "/v1/jobs", &submit_body("synthesize", "")));
+    assert_eq!(resp.status, 429);
+    assert_eq!(body_json(&resp.body)["code"], "memory_pressure");
+    // Sweep and verify still flow at level 1.
+    let resp = s.handle(&request(
+        "POST",
+        "/v1/jobs",
+        &submit_body("verify", ", \"k\": 3"),
+    ));
+    assert_eq!(resp.status, 202);
+    let id = body_json(&resp.body)["id"].as_u64().unwrap();
+    assert_eq!(await_job(&s, id), "done");
+
+    s.admission().force_shed_level(3);
+    let resp = s.handle(&request(
+        "POST",
+        "/v1/jobs",
+        &submit_body("verify", ", \"k\": 4"),
+    ));
+    assert_eq!(resp.status, 429);
+    assert_eq!(body_json(&resp.body)["code"], "memory_pressure");
+    s.admission().force_shed_level(0);
+    // Rejections released their admission slots: occupancy drained to 0.
+    let doc = body_json(&s.handle(&request("GET", "/v1/readyz", "")).body);
+    assert_eq!(doc["pending"]["verify"], 0u64);
+    assert_eq!(doc["pending"]["synthesize"], 0u64);
 }
 
 // ---- transport-level tests over real sockets -----------------------------
@@ -295,12 +402,21 @@ fn spawn_server() -> (
     Arc<ServeState>,
     std::thread::JoinHandle<()>,
 ) {
-    let server = Server::bind(&ServeConfig {
+    spawn_server_with(ServeConfig {
         port: 0,
         threads: 1,
         ..ServeConfig::default()
     })
-    .expect("bind an ephemeral port");
+}
+
+fn spawn_server_with(
+    config: ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<ServeState>,
+    std::thread::JoinHandle<()>,
+) {
+    let server = Server::bind(&config).expect("bind an ephemeral port");
     let addr = server.local_addr().unwrap();
     let state = server.state();
     let handle = std::thread::spawn(move || server.run().unwrap());
@@ -349,12 +465,13 @@ fn socket_rejects_malformed_oversized_and_torn_requests() {
         .as_bytes(),
     );
     assert!(resp.starts_with("HTTP/1.1 413 "), "{resp}");
-    // Torn mid-body → silent close.
+    // Torn mid-body (half-closed socket) → 408 and close.
     let resp = talk(
         addr,
         b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"kind\":",
     );
-    assert_eq!(resp, "", "torn request closes without a response");
+    assert!(resp.starts_with("HTTP/1.1 408 "), "{resp}");
+    assert!(resp.contains("request_timeout"), "{resp}");
     // Malformed JSON body on a complete request → structured 400.
     let body = "{broken";
     let resp = talk(
@@ -368,6 +485,52 @@ fn socket_rejects_malformed_oversized_and_torn_requests() {
     assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
     assert!(resp.contains("invalid JSON"), "{resp}");
     // The server survived all of it.
+    let resp = talk(addr, b"GET /v1/healthz HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
+    state.begin_drain();
+    handle.join().unwrap();
+}
+
+/// The slow-loris trio: a header dribble, a stalled body, and a
+/// half-closed socket each get a `408` within the connection deadlines
+/// and free their worker (the server keeps answering afterwards).
+#[test]
+fn slow_clients_get_408_and_free_their_worker() {
+    use std::io::{Read, Write};
+    let (addr, state, handle) = spawn_server_with(ServeConfig {
+        port: 0,
+        threads: 1,
+        idle_timeout: Duration::from_millis(150),
+        request_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+
+    // 1. Header dribble: a few bytes of request head, then silence.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /v1/hea").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 408 "), "dribbled head: {out}");
+
+    // 2. Stalled body: complete head promising bytes that never arrive,
+    //    socket held open.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"ki")
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 408 "), "stalled body: {out}");
+    assert!(out.contains("request_timeout"), "{out}");
+
+    // 3. Half-closed socket mid-body: EOF before the declared length.
+    let out = talk(
+        addr,
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"ki",
+    );
+    assert!(out.starts_with("HTTP/1.1 408 "), "half-closed: {out}");
+
+    // Each 408 freed the worker: a healthy request still answers.
     let resp = talk(addr, b"GET /v1/healthz HTTP/1.1\r\n\r\n");
     assert!(resp.starts_with("HTTP/1.1 200 "), "{resp}");
     state.begin_drain();
