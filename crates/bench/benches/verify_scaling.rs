@@ -259,6 +259,41 @@ fn bench_engine_comparison(_c: &mut Criterion) {
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("could not write {}: {e}", out.display());
     }
+
+    // Persistent registry row, gated on SELFSTAB_REGISTRY so ad-hoc bench
+    // runs do not pollute a committed registry. The headline numbers of
+    // BENCH_verify_scaling.json land in `kpis` — timing KPIs, so `selfstab
+    // registry diff` can reproduce the headline table from rows alone
+    // (report them; gate CI on the deterministic `states` only).
+    if let Ok(registry) = std::env::var("SELFSTAB_REGISTRY") {
+        use selfstab_core::registry_row::{append_row, RegistryRow};
+        use serde_json::json;
+        let row = RegistryRow {
+            source: "bench".to_owned(),
+            spec: "sum_not_two".to_owned(),
+            kind: "verify_scaling".to_owned(),
+            k: format!("{k}..{k_max}"),
+            knobs: json!({"domain_size": 3, "reps": reps as u64}),
+            kpis: json!({
+                "states": ring.space().len() as u64,
+                "seed_sequential_us": seed_us,
+                "fused_sequential_us": fused_seq_us,
+                "fused_parallel_us": fused_par_us,
+                "fused_reduced_us": fused_reduced_us,
+                "speedup_fused_sequential": speedup_seq,
+                "speedup_fused_parallel": speedup_par,
+                "speedup_reduced": speedup_reduced,
+                "speedup_reduced_vs_full": speedup_reduced_vs_full,
+            }),
+            meta: RegistryRow::meta_now((seed_us + fused_seq_us + fused_par_us) as u64),
+        };
+        let path = std::path::Path::new(&registry);
+        if let Err(e) = append_row(path, &row) {
+            eprintln!("could not append to {}: {e}", path.display());
+        } else {
+            println!("appended bench registry row to {}", path.display());
+        }
+    }
 }
 
 fn quick_config() -> Criterion {

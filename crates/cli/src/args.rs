@@ -51,6 +51,12 @@ impl Args {
             .ok_or_else(|| "missing <file.stab> argument".to_owned())
     }
 
+    /// The `i`-th positional argument, if present (for subcommands that
+    /// take an action word plus a file, like `registry show FILE`).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
     /// `true` if a boolean flag is present.
     pub fn flag(&self, name: &str) -> bool {
         self.options.contains_key(name)

@@ -5,6 +5,7 @@ pub mod audit;
 pub mod check;
 pub mod dot;
 pub mod fmt;
+pub mod registry;
 pub mod serve;
 pub mod simulate;
 pub mod sizes;

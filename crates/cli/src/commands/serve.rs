@@ -1,7 +1,8 @@
 //! `selfstab serve [--port P] [--host H] [--threads T] [--cache-mb M]
 //! [--journal PATH] [--fsync always|batch] [--cache-snapshot PATH]
 //! [--retries N] [--backoff-ms MS] [--max-pending N]
-//! [--max-connections N] [--max-rss-mb M]` — the long-running HTTP
+//! [--max-connections N] [--max-rss-mb M] [--trace PATH]
+//! [--registry PATH] [--quiet|--verbose]` — the long-running HTTP
 //! verification service.
 //!
 //! Binds the [`selfstab_serve`] server, prints the listening address to
@@ -21,6 +22,11 @@
 //! hidden `--chaos SEED` flag arms the deterministic service-fault
 //! injector (drill/test use only).
 //!
+//! `--trace PATH` writes a server-wide Chrome-trace file at drain with
+//! every request's span lanes interleaved (load it in Perfetto);
+//! `--registry PATH` appends one canonical JSONL row per computed job to
+//! the persistent results registry (query with `selfstab registry`).
+//!
 //! Bind failures (busy port, bad interface), unreadable journals, and
 //! invalid flags are ordinary usage errors: a diagnostic on stderr and
 //! exit 1, never a panic.
@@ -31,12 +37,14 @@ use std::time::Duration;
 
 use selfstab_campaign::FsyncPolicy;
 use selfstab_serve::{PendingCaps, ServeConfig, Server};
+use selfstab_telemetry::logger;
 
 use crate::args::Args;
 use crate::signal;
 
 pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
+    logger::set_level_from_flags(args.flag("verbose"), args.flag("quiet"), false);
     let port_raw = args.get_usize("port", 7878)?;
     let port = u16::try_from(port_raw)
         .map_err(|_| format!("option --port expects 0..=65535, got `{port_raw}`"))?;
@@ -99,6 +107,8 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             None => None,
             Some(_) => Some(args.get_u64("chaos", 0)?),
         },
+        trace: args.get("trace").map(PathBuf::from),
+        results_registry: args.get("registry").map(PathBuf::from),
     };
 
     let server = Server::bind(&config)?;
@@ -110,6 +120,6 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
 
     signal::hook_drain(&server.state().drain_token());
     server.run()?;
-    eprintln!("drained; exiting");
+    logger::info("drained; exiting");
     std::process::exit(i32::from(signal::EXIT_SIGINT));
 }

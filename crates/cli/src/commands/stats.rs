@@ -1,9 +1,12 @@
-//! `selfstab stats <metrics.json> [--json]` — phase-time cross-tab of a
-//! sweep's `--metrics` document.
+//! `selfstab stats <metrics.json|serve.journal> [--json]` — phase-time
+//! cross-tab of a sweep's `--metrics` document or a serve `--journal`.
 //!
-//! Renders one row per executed spec × K job with the instrumented
-//! phases as columns (milliseconds), plus a totals row from the
-//! campaign-wide `phase_totals_us` section. The cross-tab shape is
+//! The input format is auto-detected: a file that parses as one JSON
+//! document is a sweep metrics document; anything else is replayed as a
+//! CRC-framed serve journal (the terminal records carry each job's
+//! `phases_us` breakdown). Either way the output is the same cross-tab:
+//! one row per job with the instrumented phases as columns
+//! (milliseconds), plus a TOTAL row. The cross-tab shape is
 //! unconditional: a metrics document with zero executed jobs (a fully
 //! replayed `--resume`, say) still renders the header and TOTAL row, and
 //! an all-zero phase column renders as `0.000`, never as a hole.
@@ -34,8 +37,13 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
     let path = args.file().map_err(|_| "missing <metrics.json> argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let doc: Value =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    // Auto-detect the input: a sweep --metrics file is one JSON document;
+    // a serve --journal is CRC-framed lines that are not valid JSON as a
+    // whole. Anything that parses but has no `jobs` array is neither.
+    let Ok(doc) = serde_json::from_str(&text) else {
+        return serve_journal_stats(std::path::Path::new(path), &args);
+    };
+    let doc: Value = doc;
     let jobs = doc["jobs"]
         .as_array()
         .ok_or_else(|| format!("{path}: not a sweep metrics document (no `jobs` array)"))?;
@@ -100,6 +108,162 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     }
     println!("(all figures ms of wall-clock phase time; counters, not durations, are the deterministic surface)");
     Ok(true)
+}
+
+/// The serve-journal path: replays the CRC-framed journal at the record
+/// level (torn tails are dropped, exactly as the server's own boot
+/// replay does) and cross-tabs the `phases_us` carried by the terminal
+/// `done`/`failed`/`timed_out` records. Jobs the crash interrupted have
+/// no terminal record and render as `pending` with zero phase time —
+/// they are the restart's re-enqueue set, not measured work.
+fn serve_journal_stats(
+    path: &std::path::Path,
+    args: &Args,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let frames = selfstab_campaign::journal::replay_frames(path).map_err(|e| e.to_string())?;
+    let is_serve = frames.events.first().is_some_and(|ev| ev["ev"] == "serve");
+    if !is_serve {
+        return Err(format!(
+            "{}: neither a sweep metrics document nor a serve journal",
+            path.display()
+        )
+        .into());
+    }
+    let tab = serve_cross_tab(&frames.events);
+
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&tab)?);
+        return Ok(true);
+    }
+
+    let jobs = tab["jobs"].as_array().map(Vec::as_slice).unwrap_or(&[]);
+    println!(
+        "serve journal {}: {} job(s) accepted, {} reached a terminal state",
+        path.display(),
+        jobs.len(),
+        tab["serve"]["terminal"]
+    );
+    let kind_width = jobs
+        .iter()
+        .map(|row| row["kind"].as_str().unwrap_or("?").len())
+        .max()
+        .unwrap_or(4)
+        .max("TOTAL".len());
+    print!("{:<kind_width$}  {:>4}", "kind", "id");
+    for (_, header) in PHASES {
+        print!("  {header:>8}");
+    }
+    println!("  {:>8}  outcome", "total");
+    for row in jobs {
+        print!(
+            "{:<kind_width$}  {:>4}",
+            row["kind"].as_str().unwrap_or("?"),
+            row["id"].as_u64().unwrap_or(0)
+        );
+        for (key, _) in PHASES {
+            print!(
+                "  {:>8}",
+                millis(row["phases_us"][key].as_u64().unwrap_or(0))
+            );
+        }
+        println!(
+            "  {:>8}  {}",
+            millis(row["total_us"].as_u64().unwrap_or(0)),
+            row["outcome"].as_str().unwrap_or("?")
+        );
+    }
+    print!("{:<kind_width$}  {:>4}", "TOTAL", "");
+    for (key, _) in PHASES {
+        print!(
+            "  {:>8}",
+            millis(tab["phase_totals_us"][key].as_u64().unwrap_or(0))
+        );
+    }
+    println!(
+        "  {:>8}",
+        millis(tab["grand_total_us"].as_u64().unwrap_or(0))
+    );
+    if jobs.is_empty() {
+        println!("(no jobs journaled — header-only journal)");
+    }
+    println!("(all figures ms of wall-clock phase time; counters, not durations, are the deterministic surface)");
+    Ok(true)
+}
+
+/// Folds serve-journal events into the cross-tab document: one entry per
+/// accepted job (id order), per-phase and total microseconds from its
+/// terminal record, and phase totals across the journal. The schema
+/// mirrors the sweep cross-tab with a `serve` header in place of
+/// `campaign`.
+fn serve_cross_tab(events: &[Value]) -> Value {
+    let mut order: Vec<u64> = Vec::new();
+    let mut kinds: BTreeMap<u64, String> = BTreeMap::new();
+    let mut terminals: BTreeMap<u64, (&'static str, Value)> = BTreeMap::new();
+    for ev in events {
+        let Some(id) = ev["id"].as_u64() else {
+            continue;
+        };
+        match ev["ev"].as_str() {
+            Some("submitted")
+                if kinds
+                    .insert(id, ev["kind"].as_str().unwrap_or("?").to_owned())
+                    .is_none() =>
+            {
+                order.push(id);
+            }
+            Some("done") => {
+                terminals.insert(id, ("done", ev["phases_us"].clone()));
+            }
+            Some("failed") => {
+                terminals.insert(id, ("failed", ev["phases_us"].clone()));
+            }
+            Some("timed_out") => {
+                terminals.insert(id, ("timed_out", ev["phases_us"].clone()));
+            }
+            _ => {}
+        }
+    }
+    order.sort_unstable();
+    let mut phase_totals: BTreeMap<&str, u64> = PHASES.iter().map(|(key, _)| (*key, 0)).collect();
+    let mut grand_us = 0u64;
+    let job_rows: Vec<Value> = order
+        .iter()
+        .map(|id| {
+            let (outcome, phases_ev) = terminals
+                .get(id)
+                .map(|(o, p)| (*o, p.clone()))
+                .unwrap_or(("pending", Value::Null));
+            let mut phases = BTreeMap::new();
+            let mut total_us = 0;
+            for (key, _) in PHASES {
+                let us = phases_ev[key].as_u64().unwrap_or(0);
+                total_us += us;
+                *phase_totals.get_mut(key).expect("seeded above") += us;
+                phases.insert(key.to_owned(), json!(us));
+            }
+            grand_us += total_us;
+            json!({
+                "id": *id,
+                "kind": kinds[id].clone(),
+                "outcome": outcome,
+                "phases_us": Value::Object(phases),
+                "total_us": total_us,
+            })
+        })
+        .collect();
+    let totals: BTreeMap<String, Value> = phase_totals
+        .into_iter()
+        .map(|(key, us)| (key.to_owned(), json!(us)))
+        .collect();
+    json!({
+        "serve": {
+            "jobs": order.len() as u64,
+            "terminal": terminals.len() as u64,
+        },
+        "jobs": Value::Array(job_rows),
+        "phase_totals_us": Value::Object(totals),
+        "grand_total_us": grand_us,
+    })
 }
 
 /// The machine-readable cross-tab: same campaign header, one entry per
@@ -168,6 +332,45 @@ mod tests {
         assert_eq!(tab["grand_total_us"], 0);
         for (key, _) in PHASES {
             assert_eq!(tab["phase_totals_us"][key], 0, "phase `{key}`");
+        }
+    }
+
+    #[test]
+    fn serve_cross_tab_joins_submits_with_terminals() {
+        let events = vec![
+            json!({"ev": "serve", "version": 1}),
+            json!({"ev": "submitted", "id": 1, "kind": "verify", "key": "a"}),
+            json!({"ev": "submitted", "id": 2, "kind": "sweep", "key": "b"}),
+            json!({"ev": "submitted", "id": 3, "kind": "synthesize", "key": "c"}),
+            json!({"ev": "done", "id": 1, "exit_code": 0, "body": "{}",
+                   "phases_us": {"parse": 5, "fused_scan": 95}}),
+            json!({"ev": "failed", "id": 3, "status": 500, "message": "x",
+                   "phases_us": {"synthesis": 40}}),
+        ];
+        let tab = serve_cross_tab(&events);
+        assert_eq!(tab["serve"]["jobs"], 3u64);
+        assert_eq!(tab["serve"]["terminal"], 2u64);
+        let jobs = tab["jobs"].as_array().unwrap();
+        assert_eq!(jobs[0]["outcome"], "done");
+        assert_eq!(jobs[0]["total_us"], 100u64);
+        assert_eq!(
+            jobs[0]["phases_us"]["livelock_dfs"], 0u64,
+            "absent phase is 0"
+        );
+        assert_eq!(jobs[1]["outcome"], "pending", "the crash's collateral");
+        assert_eq!(jobs[1]["total_us"], 0u64);
+        assert_eq!(jobs[2]["outcome"], "failed");
+        assert_eq!(tab["phase_totals_us"]["synthesis"], 40u64);
+        assert_eq!(tab["grand_total_us"], 140u64);
+    }
+
+    #[test]
+    fn serve_cross_tab_is_well_formed_for_a_header_only_journal() {
+        let tab = serve_cross_tab(&[json!({"ev": "serve", "version": 1})]);
+        assert_eq!(tab["serve"]["jobs"], 0u64);
+        assert!(tab["jobs"].as_array().unwrap().is_empty());
+        for (key, _) in PHASES {
+            assert_eq!(tab["phase_totals_us"][key], 0u64, "phase `{key}`");
         }
     }
 

@@ -16,7 +16,11 @@
 //! Observability: `--metrics FILE` writes a metrics document (per-job
 //! engine counters and phase breakdowns, campaign phase totals, pool
 //! scheduling stats — see `selfstab stats`); `--trace FILE` writes a
-//! Chrome trace-event file loadable in Perfetto / `chrome://tracing`.
+//! Chrome trace-event file loadable in Perfetto / `chrome://tracing`;
+//! `--registry FILE` appends one canonical row per job to the persistent
+//! results registry (see `selfstab registry`) after a non-interrupted
+//! run — deterministic KPIs (outcome, states, legit) keyed by spec hash
+//! × K × knobs, volatile context isolated in `meta`.
 //! Neither flag perturbs stdout: the `--json` report stays byte-identical
 //! with or without them. When stderr is a terminal, a single-line live
 //! meter shows jobs done/failed and an ETA.
@@ -39,9 +43,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use selfstab_campaign::{report, run_campaign, CampaignConfig, ChaosPlan, FsyncPolicy, Manifest};
+use selfstab_campaign::{
+    report, run_campaign, CampaignConfig, CampaignOutcome, ChaosPlan, FsyncPolicy, Manifest,
+};
+use selfstab_core::registry_row::{append_row, RegistryRow};
 use selfstab_telemetry::{logger, Progress};
-use serde_json::Value;
+use serde_json::{json, Value};
 
 use crate::args::Args;
 use crate::signal;
@@ -139,6 +146,9 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         ));
         std::process::exit(signal::EXIT_SIGINT as i32);
     }
+    if let Some(path) = args.get("registry") {
+        append_registry_rows(path.as_ref(), &manifest, symmetry, &outcome)?;
+    }
     if let Some(path) = &metrics_path {
         write_json_doc(path, outcome.metrics.as_ref().expect("telemetry was on"))?;
     }
@@ -228,6 +238,60 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         }
     }
     Ok(report::is_clean(r))
+}
+
+/// Appends one registry row per job of a completed (non-interrupted)
+/// sweep to the persistent results registry at `path` — source `sweep`,
+/// joined on spec hash × K × knobs by `selfstab registry diff`. KPIs are
+/// the deterministic per-job outcomes from the canonical report (states
+/// visited, legitimate-state count, outcome); the campaign fingerprint
+/// and wall clock land in volatile `meta`.
+fn append_registry_rows(
+    path: &Path,
+    manifest: &Manifest,
+    symmetry_override: Option<selfstab_global::SymmetryMode>,
+    outcome: &CampaignOutcome,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let r = &outcome.report;
+    let effective = symmetry_override.unwrap_or(manifest.symmetry);
+    let symmetry = format!("{effective:?}").to_lowercase();
+    let fingerprint = r["campaign"]["fingerprint"].as_str().unwrap_or("?");
+    let wall_us = outcome.elapsed.as_micros() as u64;
+    let mut appended = 0usize;
+    for row in r["jobs"].as_array().into_iter().flatten() {
+        let mut kpis = json!({
+            "outcome": row["outcome"].clone(),
+            "states": row["states"].clone(),
+            "legit": row["legit"].clone(),
+        });
+        if let Value::Object(map) = &mut kpis {
+            map.retain(|_, v| !v.is_null());
+        }
+        let mut meta = RegistryRow::meta_now(wall_us);
+        if let Value::Object(map) = &mut meta {
+            map.insert(
+                "fingerprint".to_owned(),
+                Value::String(fingerprint.to_owned()),
+            );
+        }
+        let registry_row = RegistryRow {
+            source: "sweep".to_owned(),
+            spec: row["spec"].as_str().unwrap_or("?").to_owned(),
+            kind: "check".to_owned(),
+            k: format!("{}..{}", row["k"], row["k"]),
+            knobs: json!({"max_states": manifest.max_states, "symmetry": symmetry.clone()}),
+            kpis,
+            meta,
+        };
+        append_row(path, &registry_row)
+            .map_err(|e| format!("cannot append to `{}`: {e}", path.display()))?;
+        appended += 1;
+    }
+    logger::info(format!(
+        "appended {appended} registry row(s) to {}",
+        path.display()
+    ));
+    Ok(())
 }
 
 /// Writes one telemetry document as pretty JSON with a trailing newline.

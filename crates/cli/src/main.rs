@@ -5,7 +5,8 @@
 //! selfstab audit      <file.stab> [--to 6] [--threads T] [--symmetry M]  proofs + global cross-checks + reconstruction
 //! selfstab check      <file.stab> --k 5 [--to 8] [--threads T] [--symmetry M]  global model checking at fixed sizes
 //! selfstab sweep      <manifest.json> [--jobs J] [--threads T] [--symmetry M]  batch campaign over a spec corpus
-//! selfstab stats      <metrics.json>                phase-time cross-tab of a sweep --metrics file
+//! selfstab stats      <metrics.json|journal>         phase-time cross-tab of a sweep --metrics file or serve journal
+//! selfstab registry   <show|tab|diff> <registry.jsonl> [...]  query the persistent results registry
 //! selfstab synthesize <file.stab> [--first] [--threads T] [--json]  Section 6 synthesis methodology
 //! selfstab serve      [--port P] [--threads T] [--cache-mb M] [--journal F] [--cache-snapshot F]  HTTP verification service with result caching and crash durability
 //! selfstab sizes      <file.stab> [--max 20]       exact deadlocked ring sizes
@@ -56,6 +57,7 @@ fn run(argv: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         "check" => commands::check::run(rest),
         "sweep" => commands::sweep::run(rest),
         "stats" => commands::stats::run(rest),
+        "registry" => commands::registry::run(rest),
         "synthesize" => commands::synthesize::run(rest),
         "serve" => commands::serve::run(rest),
         "sizes" => commands::sizes::run(rest),
@@ -97,12 +99,27 @@ SUBCOMMANDS:
                  --fsync always|batch journal durability (default batch),
                  --metrics FILE per-job counters + phase breakdown JSON,
                  --trace FILE Chrome trace-event file (Perfetto-loadable),
+                 --registry FILE append per-job rows to the persistent
+                 results registry (see `selfstab registry`),
                  [-o report.json] [--json] [--verbose|--quiet]; SIGINT
                  syncs the journal and exits 130 so --resume loses no
                  completed job)
     stats       phase-time cross-tab per spec × K from a sweep --metrics file
-                ([--json] machine-readable cross-tab; well-formed even for
-                 a run that executed zero jobs)
+                or a serve --journal file (auto-detected) ([--json]
+                 machine-readable cross-tab; well-formed even for a run
+                 that executed zero jobs)
+    registry    query the persistent results registry (JSONL rows appended
+                by serve --registry, sweep --registry, and the scaling
+                bench under SELFSTAB_REGISTRY):
+                 show FILE [--source S] [--kind K] [--spec SUBSTR]
+                   [--limit N] [--json]   filter and print rows
+                 tab FILE --kpi PATH [--by source|kind|k|spec] [--json]
+                   cross-tab one KPI (dotted path, e.g.
+                   counters.states_visited) over a grouping column
+                 diff FILE --baseline FILE [--kpi a,b,…]
+                   [--tolerance-pct P] [--json]   compare KPIs against a
+                   baseline registry; exits 2 when any KPI rose beyond
+                   the tolerance (default 10%)
     synthesize  add convergence via the Section 6 methodology
                 ([--first] stop at one solution, [--threads T] parallel
                  candidate verification — same output for every T,
@@ -124,6 +141,12 @@ SUBCOMMANDS:
                  [--max-connections N] connection cap, default 256;
                  [--max-rss-mb M] memory watchdog budget — sheds
                  synthesize, then sweep, then verify as RSS climbs;
+                 [--trace F] server-wide Chrome trace-event file written
+                 on drain (per-job traces are always available at
+                 GET /v1/jobs/:id/trace);
+                 [--registry F] append one canonical JSONL row per
+                 computed job to the persistent results registry;
+                 GET /v1/metrics?format=prometheus for text exposition;
                  SIGINT/SIGTERM drain gracefully and exit 130)
     sizes       exact deadlocked ring sizes ([--max N], default 20) ([--json])
     simulate    random-daemon convergence statistics (--k N [--trials T] [--steps S] [--seed X]) ([--json])

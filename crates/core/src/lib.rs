@@ -25,6 +25,9 @@
 //! * [`report`] — [`StabilizationReport`], bundling everything.
 //! * [`hash`] — canonical, parse-tree-based spec hashing for
 //!   content-addressed result caching (the `selfstab serve` layer).
+//! * [`registry_row`] — the persistent results registry's canonical
+//!   JSONL row schema (appended by serve/sweep/bench, queried by
+//!   `selfstab registry`).
 //!
 //! # Examples
 //!
@@ -58,6 +61,7 @@ pub mod livelock;
 pub mod ltg;
 pub mod pseudo;
 pub mod rcg;
+pub mod registry_row;
 pub mod report;
 pub mod trail;
 
@@ -67,5 +71,6 @@ pub use hash::{spec_hash, SpecHash};
 pub use livelock::LivelockAnalysis;
 pub use ltg::Ltg;
 pub use rcg::Rcg;
+pub use registry_row::{append_row, read_rows, RegistryRow};
 pub use report::StabilizationReport;
 pub use trail::{ContiguousTrail, TrailStep};

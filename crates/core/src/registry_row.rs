@@ -1,0 +1,245 @@
+//! The persistent results registry: canonical, append-only JSONL rows
+//! recording every measured result the toolkit produces.
+//!
+//! ROADMAP item 2 asks for "a persistent registry of verification
+//! results" — the queryable perf trajectory that the one-off
+//! `BENCH_*.json` documents are not. This module is the shared row
+//! schema and encoding; the producers (`selfstab serve --registry`,
+//! `selfstab sweep --registry`, the scaling bench) each append rows,
+//! and `selfstab registry` filters, cross-tabs, and diffs them.
+//!
+//! **Canonical encoding.** A row serializes as one compact JSON line
+//! with sorted keys (the `serde_json` object is BTreeMap-backed), so
+//! two identical runs append byte-identical lines — *except* for the
+//! `meta` object, which isolates everything volatile: the recording
+//! commit, the wall-clock timestamp, and scheduling-dependent durations.
+//! Consumers that compare rows across runs (`selfstab registry diff`,
+//! the CI regression gate) must read deterministic KPIs from `kpis` and
+//! may only report, never gate on, `meta`.
+//!
+//! **Durability.** Rows are plain lines, appended with a single
+//! `write_all`; a torn tail (crash mid-append) is skipped by
+//! [`read_rows`], mirroring the journal's longest-valid-prefix rule
+//! without the CRC framing — a registry row is not a recovery record,
+//! losing the last one costs one measurement, not correctness.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+
+use serde_json::Value;
+
+/// Registry row schema version, bumped on incompatible changes.
+pub const REGISTRY_SCHEMA_VERSION: u64 = 1;
+
+/// One measured result: who produced it, what was measured, and the
+/// KPIs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegistryRow {
+    /// The producing subsystem: `serve`, `sweep`, or `bench`.
+    pub source: String,
+    /// Content identity of the spec(s) measured: a canonical spec hash
+    /// (see [`crate::hash`]), or a campaign fingerprint for multi-spec
+    /// sweeps.
+    pub spec: String,
+    /// What was computed (`verify`, `sweep`, `synthesize`,
+    /// `campaign`, `verify_scaling`, …).
+    pub kind: String,
+    /// The ring-size range, rendered `from..to` (`-` when not
+    /// applicable).
+    pub k: String,
+    /// Input knobs the result depends on (budgets, symmetry, …) — part
+    /// of the row's identity when diffing.
+    pub knobs: Value,
+    /// The measured outcomes. Deterministic values (states visited,
+    /// verdicts, exit codes) belong here; scheduling-dependent
+    /// durations belong in `meta` unless the row's whole point is a
+    /// timing (bench rows).
+    pub kpis: Value,
+    /// Volatile context: `commit`, `recorded_at` (unix seconds), and
+    /// any wall-clock observations. Never gated on.
+    pub meta: Value,
+}
+
+impl RegistryRow {
+    /// The canonical single-line encoding (sorted keys, compact, no
+    /// trailing newline).
+    pub fn to_canonical_json(&self) -> String {
+        let mut map = BTreeMap::new();
+        map.insert("k".to_owned(), Value::String(self.k.clone()));
+        map.insert("kind".to_owned(), Value::String(self.kind.clone()));
+        map.insert("knobs".to_owned(), self.knobs.clone());
+        map.insert("kpis".to_owned(), self.kpis.clone());
+        map.insert("meta".to_owned(), self.meta.clone());
+        map.insert("schema".to_owned(), Value::from(REGISTRY_SCHEMA_VERSION));
+        map.insert("source".to_owned(), Value::String(self.source.clone()));
+        map.insert("spec".to_owned(), Value::String(self.spec.clone()));
+        Value::Object(map).to_string()
+    }
+
+    /// Parses one registry line. `None` for rows that are not valid
+    /// objects of this schema (torn tails, foreign lines).
+    pub fn from_json(value: &Value) -> Option<Self> {
+        let obj = match value {
+            Value::Object(map) => map,
+            _ => return None,
+        };
+        Some(RegistryRow {
+            source: obj.get("source")?.as_str()?.to_owned(),
+            spec: obj.get("spec")?.as_str()?.to_owned(),
+            kind: obj.get("kind")?.as_str()?.to_owned(),
+            k: obj.get("k")?.as_str()?.to_owned(),
+            knobs: obj.get("knobs").cloned().unwrap_or(Value::Null),
+            kpis: obj.get("kpis").cloned().unwrap_or(Value::Null),
+            meta: obj.get("meta").cloned().unwrap_or(Value::Null),
+        })
+    }
+
+    /// The identity a diff joins rows on: everything except KPIs and
+    /// volatile meta. Two runs of the same workload produce rows with
+    /// equal identity.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.source, self.spec, self.kind, self.k, self.knobs
+        )
+    }
+
+    /// The standard `meta` object: volatile columns in dedicated
+    /// fields. `commit` comes from the `SELFSTAB_COMMIT` environment
+    /// variable (CI sets it from the build SHA), `recorded_at` is unix
+    /// seconds, and `wall_us` is the run's scheduling-dependent
+    /// duration.
+    pub fn meta_now(wall_us: u64) -> Value {
+        let commit = std::env::var("SELFSTAB_COMMIT").unwrap_or_else(|_| "unknown".to_owned());
+        let recorded_at = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut map = BTreeMap::new();
+        map.insert("commit".to_owned(), Value::String(commit));
+        map.insert("recorded_at".to_owned(), Value::from(recorded_at));
+        map.insert("wall_us".to_owned(), Value::from(wall_us));
+        Value::Object(map)
+    }
+}
+
+/// Appends one row to the registry at `path` (creating it, and its
+/// parent directory, on first use).
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the caller decides whether a lost
+/// measurement is fatal (the CLI warns and continues).
+pub fn append_row(path: &Path, row: &RegistryRow) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(format!("{}\n", row.to_canonical_json()).as_bytes())
+}
+
+/// Reads every valid row from the registry at `path`, in append order.
+/// Lines that do not parse (a torn tail, foreign content) are skipped —
+/// the registry is an accumulating log, not a recovery journal. A
+/// missing file reads as empty.
+///
+/// # Errors
+///
+/// Propagates read failures other than the file not existing.
+pub fn read_rows(path: &Path) -> io::Result<Vec<RegistryRow>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(|line| serde_json::from_str(line).ok())
+        .filter_map(|v| RegistryRow::from_json(&v))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("selfstab-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn row(kpi: u64) -> RegistryRow {
+        RegistryRow {
+            source: "serve".to_owned(),
+            spec: "deadbeef".to_owned(),
+            kind: "verify".to_owned(),
+            k: "4..4".to_owned(),
+            knobs: json!({"max_states": 1000000, "symmetry": "auto"}),
+            kpis: json!({"exit_code": 0, "states_visited": kpi}),
+            meta: json!({"commit": "abc", "recorded_at": 1, "wall_us": 17}),
+        }
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable_modulo_meta() {
+        let mut a = row(16);
+        let mut b = row(16);
+        a.meta = json!({"commit": "abc", "recorded_at": 100, "wall_us": 5});
+        b.meta = json!({"commit": "def", "recorded_at": 200, "wall_us": 9});
+        // Identical modulo the volatile meta object.
+        let strip = |s: &str| {
+            let mut v: Value = serde_json::from_str(s).unwrap();
+            if let Value::Object(map) = &mut v {
+                map.remove("meta");
+            }
+            v.to_string()
+        };
+        assert_ne!(a.to_canonical_json(), b.to_canonical_json());
+        assert_eq!(strip(&a.to_canonical_json()), strip(&b.to_canonical_json()));
+        // Keys render sorted: "k" < "kind" < "knobs" < "kpis" < "meta"
+        // < "schema" < "source" < "spec".
+        let text = a.to_canonical_json();
+        assert!(
+            text.starts_with("{\"k\":\"4..4\",\"kind\":\"verify\","),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_torn_tail_tolerance() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_row(&path, &row(16)).unwrap();
+        append_row(&path, &row(81)).unwrap();
+        // Simulate a crash mid-append: a torn, unparsable tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"source\":\"serve\",\"spe");
+        std::fs::write(&path, text).unwrap();
+
+        let rows = read_rows(&path).unwrap();
+        assert_eq!(rows.len(), 2, "torn tail skipped, valid rows kept");
+        assert_eq!(rows[0], row(16));
+        assert_eq!(rows[1].kpis["states_visited"], 81u64);
+    }
+
+    #[test]
+    fn identity_joins_on_inputs_not_outcomes() {
+        assert_eq!(row(16).identity(), row(99).identity());
+        let mut other = row(16);
+        other.knobs = json!({"max_states": 5, "symmetry": "auto"});
+        assert_ne!(row(16).identity(), other.identity());
+    }
+
+    #[test]
+    fn missing_registry_reads_empty() {
+        assert!(read_rows(Path::new("/nonexistent/registry.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+}

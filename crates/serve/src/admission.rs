@@ -259,7 +259,7 @@ fn level_for(rss: u64, limit: u64) -> u8 {
 /// the level cell) is dropped.
 pub fn spawn_watchdog(level: &Arc<AtomicU8>, limit_bytes: u64, registry: &Registry) {
     let weak: Weak<AtomicU8> = Arc::downgrade(level);
-    let rss_gauge = registry.counter("serve/rss_bytes");
+    let rss_gauge = registry.gauge("serve/rss_bytes");
     std::thread::spawn(move || loop {
         let Some(level) = weak.upgrade() else {
             return; // the server is gone; nobody reads the level any more

@@ -296,6 +296,12 @@ impl ResultCache {
         }
     }
 
+    /// Current resident bytes — the `cache/bytes` gauge at metrics
+    /// scrape time.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").bytes
+    }
+
     /// The `/v1/cache/stats` document.
     pub fn stats_json(&self) -> Value {
         let inner = self.inner.lock().expect("cache poisoned");

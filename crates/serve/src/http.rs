@@ -44,8 +44,13 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 pub struct Request {
     /// The method verbatim (`GET`, `POST`, …).
     pub method: String,
-    /// The request target (path only; the service ignores query strings).
+    /// The request target's path (query string split off into
+    /// [`Request::query`]).
     pub path: String,
+    /// The raw query string, without the `?` (empty when absent). The
+    /// router uses it for rendering options (`?format=prometheus`);
+    /// routing itself is on the path alone.
+    pub query: String,
     /// Header `(name, value)` pairs, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
@@ -61,6 +66,14 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the query string contains `key=value` as one
+    /// `&`-separated component.
+    pub fn query_is(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=') == Some((key, value)))
     }
 }
 
@@ -153,7 +166,7 @@ impl<R: Read> RequestReader<R> {
         let head = std::str::from_utf8(&self.buf[..head_end])
             .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?
             .to_owned();
-        let (method, path, version, headers) = parse_head(&head)?;
+        let (method, path, query, version, headers) = parse_head(&head)?;
 
         if headers.iter().any(|(n, _)| n == "transfer-encoding") {
             return Err(HttpError::Malformed(
@@ -187,6 +200,7 @@ impl<R: Read> RequestReader<R> {
         Ok(Some(Request {
             method,
             path,
+            query,
             headers,
             body,
             keep_alive,
@@ -234,9 +248,12 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Splits the head into (method, path, version, lowercased headers).
+/// Splits the head into (method, path, query, version, lowercased
+/// headers).
 #[allow(clippy::type_complexity)]
-fn parse_head(head: &str) -> Result<(String, String, u8, Vec<(String, String)>), HttpError> {
+fn parse_head(
+    head: &str,
+) -> Result<(String, String, String, u8, Vec<(String, String)>), HttpError> {
     let mut lines = head.split("\r\n");
     let request_line = lines
         .next()
@@ -269,9 +286,13 @@ fn parse_head(head: &str) -> Result<(String, String, u8, Vec<(String, String)>),
             .ok_or_else(|| HttpError::Malformed(format!("bad header line `{line}`")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
-    // Strip any query string: the API routes on the path alone.
-    let path = target.split('?').next().unwrap_or(target).to_owned();
-    Ok((method.to_owned(), path, minor, headers))
+    // Split off the query string: the API routes on the path alone and
+    // consults the query only for rendering options.
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_owned(), query.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    Ok((method.to_owned(), path, query, minor, headers))
 }
 
 /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
@@ -309,6 +330,19 @@ impl Response {
         }
     }
 
+    /// A `text/plain` response (the Prometheus exposition endpoint) —
+    /// the explicit `content-type` header overrides the JSON default.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![(
+                "content-type".to_owned(),
+                "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            )],
+            body: body.into(),
+        }
+    }
+
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
         self.headers.push((name.to_owned(), value.into()));
@@ -322,8 +356,13 @@ impl Response {
     ///
     /// Propagates transport write errors.
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let default_type = if self.headers.iter().all(|(name, _)| name != "content-type") {
+            "content-type: application/json\r\n"
+        } else {
+            ""
+        };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\n{default_type}content-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.body.len(),
@@ -384,6 +423,9 @@ mod tests {
         let req = r.next_request().unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query, "x=1");
+        assert!(req.query_is("x", "1"));
+        assert!(!req.query_is("x", "2"));
         assert_eq!(req.body, b"{\"k\":\"v\" }!");
     }
 

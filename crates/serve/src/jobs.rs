@@ -29,6 +29,7 @@ use serde_json::{json, Value};
 
 use crate::cache::CachedDoc;
 use crate::render;
+use crate::trace::JobTrace;
 
 /// What the job computes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -344,6 +345,10 @@ pub struct JobEntry {
     pub telemetry: JobTelemetry,
     /// `true` iff the submit was answered from cache (no pool work).
     pub cached: bool,
+    /// The originating request's span collection. `None` for jobs
+    /// restored from a journal replay — their request predates this
+    /// boot, so there is no request to trace.
+    pub trace: Option<Arc<JobTrace>>,
 }
 
 impl JobEntry {
@@ -359,6 +364,12 @@ impl JobEntry {
             "attempts": self.telemetry.attempts.load(std::sync::atomic::Ordering::Relaxed),
             "phases_us": self.telemetry.phases.snapshot().to_json(),
         });
+        if let (Some(trace), Value::Object(map)) = (&self.trace, &mut doc) {
+            map.insert(
+                "trace_id".to_owned(),
+                Value::String(trace.trace_id().to_owned()),
+            );
+        }
         if let JobState::Failed { message, .. } = &*state {
             if let Value::Object(map) = &mut doc {
                 map.insert("error".to_owned(), Value::String(message.clone()));
@@ -380,17 +391,46 @@ pub enum ExecOutcome {
 }
 
 /// Runs a validated request to completion (or cancellation), timing each
-/// phase into `telemetry`. This is the exact CLI pipeline: the returned
-/// `Done` document is byte-identical to `selfstab check --json` /
-/// `selfstab synthesize --json` on the same inputs.
-pub fn execute(req: &JobRequest, telemetry: &JobTelemetry, cancel: &CancelToken) -> ExecOutcome {
+/// phase into `telemetry` (and, when the job is traced, recording one
+/// engine span per phase per K into `trace`). This is the exact CLI
+/// pipeline: the returned `Done` document is byte-identical to
+/// `selfstab check --json` / `selfstab synthesize --json` on the same
+/// inputs.
+pub fn execute(
+    req: &JobRequest,
+    telemetry: &JobTelemetry,
+    cancel: &CancelToken,
+    trace: Option<&JobTrace>,
+) -> ExecOutcome {
     match req.kind {
-        JobKind::Verify | JobKind::Sweep => execute_check(req, telemetry, cancel),
-        JobKind::Synthesize => execute_synthesis(req, telemetry, cancel),
+        JobKind::Verify | JobKind::Sweep => execute_check(req, telemetry, cancel, trace),
+        JobKind::Synthesize => execute_synthesis(req, telemetry, cancel, trace),
     }
 }
 
-fn execute_check(req: &JobRequest, telemetry: &JobTelemetry, cancel: &CancelToken) -> ExecOutcome {
+/// Times `f` as `phase` in the job's phase accumulator and, when traced,
+/// as an engine span carrying `args`.
+fn timed_phase<T>(
+    telemetry: &JobTelemetry,
+    trace: Option<&JobTrace>,
+    phase: Phase,
+    args: Value,
+    f: impl FnOnce() -> T,
+) -> T {
+    match trace {
+        Some(trace) => trace.time(phase.name(), "engine", args, || {
+            telemetry.phases.time(phase, f)
+        }),
+        None => telemetry.phases.time(phase, f),
+    }
+}
+
+fn execute_check(
+    req: &JobRequest,
+    telemetry: &JobTelemetry,
+    cancel: &CancelToken,
+    trace: Option<&JobTrace>,
+) -> ExecOutcome {
     let engine = EngineConfig::with_threads(req.threads).with_symmetry(req.symmetry);
     let counters = EngineCounters::new();
     let mut rows = Vec::new();
@@ -405,22 +445,22 @@ fn execute_check(req: &JobRequest, telemetry: &JobTelemetry, cancel: &CancelToke
                 }
             }
         };
-        let scan = match telemetry
-            .phases
-            .time(Phase::FusedScan, || {
-                fused_scan_metered(&ring, &engine, cancel, Some(&counters))
-            })
-            .ok()
+        let scan = match timed_phase(telemetry, trace, Phase::FusedScan, json!({"k": k}), || {
+            fused_scan_metered(&ring, &engine, cancel, Some(&counters))
+        })
+        .ok()
         {
             Some(scan) => scan,
             None => return cancelled_check(rows, &counters, telemetry),
         };
-        let livelock = match telemetry
-            .phases
-            .time(Phase::LivelockDfs, || {
-                find_livelock_metered(&ring, &scan, cancel, Some(&counters))
-            })
-            .ok()
+        let livelock = match timed_phase(
+            telemetry,
+            trace,
+            Phase::LivelockDfs,
+            json!({"k": k}),
+            || find_livelock_metered(&ring, &scan, cancel, Some(&counters)),
+        )
+        .ok()
         {
             Some(livelock) => livelock,
             None => return cancelled_check(rows, &counters, telemetry),
@@ -460,6 +500,7 @@ fn execute_synthesis(
     req: &JobRequest,
     telemetry: &JobTelemetry,
     cancel: &CancelToken,
+    trace: Option<&JobTrace>,
 ) -> ExecOutcome {
     // Mirrors `selfstab synthesize --json` without `--first`: up to 64
     // solutions, default exploration bounds.
@@ -469,12 +510,22 @@ fn execute_synthesis(
         ..SynthesisConfig::default()
     };
     let counters = SynthesisCounters::new();
-    let outcome = match LocalSynthesizer::new(config).synthesize_metered(
-        &req.protocol,
-        cancel,
-        Some(&counters),
-        Some(&telemetry.phases),
-    ) {
+    // The synthesizer attributes `Phase::Synthesis` internally; the
+    // trace span wraps the whole run so the engine work still shows on
+    // the job's lane.
+    let run = || {
+        LocalSynthesizer::new(config).synthesize_metered(
+            &req.protocol,
+            cancel,
+            Some(&counters),
+            Some(&telemetry.phases),
+        )
+    };
+    let result = match trace {
+        Some(t) => t.time(Phase::Synthesis.name(), "engine", Value::Null, run),
+        None => run(),
+    };
+    let outcome = match result {
         Ok(outcome) => outcome,
         Err(e) => {
             return ExecOutcome::Failed {
@@ -590,7 +641,7 @@ action x[r-1] == 1 && x[r] == 0 -> x[r] := 1
     fn execute_verify_matches_cli_render() {
         let req = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 4")).unwrap();
         let telemetry = JobTelemetry::default();
-        let outcome = execute(&req, &telemetry, &CancelToken::new());
+        let outcome = execute(&req, &telemetry, &CancelToken::new(), None);
         let ExecOutcome::Done(doc) = outcome else {
             panic!("expected completion");
         };
@@ -613,7 +664,7 @@ action x[r-1] == 1 && x[r] == 0 -> x[r] := 1
             JobRequest::from_json(&spec_body("\"kind\": \"sweep\", \"k\": 3, \"to\": 8")).unwrap();
         let token = CancelToken::new();
         token.cancel();
-        let outcome = execute(&req, &JobTelemetry::default(), &token);
+        let outcome = execute(&req, &JobTelemetry::default(), &token, None);
         let ExecOutcome::Cancelled { partial } = outcome else {
             panic!("expected cancellation");
         };

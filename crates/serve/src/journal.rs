@@ -9,10 +9,15 @@
 //! ```text
 //! {"ev":"serve","version":1}
 //! {"ev":"submitted","id":3,"kind":"verify","key":"…","request":{…}}
-//! {"ev":"done","id":3,"exit_code":0,"body":"…"}
-//! {"ev":"failed","id":3,"status":500,"message":"…"}
-//! {"ev":"timed_out","id":3,"partial":"…"}
+//! {"ev":"done","id":3,"exit_code":0,"body":"…","phases_us":{…}}
+//! {"ev":"failed","id":3,"status":500,"message":"…","phases_us":{…}}
+//! {"ev":"timed_out","id":3,"partial":"…","phases_us":{…}}
 //! ```
+//!
+//! Terminal records carry the job's per-phase time breakdown
+//! (`phases_us`) so `selfstab stats` can cross-tab service traffic the
+//! way it cross-tabs sweep metrics. Replay ignores unknown fields, so
+//! journals written before this field replay unchanged.
 //!
 //! `submitted` is written **before** the 202 reaches the client, so every
 //! job a client was told about is on disk; the `request` field is the
@@ -100,33 +105,37 @@ impl ServeJournal {
         }));
     }
 
-    /// Journals a completed job with its canonical result bytes.
-    pub fn done(&self, id: u64, doc: &CachedDoc) {
+    /// Journals a completed job with its canonical result bytes and
+    /// per-phase time breakdown.
+    pub fn done(&self, id: u64, doc: &CachedDoc, phases_us: &Value) {
         self.inner.event(&json!({
             "ev": "done",
             "id": id,
             "exit_code": doc.exit_code,
             "body": doc.body.clone(),
+            "phases_us": phases_us.clone(),
         }));
     }
 
     /// Journals a failed job (could not run, or panicked out of retries).
-    pub fn failed(&self, id: u64, status: u16, message: &str) {
+    pub fn failed(&self, id: u64, status: u16, message: &str, phases_us: &Value) {
         self.inner.event(&json!({
             "ev": "failed",
             "id": id,
             "status": status,
             "message": message,
+            "phases_us": phases_us.clone(),
         }));
     }
 
     /// Journals a deadline expiry with the partial rows completed before
     /// the cut.
-    pub fn timed_out(&self, id: u64, partial: &str) {
+    pub fn timed_out(&self, id: u64, partial: &str, phases_us: &Value) {
         self.inner.event(&json!({
             "ev": "timed_out",
             "id": id,
             "partial": partial,
+            "phases_us": phases_us.clone(),
         }));
     }
 
@@ -307,8 +316,8 @@ mod tests {
             "h:synthesize",
             &json!({"kind": "synthesize"}),
         );
-        j.done(1, &doc("{\"rows\":[]}\n"));
-        j.failed(3, 500, "job panicked");
+        j.done(1, &doc("{\"rows\":[]}\n"), &json!({"fused_scan": 12}));
+        j.failed(3, 500, "job panicked", &json!({}));
         j.sync();
         drop(j);
 

@@ -12,10 +12,24 @@
 //! | `POST /v1/jobs` | submit a spec + kind (`verify`\|`sweep`\|`synthesize`) + K range + budgets |
 //! | `GET /v1/jobs/:id` | status + per-phase time breakdown |
 //! | `GET /v1/jobs/:id/result` | the result document, **byte-identical** to the CLI's `--json` output |
+//! | `GET /v1/jobs/:id/trace` | the job's request-scoped Chrome-trace document (Perfetto-loadable) |
 //! | `GET /v1/cache/stats` | content-addressed cache counters |
-//! | `GET /v1/metrics` | the full telemetry registry |
+//! | `GET /v1/metrics` | the full telemetry registry (`?format=prometheus` for text exposition) |
 //! | `GET /v1/healthz` | liveness (`ok` / `draining`) |
 //! | `GET /v1/readyz` | readiness: `ready` / `draining` / `saturated`, with shed level and queue occupancy |
+//!
+//! **Observability** is request-scoped and out-of-band: every response
+//! carries an `X-Selfstab-Trace-Id` header minted at ingress, jobs
+//! collect span lanes ([`trace`]) covering admission, cache lookup,
+//! queue wait, and the engine's phases, and the server can interleave
+//! every lane into one `--trace` file at drain. Latency histograms
+//! (time-to-first-byte per endpoint, queue wait and execution per kind,
+//! journal appends) land in the same registry `/v1/metrics` serves; with
+//! `--registry`, every computed result also appends one canonical row to
+//! the persistent results registry
+//! ([`selfstab_core::registry_row`]). Result documents never change:
+//! the determinism contract (`/v1/jobs/:id/result` byte-identity) holds
+//! with all of this enabled.
 //!
 //! The headline mechanism is the **content-addressed result cache**
 //! ([`cache`]): requests are keyed by the canonical parse-tree hash of
@@ -51,7 +65,8 @@
 //! (the canonical JSON rendering shared with the CLI), [`jobs`]
 //! (validation + execution), [`cache`] (content-addressed store + warm
 //! snapshot), [`journal`] (durable job journal), [`admission`]
-//! (backpressure + watchdog), [`chaos`] (fault injection), [`server`]
+//! (backpressure + watchdog), [`chaos`] (fault injection), [`trace`]
+//! (request-scoped span lanes + Chrome-trace rendering), [`server`]
 //! (routing, submit flow, replay, drain).
 
 #![forbid(unsafe_code)]
@@ -64,6 +79,7 @@ pub mod jobs;
 pub mod journal;
 pub mod render;
 pub mod server;
+pub mod trace;
 
 pub use admission::{Admission, PendingCaps, Shed};
 pub use cache::{CachedDoc, ResultCache};
@@ -71,3 +87,4 @@ pub use chaos::ServeChaos;
 pub use jobs::{JobKind, JobRequest, JobState};
 pub use journal::{ReplayedJob, ReplayedTerminal, ServeJournal, ServeReplay};
 pub use server::{ServeConfig, ServeState, Server};
+pub use trace::{JobTrace, TraceIdGen};

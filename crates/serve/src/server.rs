@@ -45,16 +45,18 @@ use std::time::{Duration, Instant};
 
 use selfstab_campaign::telemetry::JobTelemetry;
 use selfstab_campaign::{FsyncPolicy, ServicePool};
+use selfstab_core::registry_row::{append_row, RegistryRow};
 use selfstab_global::CancelToken;
-use selfstab_telemetry::Registry;
+use selfstab_telemetry::{prometheus, Registry};
 use serde_json::{json, Value};
 
 use crate::admission::{spawn_watchdog, Admission, PendingCaps};
-use crate::cache::{Lookup, ResultCache};
+use crate::cache::{CachedDoc, Lookup, ResultCache};
 use crate::chaos::ServeChaos;
 use crate::http::{HttpError, Request, RequestReader, Response};
 use crate::jobs::{execute, ExecOutcome, JobEntry, JobKind, JobRequest, JobState};
 use crate::journal::{replay, ReplayedTerminal, ServeJournal};
+use crate::trace::{interleaved_document, JobTrace, TraceIdGen};
 
 /// How long [`Server::run`] waits for connection threads to flush after
 /// the drain token fires.
@@ -111,6 +113,12 @@ pub struct ServeConfig {
     /// Seed for the service-fault injector (hidden `--chaos`); `None`
     /// disables it.
     pub chaos: Option<u64>,
+    /// Server-wide Chrome-trace file (`--trace`), written at drain with
+    /// every request's spans interleaved; `None` disables it.
+    pub trace: Option<PathBuf>,
+    /// Persistent results registry (`--registry`): every computed job
+    /// appends one canonical JSONL row; `None` disables it.
+    pub results_registry: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -131,6 +139,8 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(2),
             request_deadline: Duration::from_secs(10),
             chaos: None,
+            trace: None,
+            results_registry: None,
         }
     }
 }
@@ -154,6 +164,13 @@ pub struct ServeState {
     jobs_submitted: Arc<AtomicU64>,
     jobs_replayed: Arc<AtomicU64>,
     responses: AtomicU64,
+    /// One origin instant for every trace timestamp, so lanes from
+    /// different requests interleave on a single timeline.
+    origin: Instant,
+    trace_ids: TraceIdGen,
+    trace_path: Option<PathBuf>,
+    results_registry: Option<PathBuf>,
+    active_connections: AtomicUsize,
 }
 
 impl ServeState {
@@ -204,6 +221,11 @@ impl ServeState {
             jobs_submitted,
             jobs_replayed,
             responses: AtomicU64::new(0),
+            origin: Instant::now(),
+            trace_ids: TraceIdGen::new(),
+            trace_path: config.trace.clone(),
+            results_registry: config.results_registry.clone(),
+            active_connections: AtomicUsize::new(0),
         });
         if let Some(replayed) = replayed {
             state.restore(replayed);
@@ -249,7 +271,7 @@ impl ServeState {
                                 // without pool work, journaled so the
                                 // *next* restart needs no re-run either.
                                 if let Some(journal) = &self.journal {
-                                    journal.done(job.id, &doc);
+                                    journal.done(job.id, &doc, &json!({}));
                                 }
                                 *entry.state.lock().expect("job state poisoned") =
                                     JobState::Done { doc };
@@ -270,7 +292,7 @@ impl ServeState {
                         // of wedging the boot.
                         let message = format!("replayed request no longer valid: {}", e.message());
                         if let Some(journal) = &self.journal {
-                            journal.failed(job.id, 500, &message);
+                            journal.failed(job.id, 500, &message, &json!({}));
                         }
                         self.insert_replayed(
                             job.id,
@@ -295,6 +317,7 @@ impl ServeState {
             state: Mutex::new(state),
             telemetry: JobTelemetry::default(),
             cached: false,
+            trace: None,
         });
         self.jobs
             .lock()
@@ -334,18 +357,32 @@ impl ServeState {
 
     /// Routes one parsed request. Pure over the state — no socket — so
     /// tests can drive the full API in-process.
+    ///
+    /// Every response carries an `X-Selfstab-Trace-Id` header minted at
+    /// this ingress point; requests that create a job propagate the same
+    /// id through the job's whole span tree. Routing latency (the
+    /// time-to-first-byte the handler controls) is recorded per
+    /// endpoint.
     pub fn handle(self: &Arc<Self>, req: &Request) -> Response {
-        let response = self.route(req);
+        let trace_id = self.trace_ids.mint();
+        let started = Instant::now();
+        let response = self.route(req, &trace_id);
+        self.registry
+            .histogram(&format!(
+                "serve/ttfb_us{{endpoint=\"{}\"}}",
+                endpoint_label(req)
+            ))
+            .record(started.elapsed().as_micros() as u64);
         let class = match response.status {
             200..=299 => "http/2xx",
             400..=499 => "http/4xx",
             _ => "http/5xx",
         };
         self.registry.counter(class).fetch_add(1, Ordering::Relaxed);
-        response
+        response.with_header("x-selfstab-trace-id", trace_id)
     }
 
-    fn route(self: &Arc<Self>, req: &Request) -> Response {
+    fn route(self: &Arc<Self>, req: &Request, trace_id: &str) -> Response {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match (req.method.as_str(), segments.as_slice()) {
             // Liveness: answers 200 as long as the process can serve at
@@ -355,15 +392,37 @@ impl ServeState {
                 json!({"status": if self.draining() { "draining" } else { "ok" }}),
             ),
             ("GET", ["v1", "readyz"]) => self.readyz(),
-            ("GET", ["v1", "metrics"]) => json_response(200, self.registry.snapshot_json()),
+            ("GET", ["v1", "metrics"]) => {
+                self.refresh_gauges();
+                if req.query_is("format", "prometheus") {
+                    Response::text(200, prometheus::render(&self.registry))
+                } else {
+                    json_response(200, self.registry.snapshot_json())
+                }
+            }
             ("GET", ["v1", "cache", "stats"]) => json_response(200, self.cache.stats_json()),
-            ("POST", ["v1", "jobs"]) => self.submit(req),
+            ("POST", ["v1", "jobs"]) => self.submit(req, trace_id),
             ("GET", ["v1", "jobs", id]) => match self.job(id) {
                 Some(entry) => json_response(200, entry.status_json()),
                 None => not_found(),
             },
             ("GET", ["v1", "jobs", id, "result"]) => match self.job(id) {
                 Some(entry) => result_response(&entry),
+                None => not_found(),
+            },
+            ("GET", ["v1", "jobs", id, "trace"]) => match self.job(id) {
+                Some(entry) => match &entry.trace {
+                    Some(trace) => {
+                        json_response(200, trace.to_chrome_json(entry.id, entry.kind.name()))
+                    }
+                    // Replayed from a journal: the originating request
+                    // predates this boot, so there is nothing to trace.
+                    None => error_response(
+                        404,
+                        "no_trace",
+                        "job was restored from the journal; no trace exists for this boot",
+                    ),
+                },
                 None => not_found(),
             },
             (
@@ -374,10 +433,32 @@ impl ServeState {
                 | ["v1", "cache", "stats"]
                 | ["v1", "jobs"]
                 | ["v1", "jobs", _]
-                | ["v1", "jobs", _, "result"],
+                | ["v1", "jobs", _, "result"]
+                | ["v1", "jobs", _, "trace"],
             ) => error_response(405, "method_not_allowed", "method not allowed"),
             _ => not_found(),
         }
+    }
+
+    /// Updates the point-in-time gauges the exposition formats report:
+    /// per-kind queue depth, active connections, and cache residency.
+    /// (RSS is stored by the watchdog thread as it samples.)
+    fn refresh_gauges(&self) {
+        for kind in [JobKind::Verify, JobKind::Sweep, JobKind::Synthesize] {
+            self.registry
+                .gauge(&format!("serve/pending{{kind=\"{}\"}}", kind.name()))
+                .store(self.admission.pending(kind), Ordering::Relaxed);
+        }
+        self.registry.gauge("serve/active_connections").store(
+            self.active_connections.load(Ordering::Acquire) as u64,
+            Ordering::Relaxed,
+        );
+        self.registry
+            .gauge("serve/shed_level")
+            .store(u64::from(self.admission.shed_level()), Ordering::Relaxed);
+        self.registry
+            .gauge("cache/bytes")
+            .store(self.cache.bytes() as u64, Ordering::Relaxed);
     }
 
     /// Readiness: whether a load balancer should keep routing here.
@@ -413,11 +494,26 @@ impl ServeState {
             .cloned()
     }
 
-    fn submit(self: &Arc<Self>, req: &Request) -> Response {
+    /// Times one journal append (including its fsync under
+    /// `--fsync always`) into the `serve/journal_append_us` histogram.
+    fn journal_event(&self, f: impl FnOnce(&ServeJournal)) {
+        if let Some(journal) = &self.journal {
+            let started = Instant::now();
+            f(journal);
+            self.registry
+                .histogram("serve/journal_append_us")
+                .record(started.elapsed().as_micros() as u64);
+        }
+    }
+
+    fn submit(self: &Arc<Self>, req: &Request, trace_id: &str) -> Response {
         if self.draining() {
             return error_response(503, "draining", "server is draining")
                 .with_header("retry-after", DRAIN_RETRY_AFTER_SECS);
         }
+        // The request root opens here; if the submit is rejected the
+        // trace is simply dropped with it.
+        let trace = Arc::new(JobTrace::new(trace_id.to_owned(), self.origin));
         let body: Value = match std::str::from_utf8(&req.body)
             .map_err(|_| "body is not UTF-8".to_owned())
             .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
@@ -429,6 +525,7 @@ impl ServeState {
         };
         // Admission gates on the cheap kind extraction, before the
         // expensive spec parse — shed traffic costs almost nothing.
+        let admission_ts = trace.now_us();
         let admitted_kind = match body["kind"].as_str().and_then(JobKind::from_name) {
             Some(kind) => match self.admission.admit(kind) {
                 Ok(()) => Some(kind),
@@ -441,6 +538,13 @@ impl ServeState {
             // its precise 400.
             None => None,
         };
+        trace.span(
+            "admission",
+            "admission",
+            admission_ts,
+            trace.now_us().saturating_sub(admission_ts),
+            json!({"pending": self.admission.pending_json()}),
+        );
         let release_on_reject = |response: Response| {
             if let Some(kind) = admitted_kind {
                 self.admission.release(kind);
@@ -461,6 +565,7 @@ impl ServeState {
         // never hands out a job id before that job is observable. Lock
         // order is always table → cache; the pool side touches the cache
         // alone, so the nesting cannot deadlock.
+        let cache_ts = trace.now_us();
         let mut jobs = self.jobs.lock().expect("job table poisoned");
         match self.cache.lookup_or_reserve(&key, id) {
             Lookup::Hit(doc) => {
@@ -468,13 +573,25 @@ impl ServeState {
                 // uniform polling, but nothing touches the pool. Journal
                 // acceptance + completion so the id resolves across a
                 // restart exactly like a computed job's.
-                if let Some(journal) = &self.journal {
-                    journal.submitted(id, request.kind.name(), &key, &body);
-                    journal.done(id, &doc);
-                }
+                trace.span(
+                    "cache_lookup",
+                    "cache",
+                    cache_ts,
+                    trace.now_us().saturating_sub(cache_ts),
+                    json!({"outcome": "hit"}),
+                );
+                self.journal_event(|j| {
+                    j.submitted(id, request.kind.name(), &key, &body);
+                    j.done(
+                        id,
+                        &doc,
+                        &JobTelemetry::default().phases.snapshot().to_json(),
+                    );
+                });
                 if let Some(kind) = admitted_kind {
                     self.admission.release(kind);
                 }
+                trace.finish();
                 let entry = Arc::new(JobEntry {
                     id,
                     kind: request.kind,
@@ -482,6 +599,7 @@ impl ServeState {
                     state: Mutex::new(JobState::Done { doc }),
                     telemetry: JobTelemetry::default(),
                     cached: true,
+                    trace: Some(trace),
                 });
                 jobs.insert(id, entry);
                 json_response(200, json!({"id": id, "status": "done", "cached": true}))
@@ -489,6 +607,20 @@ impl ServeState {
             Lookup::InFlight(job) => {
                 // Coalesced onto an already-journaled job: this submit
                 // holds no admission slot and needs no journal record.
+                // The coalescing job keeps its own trace; this request's
+                // id rides only in the response header, and the join is
+                // visible as a span on the computing job's lane.
+                if let Some(entry) = jobs.get(&job) {
+                    if let Some(job_trace) = &entry.trace {
+                        job_trace.span(
+                            "coalesced_submit",
+                            "cache",
+                            cache_ts,
+                            job_trace.now_us().saturating_sub(cache_ts),
+                            json!({"coalesced_trace_id": trace_id}),
+                        );
+                    }
+                }
                 if let Some(kind) = admitted_kind {
                     self.admission.release(kind);
                 }
@@ -498,12 +630,17 @@ impl ServeState {
                 )
             }
             Lookup::Miss => {
+                trace.span(
+                    "cache_lookup",
+                    "cache",
+                    cache_ts,
+                    trace.now_us().saturating_sub(cache_ts),
+                    json!({"outcome": "miss"}),
+                );
                 // Durability point: the acceptance is on disk before the
                 // client hears 202, so a crash after this line can only
                 // delay the job, never lose it.
-                if let Some(journal) = &self.journal {
-                    journal.submitted(id, request.kind.name(), &key, &body);
-                }
+                self.journal_event(|j| j.submitted(id, request.kind.name(), &key, &body));
                 let entry = Arc::new(JobEntry {
                     id,
                     kind: request.kind,
@@ -511,6 +648,7 @@ impl ServeState {
                     state: Mutex::new(JobState::Queued),
                     telemetry: JobTelemetry::default(),
                     cached: false,
+                    trace: Some(trace),
                 });
                 jobs.insert(id, Arc::clone(&entry));
                 drop(jobs);
@@ -527,14 +665,30 @@ impl ServeState {
             None => CancelToken::linked(self.drain_token()),
         };
         let state = Arc::clone(self);
+        let enqueued = Instant::now();
+        let enqueued_us = entry.trace.as_ref().map(|t| t.now_us());
         let handle = self.pool.submit::<(), _>(move || {
             *entry.state.lock().expect("job state poisoned") = JobState::Running;
+            // Queue wait: enqueue to first execution, one histogram
+            // series per kind plus a span on the job's lane.
+            let waited_us = enqueued.elapsed().as_micros() as u64;
+            state
+                .registry
+                .histogram(&format!(
+                    "serve/queue_wait_us{{kind=\"{}\"}}",
+                    entry.kind.name()
+                ))
+                .record(waited_us);
+            if let (Some(trace), Some(ts)) = (&entry.trace, enqueued_us) {
+                trace.span("queue_wait", "pool", ts, waited_us, Value::Null);
+            }
             // Panic isolation with deterministic retry: a panicked
             // attempt (organic or chaos-injected) backs off
             // `backoff * 2^min(attempt, cap)` and re-executes, up to the
             // retry budget — the campaign runner's machinery at the
             // service layer.
             let mut attempt: u32 = 0;
+            let exec_started = Instant::now();
             let outcome = loop {
                 entry.telemetry.attempts.fetch_add(1, Ordering::Relaxed);
                 let run = catch_unwind(AssertUnwindSafe(|| {
@@ -543,7 +697,7 @@ impl ServeState {
                             panic!("chaos: injected job panic");
                         }
                     }
-                    execute(&request, &entry.telemetry, &token)
+                    execute(&request, &entry.telemetry, &token, entry.trace.as_deref())
                 }));
                 match run {
                     Ok(outcome) => break outcome,
@@ -561,13 +715,18 @@ impl ServeState {
                     }
                 }
             };
+            let phases_us = entry.telemetry.phases.snapshot().to_json();
             let next = match outcome {
                 ExecOutcome::Done(doc) => {
                     let doc = Arc::new(doc);
                     state.cache.fulfill(&key, Arc::clone(&doc));
-                    if let Some(journal) = &state.journal {
-                        journal.done(entry.id, &doc);
-                    }
+                    state.journal_event(|j| j.done(entry.id, &doc, &phases_us));
+                    state.append_registry_row(
+                        &request,
+                        &entry,
+                        &doc,
+                        exec_started.elapsed().as_micros() as u64,
+                    );
                     JobState::Done { doc }
                 }
                 ExecOutcome::Cancelled { partial } => {
@@ -577,20 +736,27 @@ impl ServeState {
                         // shutdown, and the next boot re-enqueues.
                         JobState::Drained
                     } else {
-                        if let Some(journal) = &state.journal {
-                            journal.timed_out(entry.id, &partial);
-                        }
+                        state.journal_event(|j| j.timed_out(entry.id, &partial, &phases_us));
                         JobState::TimedOut { partial }
                     }
                 }
                 ExecOutcome::Failed { status, message } => {
                     state.cache.abandon(&key);
-                    if let Some(journal) = &state.journal {
-                        journal.failed(entry.id, status, &message);
-                    }
+                    state.journal_event(|j| j.failed(entry.id, status, &message, &phases_us));
                     JobState::Failed { status, message }
                 }
             };
+            state
+                .registry
+                .histogram(&format!(
+                    "serve/exec_us{{kind=\"{}\",outcome=\"{}\"}}",
+                    entry.kind.name(),
+                    next.label(),
+                ))
+                .record(exec_started.elapsed().as_micros() as u64);
+            if let Some(trace) = &entry.trace {
+                trace.finish();
+            }
             *entry.state.lock().expect("job state poisoned") = next;
             state.admission.release(entry.kind);
         });
@@ -598,6 +764,72 @@ impl ServeState {
         // remaining duty is the shutdown edge, where the pool refuses the
         // job and the closure never runs.
         drop(handle);
+    }
+
+    /// Appends one canonical registry row for a pool-computed `Done`
+    /// outcome. Cache-hit submits never append (they measured nothing
+    /// new), which keeps two identical fresh-boot runs byte-identical in
+    /// the registry modulo `meta`. An append failure costs one
+    /// measurement, never the job — it bumps `serve/registry_errors`.
+    fn append_registry_row(
+        &self,
+        request: &JobRequest,
+        entry: &JobEntry,
+        doc: &CachedDoc,
+        wall_us: u64,
+    ) {
+        let Some(path) = &self.results_registry else {
+            return;
+        };
+        let symmetry = format!("{:?}", request.symmetry).to_lowercase();
+        let mut kpis = json!({
+            "exit_code": doc.exit_code,
+            "body_bytes": doc.body.len() as u64,
+            "attempts": entry.telemetry.attempts.load(Ordering::Relaxed),
+        });
+        if let (Some(counters), Value::Object(map)) = (entry.telemetry.counters(), &mut kpis) {
+            map.insert("counters".to_owned(), counters.deterministic_json());
+        }
+        let row = RegistryRow {
+            source: "serve".to_owned(),
+            spec: request.hash.to_string(),
+            kind: request.kind.name().to_owned(),
+            k: match request.kind {
+                JobKind::Synthesize => "-".to_owned(),
+                _ => format!("{}..{}", request.k_from, request.k_to),
+            },
+            knobs: json!({"max_states": request.max_states, "symmetry": symmetry}),
+            kpis,
+            meta: RegistryRow::meta_now(wall_us),
+        };
+        if append_row(path, &row).is_err() {
+            self.registry
+                .counter("serve/registry_errors")
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes the server-wide interleaved Chrome-trace document
+    /// (`--trace`) from every traced job's lane, ordered by job id so
+    /// the file is stable for a given run. [`Server::run`] calls it once
+    /// at drain; exposed so in-process tests (no socket) can drive it.
+    pub fn write_trace_file(&self) {
+        let Some(path) = &self.trace_path else {
+            return;
+        };
+        let jobs = self.jobs.lock().expect("job table poisoned");
+        let mut entries: Vec<&Arc<JobEntry>> = jobs.values().collect();
+        entries.sort_by_key(|e| e.id);
+        let lanes: Vec<Vec<Value>> = entries
+            .iter()
+            .filter_map(|e| e.trace.as_ref().map(|t| t.events(e.id, e.kind.name())))
+            .collect();
+        let doc = interleaved_document(lanes);
+        if std::fs::write(path, format!("{doc}\n")).is_err() {
+            self.registry
+                .counter("serve/trace_write_errors")
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Should this response be torn by the chaos plan? Consumes one
@@ -641,6 +873,24 @@ fn not_found() -> Response {
     error_response(404, "not_found", "not found")
 }
 
+/// The bounded endpoint label the TTFB histogram is keyed by — path
+/// *templates*, never raw paths, so job ids cannot mint unbounded
+/// metric series.
+fn endpoint_label(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["v1", "healthz"] => "healthz",
+        ["v1", "readyz"] => "readyz",
+        ["v1", "metrics"] => "metrics",
+        ["v1", "cache", "stats"] => "cache_stats",
+        ["v1", "jobs"] => "submit",
+        ["v1", "jobs", _] => "job_status",
+        ["v1", "jobs", _, "result"] => "job_result",
+        ["v1", "jobs", _, "trace"] => "job_trace",
+        _ => "other",
+    }
+}
+
 fn result_response(entry: &JobEntry) -> Response {
     let state = entry.state.lock().expect("job state poisoned");
     match &*state {
@@ -667,7 +917,6 @@ fn result_response(entry: &JobEntry) -> Response {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
-    active: Arc<AtomicUsize>,
     max_connections: usize,
     idle_timeout: Duration,
     request_deadline: Duration,
@@ -688,7 +937,6 @@ impl Server {
         Ok(Server {
             listener,
             state: ServeState::new(config)?,
-            active: Arc::new(AtomicUsize::new(0)),
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
             request_deadline: config.request_deadline,
@@ -731,8 +979,12 @@ impl Server {
             }
         }
         self.state.shutdown_pool();
+        // All pool work is terminal now: lanes are complete, so the
+        // server-wide trace file captures every request of this run.
+        self.state.write_trace_file();
         let deadline = Instant::now() + DRAIN_GRACE;
-        while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        while self.state.active_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline
+        {
             std::thread::sleep(Duration::from_millis(10));
         }
         Ok(())
@@ -742,7 +994,7 @@ impl Server {
         // Connection cap: refuse with a structured 503 instead of
         // accepting unboundedly many handler threads. The response is
         // written on the accept thread — it is one small buffered write.
-        if self.active.load(Ordering::Acquire) >= self.max_connections {
+        if self.state.active_connections.load(Ordering::Acquire) >= self.max_connections {
             self.state
                 .registry
                 .counter("serve/connections_refused")
@@ -755,16 +1007,15 @@ impl Server {
             return;
         }
         let state = Arc::clone(&self.state);
-        let active = Arc::clone(&self.active);
         let idle_timeout = self.idle_timeout;
         let request_deadline = self.request_deadline;
-        active.fetch_add(1, Ordering::AcqRel);
+        state.active_connections.fetch_add(1, Ordering::AcqRel);
         std::thread::spawn(move || {
             let _ = stream.set_nodelay(true);
             let _ = stream.set_read_timeout(Some(idle_timeout));
             let _ = stream.set_write_timeout(Some(request_deadline));
             serve_connection(&state, &stream, request_deadline);
-            active.fetch_sub(1, Ordering::AcqRel);
+            state.active_connections.fetch_sub(1, Ordering::AcqRel);
         });
     }
 }

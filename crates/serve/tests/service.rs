@@ -36,9 +36,11 @@ fn state_with(config: ServeConfig) -> Arc<ServeState> {
 }
 
 fn request(method: &str, path: &str, body: &str) -> Request {
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        query: query.to_owned(),
         headers: Vec::new(),
         body: body.as_bytes().to_vec(),
         keep_alive: true,

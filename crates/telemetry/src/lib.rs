@@ -13,8 +13,9 @@
 //!   visited, deadlocks found, closure checks, DFS depth, cancel polls),
 //!   flushed once per chunk so the scan loop itself only touches plain
 //!   locals;
-//! * [`Registry`] — named counters and histograms that snapshot to
-//!   canonical (sorted-key) JSON;
+//! * [`Registry`] — named counters, gauges and histograms that snapshot
+//!   to canonical (sorted-key) JSON and render to the Prometheus text
+//!   exposition format ([`prometheus`]);
 //! * [`TraceCollector`] — Chrome trace-event output loadable in Perfetto
 //!   or `chrome://tracing` (this one locks and allocates: it is opt-in
 //!   via `--trace` and never sits on a hot path);
@@ -38,6 +39,7 @@ mod hist;
 pub mod logger;
 mod phase;
 mod progress;
+pub mod prometheus;
 mod registry;
 mod trace;
 

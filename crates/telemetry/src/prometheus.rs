@@ -1,0 +1,258 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`].
+//!
+//! The JSON snapshot at `/v1/metrics` is canonical for humans and jq;
+//! this module renders the *same* instruments in the line-oriented
+//! `text/plain` format Prometheus scrapes, so a stock server can point
+//! at `/v1/metrics?format=prometheus` with no exporter sidecar.
+//!
+//! Mapping rules:
+//!
+//! * Registry names are slash-namespaced (`cache/hits`). Prometheus
+//!   names admit `[a-zA-Z0-9_:]`, so every other byte becomes `_` and
+//!   the whole name gains a `selfstab_` prefix: `selfstab_cache_hits`.
+//! * A registry name may carry a literal `{label="value",…}` suffix
+//!   (e.g. `serve/exec_us{kind="verify",outcome="done"}`); the suffix
+//!   passes through verbatim as the series' label set. Callers mint
+//!   label values from closed enums (job kinds, outcomes), so no escape
+//!   handling is required.
+//! * Counters render with the conventional `_total` suffix; gauges
+//!   render as-is.
+//! * Log2 [`Histogram`]s become cumulative `_bucket`/`_sum`/`_count`
+//!   series. Bucket `b ≥ 1` of the histogram holds `[2^(b-1), 2^b)`, so
+//!   its inclusive upper bound — the Prometheus `le` — is `2^b - 1`;
+//!   bucket 0 holds exactly 0 and gets `le="0"`. Buckets above the
+//!   highest non-empty one are elided and a final `le="+Inf"` line
+//!   carries the total count, as the format requires.
+//!
+//! Everything renders sorted (families, then label sets), so two
+//! scrapes of a quiescent registry are byte-identical.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::registry::Registry;
+
+/// Prefix applied to every exposed metric family.
+pub const METRIC_PREFIX: &str = "selfstab_";
+
+/// Splits a registry series name into `(family, labels)` where `labels`
+/// is the inner `k="v",…` text (empty when the name has no suffix).
+fn split_series(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(at) => {
+            let inner = name[at..].trim_start_matches('{').trim_end_matches('}');
+            (&name[..at], inner)
+        }
+        None => (name, ""),
+    }
+}
+
+/// Sanitizes a family name into the Prometheus alphabet and applies the
+/// `selfstab_` prefix.
+fn family_name(family: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + family.len());
+    out.push_str(METRIC_PREFIX);
+    for b in family.chars() {
+        if b.is_ascii_alphanumeric() || b == '_' || b == ':' {
+            out.push(b);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// The inclusive upper bound (`le`) of log2 bucket `b`, rendered as a
+/// decimal string: `0` for bucket 0, `2^b − 1` for `b ≥ 1`.
+fn bucket_le(bucket: usize) -> String {
+    if bucket == 0 {
+        "0".to_owned()
+    } else {
+        (((1u128 << bucket) - 1) as u64).to_string()
+    }
+}
+
+/// One `name{labels,extra} value` line; either label part may be empty.
+fn series_line(out: &mut String, name: &str, labels: &str, extra: &str, value: u64) {
+    let sep = if labels.is_empty() || extra.is_empty() {
+        ""
+    } else {
+        ","
+    };
+    if labels.is_empty() && extra.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}{sep}{extra}}} {value}");
+    }
+}
+
+/// Groups `(name, payload)` series by sanitized family, preserving the
+/// label suffix of each series.
+fn group<T>(series: Vec<(String, T)>) -> BTreeMap<String, Vec<(String, T)>> {
+    let mut families: BTreeMap<String, Vec<(String, T)>> = BTreeMap::new();
+    for (name, payload) in series {
+        let (family, labels) = split_series(&name);
+        families
+            .entry(family_name(family))
+            .or_default()
+            .push((labels.to_owned(), payload));
+    }
+    families
+}
+
+/// Renders one histogram family member as cumulative
+/// `_bucket`/`_sum`/`_count` lines.
+fn render_histogram(out: &mut String, family: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    let mut highest = 0usize;
+    let mut per_bucket = [0u64; crate::hist::BUCKET_COUNT];
+    for &(floor, n) in &snap.buckets {
+        let b = Histogram::bucket_of(floor);
+        per_bucket[b] = n;
+        highest = highest.max(b);
+    }
+    let bucket_name = format!("{family}_bucket");
+    if snap.count > 0 {
+        for (b, &n) in per_bucket.iter().enumerate().take(highest + 1) {
+            cumulative += n;
+            series_line(
+                out,
+                &bucket_name,
+                labels,
+                &format!("le=\"{}\"", bucket_le(b)),
+                cumulative,
+            );
+        }
+    }
+    // `+Inf` must equal `_count`; under concurrent recording the count
+    // cell can lag the buckets, so take the max to keep the series
+    // monotone.
+    let total = snap.count.max(cumulative);
+    series_line(out, &bucket_name, labels, "le=\"+Inf\"", total);
+    series_line(out, &format!("{family}_sum"), labels, "", snap.sum);
+    series_line(out, &format!("{family}_count"), labels, "", total);
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Output is deterministic for a quiescent registry: families sort by
+/// sanitized name, series within a family by label text.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (family, series) in group(registry.counter_values()) {
+        let family = format!("{family}_total");
+        let _ = writeln!(out, "# TYPE {family} counter");
+        for (labels, value) in series {
+            series_line(&mut out, &family, &labels, "", value);
+        }
+    }
+    for (family, series) in group(registry.gauge_values()) {
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        for (labels, value) in series {
+            series_line(&mut out, &family, &labels, "", value);
+        }
+    }
+    for (family, series) in group(registry.histogram_snapshots()) {
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        for (labels, snap) in series {
+            render_histogram(&mut out, &family, &labels, &snap);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn counters_and_gauges_render_with_types() {
+        let r = Registry::new();
+        r.counter("cache/hits").fetch_add(3, Ordering::Relaxed);
+        r.counter("serve/jobs{kind=\"verify\"}")
+            .fetch_add(2, Ordering::Relaxed);
+        r.gauge("serve/rss_bytes").store(4096, Ordering::Relaxed);
+        let text = render(&r);
+        assert!(text.contains("# TYPE selfstab_cache_hits_total counter\n"));
+        assert!(text.contains("selfstab_cache_hits_total 3\n"));
+        assert!(
+            text.contains("selfstab_serve_jobs_total{kind=\"verify\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE selfstab_serve_rss_bytes gauge\n"));
+        assert!(text.contains("selfstab_serve_rss_bytes 4096\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let r = Registry::new();
+        let h = r.histogram("serve/exec_us{kind=\"verify\"}");
+        for v in [0, 1, 3, 3, 9] {
+            h.record(v);
+        }
+        let text = render(&r);
+        assert!(text.contains("# TYPE selfstab_serve_exec_us histogram\n"));
+        // Buckets: b0 {0}=1, b1 {1}=1, b2 [2,4)=2, b3 absent, b4 [8,16)=1.
+        let want = [
+            ("le=\"0\"", 1),
+            ("le=\"1\"", 2),
+            ("le=\"3\"", 4),
+            ("le=\"7\"", 4),
+            ("le=\"15\"", 5),
+            ("le=\"+Inf\"", 5),
+        ];
+        for (le, cum) in want {
+            let line = format!("selfstab_serve_exec_us_bucket{{kind=\"verify\",{le}}} {cum}\n");
+            assert!(text.contains(&line), "missing {line:?} in:\n{text}");
+        }
+        assert!(text.contains("selfstab_serve_exec_us_sum{kind=\"verify\"} 16\n"));
+        assert!(text.contains("selfstab_serve_exec_us_count{kind=\"verify\"} 5\n"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_sum_count() {
+        let r = Registry::new();
+        let _ = r.histogram("phase_us/parse");
+        let text = render(&r);
+        assert!(text.contains("selfstab_phase_us_parse_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("selfstab_phase_us_parse_sum 0\n"));
+        assert!(text.contains("selfstab_phase_us_parse_count 0\n"));
+    }
+
+    #[test]
+    fn type_lines_are_unique_per_family() {
+        let r = Registry::new();
+        // Same family, two label sets, plus an unlabeled sibling that
+        // sorts *between* them as raw strings ('{' > 'z').
+        r.counter("a/b{k=\"1\"}").fetch_add(1, Ordering::Relaxed);
+        r.counter("a/b{k=\"2\"}").fetch_add(1, Ordering::Relaxed);
+        r.counter("a/bz").fetch_add(1, Ordering::Relaxed);
+        let text = render(&r);
+        assert_eq!(
+            text.matches("# TYPE selfstab_a_b_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE selfstab_a_bz_total counter").count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn u64_max_lands_under_inf_only_when_top_bucket_used() {
+        let r = Registry::new();
+        let h = r.histogram("x");
+        h.record(u64::MAX);
+        let text = render(&r);
+        // Bucket 64's finite le is 2^64-1 == u64::MAX.
+        assert!(
+            text.contains(&format!("selfstab_x_bucket{{le=\"{}\"}} 1\n", u64::MAX)),
+            "{text}"
+        );
+        assert!(text.contains("selfstab_x_bucket{le=\"+Inf\"} 1\n"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Named counters and histograms with canonical JSON snapshots.
+//! Named counters, gauges, and histograms with canonical JSON snapshots.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -8,16 +8,29 @@ use serde_json::Value;
 
 use crate::hist::Histogram;
 
-/// A registry of named counters and histograms.
+/// A registry of named counters, gauges, and histograms.
 ///
 /// Registration takes a lock; the returned [`Arc`] handles do not — a
 /// caller registers once at setup and then increments lock-free on the
 /// hot path. Snapshots render sorted by name (a `BTreeMap` underneath),
 /// so the same set of instruments always serializes to the same shape.
+///
+/// Names are owned strings so dynamically labeled series can be minted
+/// at runtime (e.g. `serve/exec_us{kind="verify",outcome="done"}`). A
+/// name may carry a Prometheus-style `{label="value",…}` suffix; the
+/// JSON snapshot treats the whole string as the key, while the
+/// [Prometheus renderer](crate::prometheus) splits family from labels.
+///
+/// Counters and histograms are monotone; **gauges** are
+/// last-write-wins point-in-time values (queue depth, RSS, cache
+/// bytes). Gauges are only included in [`Registry::snapshot_json`] when
+/// at least one exists, so documents produced by gauge-free producers
+/// (the sweep metrics file) keep their historical schema.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {
@@ -28,48 +41,99 @@ impl Registry {
 
     /// The counter named `name`, created on first use. Clones of the
     /// returned handle all feed the same counter.
-    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
         self.counters
             .lock()
             .expect("registry poisoned")
-            .entry(name)
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use. A gauge is stored
+    /// like a counter but rendered with Prometheus type `gauge`; callers
+    /// `store` the current value rather than `fetch_add`ing deltas.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_owned())
             .or_default()
             .clone()
     }
 
     /// The histogram named `name`, created on first use.
-    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.histograms
             .lock()
             .expect("registry poisoned")
-            .entry(name)
+            .entry(name.to_owned())
             .or_default()
             .clone()
     }
 
+    /// Every counter as `(name, value)`, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Every gauge as `(name, value)`, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Every histogram as `(name, snapshot)`, sorted by name.
+    pub fn histogram_snapshots(&self) -> Vec<(String, crate::hist::HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+
     /// Canonical JSON snapshot:
     /// `{"counters": {name: value, …}, "histograms": {name: {…}, …}}`,
-    /// names sorted.
+    /// names sorted. A `"gauges"` object is added only when at least one
+    /// gauge has been registered.
     pub fn snapshot_json(&self) -> Value {
         let counters = Value::Object(
-            self.counters
-                .lock()
-                .expect("registry poisoned")
-                .iter()
-                .map(|(name, c)| ((*name).to_owned(), Value::from(c.load(Ordering::Relaxed))))
+            self.counter_values()
+                .into_iter()
+                .map(|(name, v)| (name, Value::from(v)))
                 .collect(),
         );
         let histograms = Value::Object(
-            self.histograms
-                .lock()
-                .expect("registry poisoned")
-                .iter()
-                .map(|(name, h)| ((*name).to_owned(), h.snapshot().to_json()))
+            self.histogram_snapshots()
+                .into_iter()
+                .map(|(name, s)| (name, s.to_json()))
                 .collect(),
         );
+        let gauges = self.gauge_values();
         let mut map = BTreeMap::new();
         map.insert("counters".to_owned(), counters);
         map.insert("histograms".to_owned(), histograms);
+        if !gauges.is_empty() {
+            map.insert(
+                "gauges".to_owned(),
+                Value::Object(
+                    gauges
+                        .into_iter()
+                        .map(|(name, v)| (name, Value::from(v)))
+                        .collect(),
+                ),
+            );
+        }
         Value::Object(map)
     }
 }
@@ -98,5 +162,33 @@ mod tests {
             text.find("campaign/retries").unwrap() < text.find("pool/steals").unwrap(),
             "{text}"
         );
+    }
+
+    #[test]
+    fn gauges_are_absent_until_registered() {
+        let r = Registry::new();
+        r.counter("a").fetch_add(1, Ordering::Relaxed);
+        let Value::Object(map) = r.snapshot_json() else {
+            panic!("snapshot is an object");
+        };
+        assert!(
+            !map.contains_key("gauges"),
+            "gauge-free registries keep the historical two-section schema"
+        );
+        r.gauge("serve/rss_bytes").store(42, Ordering::Relaxed);
+        assert_eq!(r.snapshot_json()["gauges"]["serve/rss_bytes"], 42u64);
+    }
+
+    #[test]
+    fn dynamic_labeled_names_are_distinct_series() {
+        let r = Registry::new();
+        let kind = "verify";
+        r.counter(&format!("serve/jobs{{kind=\"{kind}\"}}"))
+            .fetch_add(7, Ordering::Relaxed);
+        r.counter("serve/jobs{kind=\"sweep\"}")
+            .fetch_add(1, Ordering::Relaxed);
+        let json = r.snapshot_json();
+        assert_eq!(json["counters"]["serve/jobs{kind=\"verify\"}"], 7u64);
+        assert_eq!(json["counters"]["serve/jobs{kind=\"sweep\"}"], 1u64);
     }
 }

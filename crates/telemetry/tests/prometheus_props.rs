@@ -1,0 +1,117 @@
+//! Property tests for the Prometheus exposition renderer.
+//!
+//! The format's one structural invariant that jq can't check for us:
+//! `_bucket` series must be cumulative (monotone non-decreasing) and
+//! sorted by ascending `le`, ending at `le="+Inf"` whose value equals
+//! `_count`. We drive the renderer with arbitrary recorded values and
+//! parse their own output back.
+
+use proptest::prelude::*;
+use selfstab_telemetry::{prometheus, Registry};
+
+/// Parses every `<family>_bucket{…le="X"} v` line into `(le, v)`, where
+/// `le` is `None` for `+Inf`.
+fn parse_buckets(text: &str, family: &str) -> Vec<(Option<u64>, u64)> {
+    let prefix = format!("{family}_bucket");
+    text.lines()
+        .filter(|l| l.starts_with(&prefix))
+        .map(|l| {
+            let le_at = l.find("le=\"").expect("bucket line has le");
+            let rest = &l[le_at + 4..];
+            let end = rest.find('"').expect("closing quote");
+            let le = &rest[..end];
+            let value: u64 = l
+                .rsplit(' ')
+                .next()
+                .expect("value field")
+                .parse()
+                .expect("integer value");
+            let le = if le == "+Inf" {
+                None
+            } else {
+                Some(le.parse().expect("finite le is an integer"))
+            };
+            (le, value)
+        })
+        .collect()
+}
+
+/// The trailing ` <value>` of the first line starting with `name `.
+fn scalar(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no {name} line in:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn cumulative_buckets_are_monotone_and_le_sorted(
+        values in proptest::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("prop/case_us");
+        for &v in &values {
+            h.record(v);
+        }
+        let text = prometheus::render(&registry);
+        let buckets = parse_buckets(&text, "selfstab_prop_case_us");
+
+        // At least the +Inf bucket always renders, and it comes last.
+        prop_assert!(!buckets.is_empty());
+        prop_assert_eq!(buckets.last().unwrap().0, None, "+Inf terminates the series");
+        prop_assert_eq!(
+            buckets.iter().filter(|(le, _)| le.is_none()).count(),
+            1,
+            "exactly one +Inf bucket"
+        );
+
+        // Finite les strictly ascend; counts never decrease.
+        for pair in buckets.windows(2) {
+            let ((le_a, n_a), (le_b, n_b)) = (&pair[0], &pair[1]);
+            if let (Some(a), Some(b)) = (le_a, le_b) {
+                prop_assert!(a < b, "le sorted ascending: {a} vs {b}");
+            }
+            prop_assert!(n_a <= n_b, "cumulative counts monotone: {n_a} vs {n_b}");
+        }
+
+        // +Inf equals _count equals the number of samples, and every
+        // sample is covered by its first admitting bucket.
+        let total = buckets.last().unwrap().1;
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert_eq!(scalar(&text, "selfstab_prop_case_us_count"), total);
+        for &v in &values {
+            let covered = buckets
+                .iter()
+                .find(|(le, _)| le.is_none_or(|le| v <= le))
+                .expect("some bucket admits v");
+            prop_assert!(covered.1 >= 1, "value {v} counted somewhere");
+        }
+    }
+
+    #[test]
+    fn count_and_sum_agree_with_json_snapshot(
+        values in proptest::collection::vec(any::<u64>(), 1..100)
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("prop/agree_us");
+        for &v in &values {
+            h.record(v);
+        }
+        let text = prometheus::render(&registry);
+        let json = registry.snapshot_json();
+        let snap = &json["histograms"]["prop/agree_us"];
+        prop_assert_eq!(
+            scalar(&text, "selfstab_prop_agree_us_count"),
+            snap["count"].as_u64().unwrap()
+        );
+        prop_assert_eq!(
+            scalar(&text, "selfstab_prop_agree_us_sum"),
+            snap["sum"].as_u64().unwrap()
+        );
+    }
+}
