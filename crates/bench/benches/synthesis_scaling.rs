@@ -63,6 +63,24 @@ fn sum_not_three_empty() -> Protocol {
     .expect("static protocol builds")
 }
 
+/// A 5-coloring analog over a 5-valued domain: the lattice-pruning
+/// showcase. Every candidate combination is trail-rejected, so early
+/// rejections install cuts whose upward cones doom a large share of the
+/// remaining 4^5 = 1024-combination lattice — a non-trivial cut-set
+/// workload where the pruned engine verifies a fraction of the
+/// combinations the full engine pays for.
+fn five_coloring_empty() -> Protocol {
+    Protocol::builder(
+        "five-coloring",
+        Domain::numeric("x", 5),
+        Locality::unidirectional(),
+    )
+    .legit("x[r] != x[r-1]")
+    .expect("static legit predicate parses")
+    .build()
+    .expect("static protocol builds")
+}
+
 /// Sequential-vs-parallel synthesis and the telemetry tax, recorded to
 /// `BENCH_synthesis.json` at the repo root. The deterministic-merge
 /// contract is asserted (identical outcomes for every thread count)
@@ -151,6 +169,60 @@ fn bench_synthesis_comparison(_c: &mut Criterion) {
         );
     }
 
+    // Lattice pruning, pruned vs full, on the cut-heavy 5-coloring
+    // workload. Soundness first: the pruned outcome must be identical to
+    // the reference full enumeration before the work ratio means
+    // anything. "Verified" candidates are the combinations the engine
+    // actually paid a livelock analysis for — the pruned engine recounts
+    // cone-skipped candidates into `combinations_tried`, so the
+    // difference against `candidates_skipped` is exactly the paid work.
+    let coloring = five_coloring_empty();
+    let full_config = SynthesisConfig {
+        prune: false,
+        ..config(1)
+    };
+    let pruned_config = config(1);
+    let full_engine = LocalSynthesizer::new(full_config);
+    let pruned_engine = LocalSynthesizer::new(pruned_config);
+    let full_counters = SynthesisCounters::new();
+    let full_outcome = full_engine
+        .synthesize_metered(&coloring, &token, Some(&full_counters), None)
+        .unwrap();
+    let pruned_counters = SynthesisCounters::new();
+    let pruned_outcome = pruned_engine
+        .synthesize_metered(&coloring, &token, Some(&pruned_counters), None)
+        .unwrap();
+    assert_eq!(
+        full_outcome, pruned_outcome,
+        "pruning must be invisible in the outcome"
+    );
+    let full_snap = full_counters.snapshot();
+    let pruned_snap = pruned_counters.snapshot();
+    let verified_full = full_snap.combinations_tried;
+    let verified_pruned = pruned_snap
+        .combinations_tried
+        .saturating_sub(pruned_snap.candidates_skipped);
+    let prune_ratio = verified_full as f64 / verified_pruned.max(1) as f64;
+    assert!(
+        prune_ratio >= 2.0,
+        "expected the cut-set to halve verification work, got \
+         {verified_full} full vs {verified_pruned} pruned ({prune_ratio:.2}x)"
+    );
+    let full_us = timed_min(reps, || {
+        std::hint::black_box(full_engine.synthesize(&coloring).unwrap());
+    });
+    let pruned_us = timed_min(reps, || {
+        std::hint::black_box(pruned_engine.synthesize(&coloring).unwrap());
+    });
+    println!(
+        "synthesis_pruning five-coloring (d=5): verified {verified_full} full \
+         vs {verified_pruned} pruned ({prune_ratio:.2}x fewer), \
+         {} cone cut(s), full {} pruned {}",
+        pruned_snap.cones_cut,
+        fmt_us(full_us),
+        fmt_us(pruned_us),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"synthesis_scaling/synthesis_comparison\",\n  \
          \"protocol\": \"sum-not-three\",\n  \"domain_size\": 4,\n  \
@@ -161,14 +233,58 @@ fn bench_synthesis_comparison(_c: &mut Criterion) {
          \"telemetry_enabled_us\": {enabled_us:.1},\n  \
          \"telemetry_enabled_overhead\": {overhead:.3},\n  \
          \"phase_totals_us\": {{\"synthesis\": {}}},\n  \
+         \"prune\": {{\n    \"workload\": \"five-coloring\",\n    \
+         \"domain_size\": 5,\n    \
+         \"verified_full\": {verified_full},\n    \
+         \"verified_pruned\": {verified_pruned},\n    \
+         \"prune_ratio\": {prune_ratio:.2},\n    \
+         \"cones_cut\": {},\n    \
+         \"candidates_skipped\": {},\n    \
+         \"delta_reuses\": {},\n    \
+         \"full_us\": {full_us:.1},\n    \"pruned_us\": {pruned_us:.1}\n  }},\n  \
          \"note\": \"timings from a {threads}-core container; parallel speedups are hardware-bound\"\n}}\n",
         baseline.combinations_tried(),
         baseline.solutions().len(),
         snap.micros[Phase::Synthesis.index()],
+        pruned_snap.cones_cut,
+        pruned_snap.candidates_skipped,
+        pruned_snap.delta_reuses,
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_synthesis.json");
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("could not write {}: {e}", out.display());
+    }
+
+    // Persistent registry row, gated on SELFSTAB_REGISTRY like the
+    // verify-scaling bench. The deterministic work counts (and the
+    // higher-is-better prune_ratio) land in `kpis`; timings are reported,
+    // never gated on.
+    if let Ok(registry) = std::env::var("SELFSTAB_REGISTRY") {
+        use selfstab_core::registry_row::{append_row, RegistryRow};
+        use serde_json::json;
+        let row = RegistryRow {
+            source: "bench".to_owned(),
+            spec: "five_coloring".to_owned(),
+            kind: "synthesis_scaling".to_owned(),
+            k: "all".to_owned(),
+            knobs: json!({"domain_size": 5, "reps": reps as u64}),
+            kpis: json!({
+                "verified_full": verified_full,
+                "verified_pruned": verified_pruned,
+                "prune_ratio": prune_ratio,
+                "cones_cut": pruned_snap.cones_cut,
+                "candidates_skipped": pruned_snap.candidates_skipped,
+                "full_us": full_us,
+                "pruned_us": pruned_us,
+            }),
+            meta: RegistryRow::meta_now((full_us + pruned_us) as u64),
+        };
+        let path = std::path::Path::new(&registry);
+        if let Err(e) = append_row(path, &row) {
+            eprintln!("could not append to {}: {e}", path.display());
+        } else {
+            println!("appended bench registry row to {}", path.display());
+        }
     }
 }
 

@@ -14,12 +14,16 @@
 //!   (dotted path into the `kpis` object, e.g.
 //!   `counters.states_visited`) over a grouping column: count, min,
 //!   max, and the latest value per group.
-//! * `diff FILE --baseline FILE [--kpi a,b,…] [--tolerance-pct P]`
-//!   joins rows on their identity (source:spec:kind:k:knobs, latest row
-//!   wins per side) and compares KPIs numerically. A KPI that *rose* by
-//!   more than the tolerance (default 10%) is a regression — KPIs are
-//!   cost-like by convention (counters, byte sizes, durations) — and
-//!   the command exits 2, the CI gate. Gate on deterministic KPIs
+//! * `diff FILE --baseline FILE [--kpi a,b,…] [--tolerance-pct P]
+//!   [--higher-is-better a,b,…]` joins rows on their identity
+//!   (source:spec:kind:k:knobs, latest row wins per side) and compares
+//!   KPIs numerically *in each KPI's own direction*. The default is
+//!   cost-like (lower is better: counters, byte sizes, durations), and
+//!   the `_us`/`_bytes`/`_wait` name suffixes mark that explicitly; a
+//!   KPI listed in `--higher-is-better` (throughput, cache hits,
+//!   solutions found) regresses when it *drops* beyond the tolerance
+//!   instead — an improvement in either direction is never flagged. Any
+//!   regression exits 2, the CI gate. Gate on deterministic KPIs
 //!   (`--kpi` selects them); wall-clock rows exist to be reported, not
 //!   gated on.
 
@@ -165,6 +169,10 @@ fn diff(args: &Args, rows: &[RegistryRow]) -> Result<bool, Box<dyn std::error::E
             .map_err(|_| format!("option --tolerance-pct expects a number, got `{v}`"))?,
     };
     let selected: Option<Vec<&str>> = args.get("kpi").map(|list| list.split(',').collect());
+    let higher_is_better: Vec<String> = args
+        .get("higher-is-better")
+        .map(|list| list.split(',').map(str::to_owned).collect())
+        .unwrap_or_default();
 
     let base_by_id = latest_by_identity(&baseline);
     let new_by_id = latest_by_identity(rows);
@@ -200,7 +208,8 @@ fn diff(args: &Args, rows: &[RegistryRow]) -> Result<bool, Box<dyn std::error::E
             } else {
                 (new_value - base_value) / base_value * 100.0
             };
-            let regressed = change_pct > tolerance;
+            let direction = direction_for(&path, &higher_is_better)?;
+            let regressed = is_regression(change_pct, tolerance, direction);
             if regressed {
                 regressions += 1;
             }
@@ -210,6 +219,7 @@ fn diff(args: &Args, rows: &[RegistryRow]) -> Result<bool, Box<dyn std::error::E
                 "baseline": base_value,
                 "current": new_value,
                 "change_pct": change_pct,
+                "direction": direction.name(),
                 "regressed": regressed,
             }));
         }
@@ -251,6 +261,58 @@ fn diff(args: &Args, rows: &[RegistryRow]) -> Result<bool, Box<dyn std::error::E
         );
     }
     Ok(regressions == 0)
+}
+
+/// Which direction of change is *bad* for a KPI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    /// Cost-like (the default): a rise beyond the tolerance regresses.
+    LowerIsBetter,
+    /// Throughput-like: a *drop* beyond the tolerance regresses.
+    HigherIsBetter,
+}
+
+impl Direction {
+    fn name(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower_is_better",
+            Direction::HigherIsBetter => "higher_is_better",
+        }
+    }
+}
+
+/// Leaf-name suffixes that mark a KPI as cost-like by naming convention
+/// (microsecond durations, byte sizes, queue waits).
+const LOWER_SUFFIXES: &[&str] = &["_us", "_bytes", "_wait"];
+
+/// The comparison direction of one dotted KPI path: cost-like unless the
+/// path is listed in `--higher-is-better`. Listing a suffix-conventioned
+/// cost KPI there is a contradiction worth refusing loudly — a silently
+/// inverted gate is exactly the bug this exists to fix.
+fn direction_for(path: &str, higher_is_better: &[String]) -> Result<Direction, String> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let cost_suffixed = LOWER_SUFFIXES.iter().any(|s| leaf.ends_with(s));
+    let listed = higher_is_better.iter().any(|h| h == path);
+    if listed && cost_suffixed {
+        return Err(format!(
+            "KPI `{path}` is cost-like by naming convention \
+             (`_us`/`_bytes`/`_wait`) but was listed in --higher-is-better"
+        ));
+    }
+    Ok(if listed {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    })
+}
+
+/// `true` iff `change_pct` moved beyond `tolerance` in the KPI's bad
+/// direction. Improvements are never regressions, whatever their size.
+fn is_regression(change_pct: f64, tolerance: f64, direction: Direction) -> bool {
+    match direction {
+        Direction::LowerIsBetter => change_pct > tolerance,
+        Direction::HigherIsBetter => change_pct < -tolerance,
+    }
 }
 
 /// The most recent row per identity — the registry is append-only, so
@@ -349,6 +411,48 @@ mod tests {
                 ("exit_code".to_owned(), 0.0),
             ]
         );
+    }
+
+    #[test]
+    fn direction_defaults_suffixes_and_overrides() {
+        let none: Vec<String> = Vec::new();
+        let throughput = vec!["counters.cache_hits".to_owned()];
+        // Default: cost-like.
+        assert_eq!(
+            direction_for("counters.states_visited", &none).unwrap(),
+            Direction::LowerIsBetter
+        );
+        // Suffix convention stays cost-like even with overrides around.
+        for cost in ["phases.fused_scan_us", "cache.resident_bytes", "queue_wait"] {
+            assert_eq!(
+                direction_for(cost, &throughput).unwrap(),
+                Direction::LowerIsBetter,
+                "{cost}"
+            );
+        }
+        // Listed KPIs flip.
+        assert_eq!(
+            direction_for("counters.cache_hits", &throughput).unwrap(),
+            Direction::HigherIsBetter
+        );
+        // A cost-suffixed KPI in --higher-is-better is a contradiction.
+        let err = direction_for("phases.fused_scan_us", &["phases.fused_scan_us".to_owned()])
+            .unwrap_err();
+        assert!(err.contains("higher-is-better"), "{err}");
+    }
+
+    #[test]
+    fn regression_is_judged_in_the_kpi_direction() {
+        // The original bug: a higher-is-better KPI that *improved* by 50%
+        // was flagged REGRESSED. Improvements never regress.
+        assert!(!is_regression(50.0, 10.0, Direction::HigherIsBetter));
+        assert!(is_regression(50.0, 10.0, Direction::LowerIsBetter));
+        // A genuine drop in a higher-is-better KPI regresses.
+        assert!(is_regression(-50.0, 10.0, Direction::HigherIsBetter));
+        assert!(!is_regression(-50.0, 10.0, Direction::LowerIsBetter));
+        // Within tolerance: quiet in both directions.
+        assert!(!is_regression(5.0, 10.0, Direction::LowerIsBetter));
+        assert!(!is_regression(-5.0, 10.0, Direction::HigherIsBetter));
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! `selfstab synthesize <file.stab> [--first] [--threads N] [--json]` —
-//! the Section 6 local synthesis methodology on the streaming parallel
-//! engine.
+//! `selfstab synthesize <file.stab> [--first] [--threads N] [--json]
+//! [--prune on|off] [--metrics FILE]` — the Section 6 local synthesis
+//! methodology on the streaming parallel engine.
 //!
 //! Exit codes follow the verification convention: 0 when synthesis
 //! succeeds, 1 on usage/IO errors, 2 when the methodology ran and declared
@@ -22,9 +22,17 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     if threads == 0 {
         return Err("option --threads expects a positive number".into());
     }
+    let prune = match args.get("prune").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(format!("option --prune expects `on` or `off`, got `{other}`").into());
+        }
+    };
     let config = SynthesisConfig {
         max_solutions: if args.flag("first") { 1 } else { 64 },
         threads,
+        prune,
         ..SynthesisConfig::default()
     };
 
@@ -43,6 +51,34 @@ pub fn run(raw: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             ""
         },
     ));
+
+    if let Some(path) = args.get("metrics") {
+        // The metrics sidecar is the one place the scheduling-dependent
+        // counters (cancel_polls and the pruning tallies) are written out;
+        // `--json` stays byte-identical across thread counts and prune
+        // modes, so it cannot carry them.
+        let snap = counters.snapshot();
+        let doc = serde_json::json!({
+            "protocol": protocol.name(),
+            "threads": threads,
+            "prune": prune,
+            "counters": {
+                "resolve_sets_examined": snap.resolve_sets_examined,
+                "combinations_tried": snap.combinations_tried,
+                "rejected_invalid": snap.rejected_invalid,
+                "rejected_by_deadlock": snap.rejected_by_deadlock,
+                "rejected_by_trail": snap.rejected_by_trail,
+                "solutions_found": snap.solutions_found,
+                "cancel_polls": snap.cancel_polls,
+                "cones_cut": snap.cones_cut,
+                "candidates_skipped": snap.candidates_skipped,
+                "delta_reuses": snap.delta_reuses,
+            },
+        });
+        let text = format!("{:#}\n", doc);
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        logger::info(format!("wrote the full counter snapshot to {path}"));
+    }
 
     if args.flag("json") {
         let value = json::synthesis_outcome(&protocol, &outcome, &counters.snapshot());

@@ -63,6 +63,25 @@ impl Ltg {
         }
     }
 
+    /// Rebuilds only the t-arcs (and their backing transitions) against
+    /// `protocol`, keeping the s-arcs: the RCG depends only on the domain
+    /// and the locality, so revisions of one protocol (same space, different
+    /// `δ_r`) can delta-apply their transition relation instead of paying a
+    /// full [`Ltg::build`] per revision.
+    pub fn retarget(&mut self, protocol: &Protocol) {
+        let space = protocol.space();
+        let mut t = DiGraph::new(space.len());
+        self.transitions.clear();
+        for tr in protocol.transitions() {
+            t.add_arc(
+                tr.source.index(),
+                tr.target_state(space, protocol.locality()).index(),
+            );
+            self.transitions.push(tr);
+        }
+        self.t = t;
+    }
+
     /// The s-arcs: the continuation relation (an [`Rcg`]).
     pub fn rcg(&self) -> &Rcg {
         &self.s
@@ -322,6 +341,36 @@ mod tests {
             .unwrap();
         let e = make_self_disabling(&p).unwrap_err();
         assert!(e.to_string().contains("self-terminating"));
+    }
+
+    #[test]
+    fn retarget_matches_a_fresh_build() {
+        let p = base(3)
+            .transition(&[0, 0], 1)
+            .unwrap()
+            .legit_all()
+            .build()
+            .unwrap();
+        let q = p
+            .with_added_transitions("q", [LocalTransition::new(p.space().encode(&[0, 1]), 2)])
+            .unwrap();
+        let mut ltg = Ltg::build(&p);
+        ltg.retarget(&q);
+        let fresh = Ltg::build(&q);
+        assert_eq!(
+            ltg.t_arcs().arcs().collect::<Vec<_>>(),
+            fresh.t_arcs().arcs().collect::<Vec<_>>()
+        );
+        assert_eq!(ltg.transitions(), fresh.transitions());
+        assert_eq!(
+            ltg.s_arcs().arcs().collect::<Vec<_>>(),
+            fresh.s_arcs().arcs().collect::<Vec<_>>(),
+            "the s-arcs are space-determined and must be untouched"
+        );
+        // Retargeting back restores the original t-graph.
+        ltg.retarget(&p);
+        let orig = Ltg::build(&p);
+        assert_eq!(ltg.transitions(), orig.transitions());
     }
 
     #[test]

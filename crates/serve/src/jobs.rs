@@ -134,6 +134,14 @@ pub struct JobRequest {
     pub threads: usize,
     /// Wall-clock deadline for the whole job.
     pub timeout: Option<Duration>,
+    /// `synthesize` only: stop after this many accepted solutions.
+    pub max_solutions: usize,
+    /// `synthesize` only: candidate-combination budget.
+    pub max_combinations: usize,
+    /// `synthesize` only: `Resolve`-set budget.
+    pub max_resolve_sets: usize,
+    /// `synthesize` only: monotone lattice pruning (outcome-invariant).
+    pub prune: bool,
 }
 
 fn usize_field(body: &Value, key: &str) -> Result<Option<usize>, SubmitError> {
@@ -246,6 +254,42 @@ impl JobRequest {
                 .parse()
                 .map_err(|e| SubmitError::BadRequest(format!("field `symmetry`: {e}")))?,
         };
+        // Synthesis knobs: meaningful only for `synthesize` jobs, so on
+        // any other kind their presence is a caller mistake worth
+        // flagging (they would otherwise be silently ignored).
+        if kind != JobKind::Synthesize {
+            for key in [
+                "max_solutions",
+                "max_combinations",
+                "max_resolve_sets",
+                "prune",
+            ] {
+                if !body[key].is_null() {
+                    return Err(SubmitError::BadRequest(format!(
+                        "field `{key}` applies only to `synthesize` jobs"
+                    )));
+                }
+            }
+        }
+        let synth_defaults = SynthesisConfig::default();
+        let max_solutions =
+            usize_field(body, "max_solutions")?.unwrap_or(synth_defaults.max_solutions);
+        if max_solutions == 0 {
+            return Err(SubmitError::BadRequest(
+                "field `max_solutions` must be at least 1".to_owned(),
+            ));
+        }
+        let max_combinations =
+            usize_field(body, "max_combinations")?.unwrap_or(synth_defaults.max_combinations);
+        let max_resolve_sets =
+            usize_field(body, "max_resolve_sets")?.unwrap_or(synth_defaults.max_resolve_sets);
+        let prune = match &body["prune"] {
+            Value::Null => synth_defaults.prune,
+            v => v.as_bool().ok_or_else(|| {
+                SubmitError::BadRequest("field `prune` must be a boolean".to_owned())
+            })?,
+        };
+
         let threads = usize_field(body, "threads")?.unwrap_or(1).max(1);
         let timeout = match &body["timeout_ms"] {
             Value::Null => None,
@@ -266,6 +310,10 @@ impl JobRequest {
             symmetry,
             threads,
             timeout,
+            max_solutions,
+            max_combinations,
+            max_resolve_sets,
+            prune,
         })
     }
 
@@ -273,14 +321,17 @@ impl JobRequest {
     /// canonical spec hash plus every input the rendered document depends
     /// on. Engine `threads` is deliberately excluded (documents are
     /// thread-count-invariant), as is `timeout_ms` (only completed,
-    /// deadline-independent results are ever cached).
+    /// deadline-independent results are ever cached). `synthesize` keys
+    /// additionally carry the synthesis budgets and the prune mode —
+    /// differing budgets truncate the outcome differently, so they must
+    /// not alias to the same cached bytes.
     pub fn cache_key(&self) -> String {
         let symmetry = match self.symmetry {
             SymmetryMode::Auto => "auto",
             SymmetryMode::Full => "full",
             SymmetryMode::Reduced => "reduced",
         };
-        format!(
+        let mut key = format!(
             "{}:{}:{}..{}:{}:{}",
             self.hash,
             self.kind.name(),
@@ -288,7 +339,17 @@ impl JobRequest {
             self.k_to,
             self.max_states,
             symmetry,
-        )
+        );
+        if self.kind == JobKind::Synthesize {
+            key.push_str(&format!(
+                ":s{}:c{}:r{}:{}",
+                self.max_solutions,
+                self.max_combinations,
+                self.max_resolve_sets,
+                if self.prune { "pruned" } else { "full" },
+            ));
+        }
+        key
     }
 
     /// The job's deadline instant, if a timeout was requested. Anchored
@@ -502,11 +563,14 @@ fn execute_synthesis(
     cancel: &CancelToken,
     trace: Option<&JobTrace>,
 ) -> ExecOutcome {
-    // Mirrors `selfstab synthesize --json` without `--first`: up to 64
-    // solutions, default exploration bounds.
+    // Mirrors `selfstab synthesize --json`, with the request's own
+    // budgets and prune mode instead of hardcoded defaults.
     let config = SynthesisConfig {
-        max_solutions: 64,
+        max_solutions: req.max_solutions,
+        max_combinations: req.max_combinations,
+        max_resolve_sets: req.max_resolve_sets,
         threads: req.threads,
+        prune: req.prune,
         ..SynthesisConfig::default()
     };
     let counters = SynthesisCounters::new();
@@ -635,6 +699,52 @@ action x[r-1] == 1 && x[r] == 0 -> x[r] := 1
         // Different K → different address.
         let c = JobRequest::from_json(&spec_body("\"kind\": \"verify\", \"k\": 5")).unwrap();
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn synthesis_knobs_parse_and_never_alias_in_the_cache() {
+        // Defaults mirror SynthesisConfig::default().
+        let base = JobRequest::from_json(&spec_body("\"kind\": \"synthesize\"")).unwrap();
+        assert_eq!(base.max_solutions, 64);
+        assert_eq!(base.max_combinations, 4096);
+        assert_eq!(base.max_resolve_sets, 32);
+        assert!(base.prune);
+
+        // Regression: every synthesis knob must perturb the cache key —
+        // before they were keyed, a `max_combinations: 1` request was
+        // answered with the full-budget document.
+        let variants = [
+            "\"kind\": \"synthesize\", \"max_solutions\": 1",
+            "\"kind\": \"synthesize\", \"max_combinations\": 1",
+            "\"kind\": \"synthesize\", \"max_resolve_sets\": 1",
+            "\"kind\": \"synthesize\", \"prune\": false",
+        ];
+        let mut keys = vec![base.cache_key()];
+        for extra in variants {
+            let req = JobRequest::from_json(&spec_body(extra)).unwrap();
+            keys.push(req.cache_key());
+        }
+        let unique: std::collections::BTreeSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "aliased keys: {keys:?}");
+
+        // An explicit default is the same address as an omitted knob.
+        let explicit =
+            JobRequest::from_json(&spec_body("\"kind\": \"synthesize\", \"prune\": true")).unwrap();
+        assert_eq!(explicit.cache_key(), base.cache_key());
+    }
+
+    #[test]
+    fn synthesis_knobs_are_rejected_on_other_kinds() {
+        for extra in [
+            "\"kind\": \"verify\", \"k\": 3, \"prune\": true",
+            "\"kind\": \"sweep\", \"k\": 3, \"max_solutions\": 2",
+            "\"kind\": \"verify\", \"k\": 3, \"max_combinations\": 10",
+            "\"kind\": \"synthesize\", \"prune\": \"on\"",
+            "\"kind\": \"synthesize\", \"max_solutions\": 0",
+        ] {
+            let err = JobRequest::from_json(&spec_body(extra)).unwrap_err();
+            assert_eq!(err.status(), 400, "case: {extra}");
+        }
     }
 
     #[test]

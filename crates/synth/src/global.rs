@@ -113,7 +113,12 @@ impl GlobalSynthesizer {
             let space = ComboSpace {
                 per_state: &per_state,
             };
-            let total = space.total();
+            // An overflowing combination space cannot be streamed exactly;
+            // the budget cap below would stop it anyway, so clamp to the
+            // budget rather than erroring the whole baseline run.
+            let total = space
+                .checked_total()
+                .unwrap_or(self.config.max_combinations as u64);
             let mut digits = Vec::new();
             let mut added = Vec::new();
             space.decode(0, &mut digits);

@@ -24,13 +24,28 @@
 //! * **Cancellation** — a cooperative [`CancelToken`] is polled once per
 //!   candidate; on cancellation the verified contiguous prefix is kept, so
 //!   no solution below the cancel point is lost.
+//! * **Monotone lattice pruning** (`prune`, on by default) — a candidate
+//!   rejected by a qualifying trail certifies a *cut*: the trail's used
+//!   t-arcs form a pseudo-livelock union whose presence dooms **every**
+//!   superset candidate, because the trail search depends only on the
+//!   s-arcs (space-determined), the allowed t-arcs, and the illegitimate
+//!   states — none of which a superset changes. Cuts are published in a
+//!   lock-free index and each worker skips the cut's upward cone with a
+//!   per-digit subset test; skipped candidates are *recounted* with the
+//!   tag the full engine would have assigned (TAG_TRAIL), so the outcome
+//!   stays byte-identical with pruning on or off, at every thread count.
+//!   Verified candidates reuse the `Resolve` set's shared Theorem 4.2
+//!   verdict and a per-worker delta-applied LTG ([`Ltg::retarget`])
+//!   instead of from-scratch analyses. See DESIGN.md §14.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use selfstab_core::deadlock::DeadlockAnalysis;
 use selfstab_core::livelock::LivelockAnalysis;
+use selfstab_core::ltg::Ltg;
+use selfstab_core::pseudo::forms_pseudo_livelock_union;
 use selfstab_core::rcg::Rcg;
 use selfstab_global::CancelToken;
 use selfstab_graph::{
@@ -56,6 +71,10 @@ pub struct SynthesisConfig {
     /// Worker threads for candidate verification (1 = sequential; the
     /// outcome is identical either way).
     pub threads: usize,
+    /// Monotone lattice pruning and delta-verification (see the module
+    /// docs). The [`SynthesisOutcome`] is byte-identical with pruning on or
+    /// off; `false` forces the reference full-enumeration engine.
+    pub prune: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -66,6 +85,7 @@ impl Default for SynthesisConfig {
             max_solutions: 64,
             cycle_budget: CycleBudget::default(),
             threads: 1,
+            prune: true,
         }
     }
 }
@@ -80,6 +100,13 @@ pub enum SynthesisError {
         /// The offending domain size.
         domain_size: usize,
     },
+    /// The candidate cross-product of a `Resolve` set overflows `u64`, so
+    /// the mixed-radix index cannot address every combination — silently
+    /// saturating would make the chunked workers enumerate garbage indices.
+    CombinationSpaceTooLarge {
+        /// Number of states in the offending `Resolve` set.
+        resolve_states: usize,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -90,6 +117,12 @@ impl fmt::Display for SynthesisError {
                 "domain has {domain_size} values, but candidate enumeration \
                  is limited to {} (u8 value range)",
                 u8::MAX as usize + 1
+            ),
+            SynthesisError::CombinationSpaceTooLarge { resolve_states } => write!(
+                f,
+                "the candidate combination space of a {resolve_states}-state \
+                 Resolve set overflows the u64 index range; no budget can \
+                 enumerate it exactly"
             ),
         }
     }
@@ -182,12 +215,16 @@ pub(crate) struct ComboSpace<'a> {
 }
 
 impl ComboSpace<'_> {
-    /// Number of combinations (saturating; an empty `Resolve` set has
-    /// exactly one, empty, combination).
-    pub(crate) fn total(&self) -> u64 {
+    /// Number of combinations, or `None` when the product overflows `u64`
+    /// — `decode`/`advance` assume the total is exact, so a saturated
+    /// count must be a typed error at the caller, never an index into
+    /// garbage. An empty `Resolve` set has exactly one, empty, combination;
+    /// a state with zero options yields `Some(0)` (immediately
+    /// unsatisfiable, and `decode` must not be called).
+    pub(crate) fn checked_total(&self) -> Option<u64> {
         self.per_state
             .iter()
-            .fold(1u64, |acc, opts| acc.saturating_mul(opts.len() as u64))
+            .try_fold(1u64, |acc, opts| acc.checked_mul(opts.len() as u64))
     }
 
     /// Decodes combination `index` into one digit per state.
@@ -289,14 +326,29 @@ impl LocalSynthesizer {
 
         // Exact re-verification (covers the truncated-enumeration case):
         // removing the Resolve states must leave no bad cycle.
-        sets.into_iter()
+        let mut sets: Vec<Vec<LocalStateId>> = sets
+            .into_iter()
             .map(|s| {
                 s.into_iter()
                     .map(|v| LocalStateId(v as u32))
                     .collect::<Vec<_>>()
             })
             .filter(|resolve: &Vec<LocalStateId>| resolved_is_deadlock_free(protocol, rcg, resolve))
-            .collect()
+            .collect();
+        // Hitting-set coverage ordering: every minimal hitting set hits
+        // every family, so rank by the summed family degree of the set's
+        // states — dense resolve states constrain the most cycles, which
+        // front-loads rejections (and, under pruning, cut installations).
+        // The stable sort keeps the hitting-set enumeration order on ties,
+        // and the order is part of the canonical enumeration: it is applied
+        // identically with pruning on or off.
+        let weight = |set: &[LocalStateId]| -> usize {
+            set.iter()
+                .map(|s| families.iter().filter(|f| f.contains(&s.index())).count())
+                .sum()
+        };
+        sets.sort_by_key(|s| std::cmp::Reverse(weight(s)));
+        sets
     }
 
     /// Candidate recovery transitions out of `state`: every changed value
@@ -415,6 +467,7 @@ impl LocalSynthesizer {
         let mut rejected_invalid: u64 = 0;
         let mut rejected_by_deadlock: u64 = 0;
         let cancel_polls = AtomicU64::new(0);
+        let prune_state = self.config.prune.then(PruneState::new);
 
         for resolve in sets {
             if outcome.solutions.len() >= self.config.max_solutions
@@ -430,8 +483,10 @@ impl LocalSynthesizer {
             }
             outcome.resolve_sets_tried += 1;
 
-            // Per-state candidates; a state without candidates kills this
-            // Resolve set.
+            // Per-state candidates; a state without candidates makes the
+            // Resolve set immediately unsatisfiable (and `decode` must
+            // never see its zero-length digit), so it is skipped before a
+            // ComboSpace is even formed.
             let per_state: Vec<Vec<LocalTransition>> = resolve
                 .iter()
                 .map(|&s| self.candidates_unchecked(protocol, resolve, s))
@@ -442,11 +497,34 @@ impl LocalSynthesizer {
             let space = ComboSpace {
                 per_state: &per_state,
             };
-            let total = space.total();
+            let Some(total) = space.checked_total() else {
+                return Err(SynthesisError::CombinationSpaceTooLarge {
+                    resolve_states: resolve.len(),
+                });
+            };
             let comb_left = (self.config.max_combinations - outcome.combinations_tried) as u64;
             let allowed = total.min(comb_left);
             let sol_cap = (self.config.max_solutions - outcome.solutions.len()) as u64;
 
+            let prune = prune_state.as_ref().map(|state| PruneScanContext {
+                state,
+                digit_valid: per_state
+                    .iter()
+                    .map(|opts| {
+                        opts.iter()
+                            .map(|&t| candidate_transition_is_valid(protocol, t))
+                            .collect()
+                    })
+                    .collect(),
+                // The Theorem 4.2 verdict is a function of the candidate's
+                // deadlock set alone, and every combination of this set
+                // resolves exactly `resolve` — one shared verdict covers
+                // them all. Surviving sets are pre-filtered on it, so the
+                // guard below is defensive: were it ever false, every valid
+                // candidate would be TAG_DEADLOCK and cut-skipping (which
+                // can only certify TAG_TRAIL) must stand down.
+                set_deadlock_free: resolved_is_deadlock_free(protocol, &rcg, resolve),
+            });
             let ctx = ScanContext {
                 protocol,
                 rcg: &rcg,
@@ -454,6 +532,7 @@ impl LocalSynthesizer {
                 name: &name,
                 resolve,
                 space: &space,
+                prune,
             };
             let scan = scan_resolve_set(
                 &ctx,
@@ -514,9 +593,164 @@ impl LocalSynthesizer {
                 .fetch_add(outcome.solutions.len() as u64, Ordering::Relaxed);
             c.cancel_polls
                 .fetch_add(cancel_polls.load(Ordering::Relaxed), Ordering::Relaxed);
+            if let Some(p) = &prune_state {
+                c.cones_cut
+                    .fetch_add(p.cones_cut.load(Ordering::Relaxed), Ordering::Relaxed);
+                c.candidates_skipped.fetch_add(
+                    p.candidates_skipped.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                c.delta_reuses
+                    .fetch_add(p.delta_reuses.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
         }
         Ok(outcome)
     }
+}
+
+/// Capacity of the shared cut index. Corpus workloads install a handful of
+/// cuts; the cut-heavy 5-coloring bench installs under a hundred. Overflow
+/// degrades to plain verification, never to an error.
+const CUT_CAPACITY: usize = 256;
+
+/// Lock-free, append-only index of *cuts*: culpable added-transition
+/// subsets certified by a trail rejection. A published cut `C` proves that
+/// every candidate protocol containing all of `C` admits a qualifying
+/// contiguous trail and is rejected by the Theorem 5.14 check
+/// (`TAG_TRAIL`):
+///
+/// * the rejecting trail's used t-arcs form a pseudo-livelock union
+///   (re-checked at installation — the over-approximating `> 12`-support
+///   fallback can report trails whose used set does not qualify), and
+///   `forms_pseudo_livelock_union` depends only on the subset, the space
+///   and the locality — not on the rest of the protocol;
+/// * a pseudo-livelock union inside a superset candidate lies inside that
+///   candidate's support (its projection cycles survive in the larger
+///   projection graph), so the superset's own trail search — complete
+///   subset enumeration up to 12 support arcs, an over-rejecting whole-
+///   support search beyond — re-encounters a qualifying trail (the trail
+///   search itself depends only on the space-determined s-arcs, the
+///   allowed t-arcs and the fixed illegitimate states);
+/// * and if the superset breaks an analysis assumption instead
+///   (self-termination, process-self-disabling, closure), it is equally
+///   uncertified — either way the full engine tags it `TAG_TRAIL`.
+///
+/// Cuts are stored with their base transitions stripped (the base is part
+/// of every candidate of every `Resolve` set), sorted for subset tests.
+/// Publication is a claim counter over per-slot `OnceLock`s: readers never
+/// block and the crate stays `forbid(unsafe_code)`-clean.
+struct CutIndex {
+    slots: Vec<OnceLock<Vec<LocalTransition>>>,
+    claimed: AtomicUsize,
+}
+
+impl CutIndex {
+    fn new() -> Self {
+        CutIndex {
+            slots: (0..CUT_CAPACITY).map(|_| OnceLock::new()).collect(),
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The fully published cuts (slots claimed but not yet written are
+    /// skipped; they become visible on a later scan).
+    fn published(&self) -> impl Iterator<Item = &[LocalTransition]> {
+        self.slots.iter().filter_map(|s| s.get().map(Vec::as_slice))
+    }
+
+    /// Publishes a sorted cut unless a published cut already subsumes it
+    /// (its cone contains the new one's) or the index is full. Returns
+    /// `true` when a slot was written.
+    fn install(&self, arcs: Vec<LocalTransition>) -> bool {
+        if self.published().any(|c| is_sorted_subset(c, &arcs)) {
+            return false;
+        }
+        if self.claimed.load(Ordering::Relaxed) >= CUT_CAPACITY {
+            return false;
+        }
+        let slot = self.claimed.fetch_add(1, Ordering::Relaxed);
+        if slot >= CUT_CAPACITY {
+            return false;
+        }
+        self.slots[slot]
+            .set(arcs)
+            .expect("cut slot is claimed exactly once");
+        true
+    }
+}
+
+/// `a ⊆ b` for sorted, deduplicated transition slices.
+fn is_sorted_subset(a: &[LocalTransition], b: &[LocalTransition]) -> bool {
+    a.iter().all(|t| b.binary_search(t).is_ok())
+}
+
+/// Shared pruning state for one synthesis run: the cut index plus the
+/// scheduling-dependent work-avoidance tallies (the *verdicts* stay
+/// deterministic; only how much verification was skipped varies).
+struct PruneState {
+    cuts: CutIndex,
+    cones_cut: AtomicU64,
+    candidates_skipped: AtomicU64,
+    delta_reuses: AtomicU64,
+}
+
+impl PruneState {
+    fn new() -> Self {
+        PruneState {
+            cuts: CutIndex::new(),
+            cones_cut: AtomicU64::new(0),
+            candidates_skipped: AtomicU64::new(0),
+            delta_reuses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-`Resolve`-set pruning context handed to the scan.
+struct PruneScanContext<'a> {
+    state: &'a PruneState,
+    /// `digit_valid[j][d]`: whether option `d` of state `j` passes the
+    /// (private) transition validation of `with_added_transitions` — a
+    /// per-transition property, so a skipped candidate's `TAG_INVALID` is
+    /// decidable without materializing a protocol.
+    digit_valid: Vec<Vec<bool>>,
+    /// The shared Theorem 4.2 verdict of this set (see
+    /// [`LocalSynthesizer::search`]).
+    set_deadlock_free: bool,
+}
+
+/// Projects a cut onto one `Resolve` set's digit space: the candidate at
+/// `digits` lies in the cut's cone iff `digits[j] == d` for every returned
+/// `(j, d)`. `None` when the set cannot express the cut — an arc that is
+/// no state's candidate here, or two arcs competing for one digit — so no
+/// candidate of this set contains it.
+fn project_cut(
+    cut: &[LocalTransition],
+    resolve: &[LocalStateId],
+    per_state: &[Vec<LocalTransition>],
+) -> Option<Vec<(usize, usize)>> {
+    let mut constraints: Vec<(usize, usize)> = Vec::with_capacity(cut.len());
+    for &t in cut {
+        let j = resolve.iter().position(|&s| s == t.source)?;
+        let d = per_state[j].iter().position(|&c| c == t)?;
+        if constraints.iter().any(|&(cj, cd)| cj == j && cd != d) {
+            return None;
+        }
+        constraints.push((j, d));
+    }
+    constraints.sort_unstable();
+    constraints.dedup();
+    Some(constraints)
+}
+
+/// Mirror of the private transition validation inside
+/// [`Protocol::with_added_transitions`] (range checks plus the
+/// identity-write ban), used by the pruned path's per-digit validity
+/// precompute.
+fn candidate_transition_is_valid(protocol: &Protocol, t: LocalTransition) -> bool {
+    let space = protocol.space();
+    t.source.index() < space.len()
+        && (t.target as usize) < space.domain_size()
+        && space.value_at(t.source, protocol.locality().center()) != t.target
 }
 
 /// Everything a worker needs to verify one candidate, shared read-only
@@ -528,6 +762,8 @@ struct ScanContext<'a> {
     name: &'a str,
     resolve: &'a [LocalStateId],
     space: &'a ComboSpace<'a>,
+    /// Pruning context; `None` runs the reference full-verification path.
+    prune: Option<PruneScanContext<'a>>,
 }
 
 /// The canonical verified prefix of one `Resolve`-set scan.
@@ -585,6 +821,14 @@ fn scan_resolve_set(
         let mut digits: Vec<usize> = Vec::new();
         let mut added: Vec<LocalTransition> = Vec::new();
         let mut polls: u64 = 0;
+        // Worker-local pruning state: the delta-LTG survives across
+        // candidates and chunks; the projected cuts are refreshed at each
+        // chunk claim, picking up cuts other workers published meanwhile
+        // without any synchronization on the hot per-candidate test.
+        let mut ltg: Option<Ltg> = None;
+        let mut projected: Vec<Vec<(usize, usize)>> = Vec::new();
+        let mut skipped: u64 = 0;
+        let mut reused: u64 = 0;
         loop {
             if sols_hint.load(Ordering::Relaxed) >= sol_cap {
                 break;
@@ -592,6 +836,17 @@ fn scan_resolve_set(
             let c = next.fetch_add(1, Ordering::Relaxed);
             if c >= num_chunks {
                 break;
+            }
+            if let Some(p) = &ctx.prune {
+                if p.set_deadlock_free {
+                    projected.clear();
+                    projected.extend(
+                        p.state
+                            .cuts
+                            .published()
+                            .filter_map(|cut| project_cut(cut, ctx.resolve, ctx.space.per_state)),
+                    );
+                }
             }
             let lo = c * chunk;
             let hi = (lo + chunk).min(allowed);
@@ -607,8 +862,22 @@ fn scan_resolve_set(
                     aborted = true;
                     break;
                 }
-                ctx.space.fill(&digits, &mut added);
-                let (tag, sol) = verify_candidate(ctx, &added);
+                let (tag, sol) = match &ctx.prune {
+                    Some(p) => verify_candidate_pruned(
+                        ctx,
+                        p,
+                        &digits,
+                        &projected,
+                        &mut added,
+                        &mut ltg,
+                        &mut skipped,
+                        &mut reused,
+                    ),
+                    None => {
+                        ctx.space.fill(&digits, &mut added);
+                        verify_candidate(ctx, &added)
+                    }
+                };
                 part.tags.push(tag);
                 if let Some(s) = sol {
                     part.solutions.push((i, s));
@@ -625,6 +894,12 @@ fn scan_resolve_set(
             }
         }
         cancel_polls.fetch_add(polls, Ordering::Relaxed);
+        if let Some(p) = &ctx.prune {
+            p.state
+                .candidates_skipped
+                .fetch_add(skipped, Ordering::Relaxed);
+            p.state.delta_reuses.fetch_add(reused, Ordering::Relaxed);
+        }
     };
 
     if threads == 1 || num_chunks == 1 {
@@ -692,6 +967,103 @@ fn verify_candidate(
 
     let la = LivelockAnalysis::analyze(&candidate);
     if !la.certified_free() {
+        return (TAG_TRAIL, None);
+    }
+    let verdict = if la.pseudo_livelock_support().is_empty() {
+        SynthesisVerdict::NoPseudoLivelock
+    } else {
+        SynthesisVerdict::PseudoLivelocksWithoutTrails
+    };
+    let sol = SynthesizedProtocol {
+        protocol: candidate,
+        resolve: ctx.resolve.to_vec(),
+        added: added.to_vec(),
+        verdict,
+    };
+    (TAG_ACCEPT, Some(sol))
+}
+
+/// The pruned verification of one candidate: exact per-digit validity,
+/// cut-cone skipping, then delta-verification — the set's shared Theorem
+/// 4.2 verdict plus a retargeted per-worker LTG. The returned tag is
+/// provably the one [`verify_candidate`] would compute (see the module
+/// docs and DESIGN.md §14 for the soundness argument), so the canonical
+/// merge cannot tell the engines apart.
+#[allow(clippy::too_many_arguments)]
+fn verify_candidate_pruned(
+    ctx: &ScanContext<'_>,
+    p: &PruneScanContext<'_>,
+    digits: &[usize],
+    projected: &[Vec<(usize, usize)>],
+    added: &mut Vec<LocalTransition>,
+    ltg: &mut Option<Ltg>,
+    skipped: &mut u64,
+    reused: &mut u64,
+) -> (u8, Option<SynthesizedProtocol>) {
+    // Validity is a per-transition property, so the conjunction of the
+    // digit flags is exactly the `with_added_transitions` verdict — no
+    // protocol needs to be materialized to tag an invalid candidate.
+    if digits
+        .iter()
+        .enumerate()
+        .any(|(j, &d)| !p.digit_valid[j][d])
+    {
+        return (TAG_INVALID, None);
+    }
+    // Cut-cone skip. Sound only under a free shared deadlock verdict,
+    // because the full engine checks Theorem 4.2 *before* the trail: were
+    // the verdict not free, the candidate's tag would be TAG_DEADLOCK.
+    if p.set_deadlock_free
+        && projected
+            .iter()
+            .any(|c| c.iter().all(|&(j, d)| digits[j] == d))
+    {
+        *skipped += 1;
+        return (TAG_TRAIL, None);
+    }
+    ctx.space.fill(digits, added);
+    let candidate = match ctx
+        .protocol
+        .with_added_transitions(ctx.name, added.iter().copied())
+    {
+        Ok(c) => c,
+        // Unreachable (digits are pre-validated); kept so a validation
+        // drift would surface as a wrong tag, not a panic.
+        Err(_) => return (TAG_INVALID, None),
+    };
+    // From here on every verification step reuses shared or delta state
+    // (set verdict, cloned RCG, retargeted t-graph) instead of a
+    // from-scratch analysis.
+    *reused += 1;
+    if !p.set_deadlock_free {
+        return (TAG_DEADLOCK, None);
+    }
+    let la = match ltg {
+        Some(l) => {
+            l.retarget(&candidate);
+            LivelockAnalysis::analyze_with_ltg(&candidate, l)
+        }
+        None => {
+            let l = ltg.insert(Ltg::with_rcg(&candidate, ctx.rcg.clone()));
+            LivelockAnalysis::analyze_with_ltg(&candidate, l)
+        }
+    };
+    if !la.certified_free() {
+        // A trail witness certifies a cut — unless it came from the
+        // over-approximating whole-support fallback and its used set is
+        // not a pseudo-livelock union, in which case it transfers nothing.
+        if let Some(trail) = la.trail() {
+            let arcs = trail.t_arcs();
+            if forms_pseudo_livelock_union(&arcs, ctx.protocol.space(), ctx.protocol.locality()) {
+                let cut: Vec<LocalTransition> = arcs
+                    .into_iter()
+                    .filter(|&t| !ctx.protocol.has_transition(t))
+                    .collect();
+                if p.state.cuts.install(cut) {
+                    p.state.cones_cut.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         return (TAG_TRAIL, None);
     }
     let verdict = if la.pseudo_livelock_support().is_empty() {
@@ -987,6 +1359,146 @@ mod tests {
         assert!(err.to_string().contains("300"), "{err}");
     }
 
+    /// The pruned engine (the default) and the reference full-enumeration
+    /// engine produce byte-identical outcomes on every corpus-shaped
+    /// workload, at every thread count — pruning must be invisible.
+    #[test]
+    fn pruned_and_full_engines_agree_at_every_thread_count() {
+        let workloads = [
+            (2, "x[r] == x[r-1]"),
+            (2, "x[r] != x[r-1]"),
+            (3, "x[r] != x[r-1]"),
+            (3, "x[r] + x[r-1] != 2"),
+            (4, "x[r] != x[r-1]"),
+            (4, "x[r] + x[r-1] != 3"),
+        ];
+        for (d, legit) in workloads {
+            let p = empty("w", d, legit);
+            let full = LocalSynthesizer::new(SynthesisConfig {
+                prune: false,
+                ..SynthesisConfig::default()
+            })
+            .synthesize(&p)
+            .unwrap();
+            for threads in [1, 2, 8] {
+                let pruned = LocalSynthesizer::new(SynthesisConfig {
+                    prune: true,
+                    threads,
+                    ..SynthesisConfig::default()
+                })
+                .synthesize(&p)
+                .unwrap();
+                assert_eq!(pruned, full, "d={d} legit=`{legit}` threads={threads}");
+            }
+        }
+    }
+
+    /// On a workload whose every candidate is trail-rejected (4-coloring),
+    /// pruning actually cuts cones and skips verification work — while the
+    /// recounted outcome still covers the whole combination space.
+    #[test]
+    fn pruning_cuts_cones_on_a_rejecting_workload() {
+        let p = empty("4col", 4, "x[r] != x[r-1]");
+        let counters = SynthesisCounters::new();
+        let out = LocalSynthesizer::default()
+            .synthesize_metered(&p, &CancelToken::new(), Some(&counters), None)
+            .unwrap();
+        assert!(!out.is_success());
+        assert_eq!(out.combinations_tried(), out.rejected_by_trail());
+        let snap = counters.snapshot();
+        assert!(snap.cones_cut > 0, "no cut was ever installed");
+        assert!(snap.candidates_skipped > 0, "no cone member was skipped");
+        assert!(snap.delta_reuses > 0, "no verification reused delta state");
+        // Skipped candidates are recounted, never dropped.
+        assert_eq!(snap.combinations_tried, out.combinations_tried() as u64);
+        assert_eq!(snap.rejected_by_trail, out.rejected_by_trail() as u64);
+    }
+
+    /// Satellite regression: a combination space whose product overflows
+    /// `u64` is a typed error, not a saturated count that `decode` would
+    /// misindex.
+    #[test]
+    fn combo_space_overflow_is_detected_not_saturated() {
+        let t = |v: u8| LocalTransition::new(LocalStateId(0), v);
+        // 2^64 combinations: 64 states with 2 options each.
+        let per_state: Vec<Vec<LocalTransition>> = (0..64).map(|_| vec![t(0), t(1)]).collect();
+        let space = ComboSpace {
+            per_state: &per_state,
+        };
+        assert_eq!(space.checked_total(), None);
+        // One state fewer fits exactly.
+        let space = ComboSpace {
+            per_state: &per_state[..63],
+        };
+        assert_eq!(space.checked_total(), Some(1u64 << 63));
+        let err = SynthesisError::CombinationSpaceTooLarge { resolve_states: 64 };
+        assert!(err.to_string().contains("64-state"), "{err}");
+    }
+
+    /// Satellite regression: a resolve state with zero candidate options
+    /// yields `Some(0)` (immediately unsatisfiable) — the old saturating
+    /// total fed `decode` a modulus of zero.
+    #[test]
+    fn zero_option_state_is_immediately_unsatisfiable() {
+        let t = |v: u8| LocalTransition::new(LocalStateId(0), v);
+        let per_state = vec![vec![t(0), t(1)], Vec::new()];
+        let space = ComboSpace {
+            per_state: &per_state,
+        };
+        assert_eq!(space.checked_total(), Some(0));
+    }
+
+    /// The cut index is append-only, subsumption-deduplicated, and
+    /// saturates at capacity instead of erroring.
+    #[test]
+    fn cut_index_dedups_and_saturates() {
+        let t = |s: u32, v: u8| LocalTransition::new(LocalStateId(s), v);
+        let idx = CutIndex::new();
+        assert!(idx.install(vec![t(0, 1), t(1, 2)]));
+        // A superset cone is subsumed by the published cut.
+        assert!(!idx.install(vec![t(0, 1), t(1, 2), t(2, 0)]));
+        // The exact same cut is subsumed too.
+        assert!(!idx.install(vec![t(0, 1), t(1, 2)]));
+        // A *subset* is new information (a wider cone) and is published.
+        assert!(idx.install(vec![t(0, 1)]));
+        assert_eq!(idx.published().count(), 2);
+        for s in 2..CUT_CAPACITY as u32 {
+            assert!(idx.install(vec![t(s, 1)]));
+        }
+        assert!(!idx.install(vec![t(9999, 1)]), "capacity saturates");
+        assert_eq!(idx.published().count(), CUT_CAPACITY);
+    }
+
+    /// Cut projection maps transitions to digit constraints, rejects cuts
+    /// the set cannot express, and reports conflicting constraints as an
+    /// empty cone.
+    #[test]
+    fn cut_projection_constrains_digits() {
+        let s0 = LocalStateId(0);
+        let s1 = LocalStateId(1);
+        let t = |s: LocalStateId, v: u8| LocalTransition::new(s, v);
+        let resolve = [s0, s1];
+        let per_state = vec![vec![t(s0, 1), t(s0, 2)], vec![t(s1, 0), t(s1, 2)]];
+        assert_eq!(
+            project_cut(&[t(s0, 2), t(s1, 0)], &resolve, &per_state),
+            Some(vec![(0, 1), (1, 0)])
+        );
+        // An arc that is nobody's candidate: inexpressible here.
+        assert_eq!(project_cut(&[t(s0, 3)], &resolve, &per_state), None);
+        // An arc from a state outside the resolve set: inexpressible.
+        assert_eq!(
+            project_cut(&[t(LocalStateId(7), 1)], &resolve, &per_state),
+            None
+        );
+        // Two arcs competing for one digit: the cone is empty.
+        assert_eq!(
+            project_cut(&[t(s0, 1), t(s0, 2)], &resolve, &per_state),
+            None
+        );
+        // The empty cut constrains nothing (dooms every candidate).
+        assert_eq!(project_cut(&[], &resolve, &per_state), Some(Vec::new()));
+    }
+
     /// The lazy mixed-radix enumeration matches the old materialized
     /// nested-loop order: state 0 is the most significant digit.
     #[test]
@@ -996,7 +1508,7 @@ mod tests {
         let space = ComboSpace {
             per_state: &per_state,
         };
-        assert_eq!(space.total(), 6);
+        assert_eq!(space.checked_total(), Some(6));
         let mut materialized: Vec<Vec<LocalTransition>> = vec![Vec::new()];
         for opts in &per_state {
             let mut next = Vec::new();

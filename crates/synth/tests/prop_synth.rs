@@ -109,6 +109,81 @@ proptest! {
         }
     }
 
+    /// The pruning contract: for every random protocol, worker-thread
+    /// count, and budget cutoff, the pruned engine's [`SynthesisOutcome`]
+    /// is identical to the reference full enumeration — cone-skipped
+    /// candidates are recounted, never dropped, so even a budget that
+    /// truncates mid-cone cannot perturb the counts or the solutions.
+    #[test]
+    fn pruning_is_invisible_across_threads_and_budgets(
+        p in arb_empty_protocol(3),
+        threads_pick in 0usize..3,
+        budget_pick in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 8][threads_pick];
+        let max_combinations = [7usize, 64, 4096][budget_pick];
+        let config = |prune| SynthesisConfig {
+            max_solutions: 8,
+            max_combinations,
+            threads,
+            prune,
+            ..SynthesisConfig::default()
+        };
+        let full = LocalSynthesizer::new(config(false)).synthesize(&p).unwrap();
+        let pruned = LocalSynthesizer::new(config(true)).synthesize(&p).unwrap();
+        prop_assert_eq!(
+            &pruned, &full,
+            "pruning perturbed the outcome at {} threads, budget {}",
+            threads, max_combinations
+        );
+    }
+
+    /// Cancellation mid-prune: the same prefix-preservation contract as
+    /// the unpruned engine, judged against the *unpruned* full run — a cut
+    /// installed before the cancel point must not let the pruned engine
+    /// lose, invent, or reorder anything in the verified prefix.
+    #[test]
+    fn cancellation_mid_prune_preserves_the_verified_prefix(
+        p in arb_empty_protocol(2),
+        delay_us in 0u64..200,
+    ) {
+        let config = SynthesisConfig {
+            max_solutions: 8,
+            threads: 4,
+            prune: true,
+            ..SynthesisConfig::default()
+        };
+        let full = LocalSynthesizer::new(SynthesisConfig {
+            prune: false,
+            ..config.clone()
+        })
+        .synthesize(&p).unwrap();
+
+        let cancel = std::sync::Arc::new(CancelToken::new());
+        let canceller = {
+            let cancel = std::sync::Arc::clone(&cancel);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                cancel.cancel();
+            })
+        };
+        let out = LocalSynthesizer::new(config)
+            .synthesize_bounded(&p, &cancel)
+            .unwrap();
+        canceller.join().unwrap();
+
+        if out.cancelled() {
+            prop_assert!(out.truncated(), "a cancelled outcome must be truncated");
+        } else {
+            prop_assert_eq!(&out, &full, "an uncancelled pruned run must match the full run");
+        }
+        prop_assert!(out.solutions().len() <= full.solutions().len());
+        for (got, want) in out.solutions().iter().zip(full.solutions()) {
+            prop_assert_eq!(got, want, "cancellation mid-prune reordered or lost a solution");
+        }
+        prop_assert!(out.combinations_tried() <= full.combinations_tried());
+    }
+
     /// Cancellation mid-run yields a clean truncated outcome whose solutions
     /// are a prefix of the uncancelled run's — no solution below the cancel
     /// point is ever lost, and nothing beyond the verified prefix is

@@ -161,7 +161,11 @@ impl EngineCountersSnapshot {
 ///   merge, so they are identical for every thread count;
 /// * **scheduling-dependent** — `cancel_polls` counts the cooperative
 ///   cancellation checks workers performed, including overwork on chunks
-///   that a budget cutoff later discarded.
+///   that a budget cutoff later discarded; `cones_cut`,
+///   `candidates_skipped` and `delta_reuses` describe the lattice-pruning
+///   machinery, whose work avoidance depends on which worker installed a
+///   cut first (the *verdicts* stay deterministic — only the amount of
+///   skipped work varies).
 ///
 /// [`SynthesisCountersSnapshot::deterministic_json`] renders only the first
 /// class.
@@ -181,6 +185,16 @@ pub struct SynthesisCounters {
     pub solutions_found: AtomicU64,
     /// Cancellation polls performed (scheduling-dependent; see type docs).
     pub cancel_polls: AtomicU64,
+    /// Cut sets installed in the lattice-pruning index
+    /// (scheduling-dependent; see type docs).
+    pub cones_cut: AtomicU64,
+    /// Candidates tagged from a cut's upward cone without running
+    /// verification (scheduling-dependent; see type docs).
+    pub candidates_skipped: AtomicU64,
+    /// Candidates verified against a delta-applied LTG or a shared per-set
+    /// deadlock verdict instead of a from-scratch analysis
+    /// (scheduling-dependent; see type docs).
+    pub delta_reuses: AtomicU64,
 }
 
 impl SynthesisCounters {
@@ -194,6 +208,9 @@ impl SynthesisCounters {
             rejected_by_trail: AtomicU64::new(0),
             solutions_found: AtomicU64::new(0),
             cancel_polls: AtomicU64::new(0),
+            cones_cut: AtomicU64::new(0),
+            candidates_skipped: AtomicU64::new(0),
+            delta_reuses: AtomicU64::new(0),
         }
     }
 
@@ -207,6 +224,9 @@ impl SynthesisCounters {
             rejected_by_trail: self.rejected_by_trail.load(Ordering::Relaxed),
             solutions_found: self.solutions_found.load(Ordering::Relaxed),
             cancel_polls: self.cancel_polls.load(Ordering::Relaxed),
+            cones_cut: self.cones_cut.load(Ordering::Relaxed),
+            candidates_skipped: self.candidates_skipped.load(Ordering::Relaxed),
+            delta_reuses: self.delta_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -228,11 +248,18 @@ pub struct SynthesisCountersSnapshot {
     pub solutions_found: u64,
     /// See [`SynthesisCounters::cancel_polls`].
     pub cancel_polls: u64,
+    /// See [`SynthesisCounters::cones_cut`].
+    pub cones_cut: u64,
+    /// See [`SynthesisCounters::candidates_skipped`].
+    pub candidates_skipped: u64,
+    /// See [`SynthesisCounters::delta_reuses`].
+    pub delta_reuses: u64,
 }
 
 impl SynthesisCountersSnapshot {
     /// The thread-count-invariant counters as canonical JSON.
-    /// `cancel_polls` is deliberately absent (see [`SynthesisCounters`]).
+    /// `cancel_polls`, `cones_cut`, `candidates_skipped` and `delta_reuses`
+    /// are deliberately absent (see [`SynthesisCounters`]).
     pub fn deterministic_json(&self) -> Value {
         let mut map = std::collections::BTreeMap::new();
         map.insert(
@@ -287,14 +314,26 @@ mod tests {
     }
 
     #[test]
-    fn synthesis_deterministic_json_excludes_cancel_polls() {
+    fn synthesis_deterministic_json_excludes_scheduling_counters() {
         let c = SynthesisCounters::new();
         c.cancel_polls.fetch_add(11, Ordering::Relaxed);
         c.combinations_tried.fetch_add(8, Ordering::Relaxed);
         c.solutions_found.fetch_add(4, Ordering::Relaxed);
-        let text = c.snapshot().deterministic_json().to_string();
+        c.cones_cut.fetch_add(1, Ordering::Relaxed);
+        c.candidates_skipped.fetch_add(5, Ordering::Relaxed);
+        c.delta_reuses.fetch_add(7, Ordering::Relaxed);
+        let snap = c.snapshot();
+        assert_eq!(snap.cones_cut, 1);
+        assert_eq!(snap.candidates_skipped, 5);
+        assert_eq!(snap.delta_reuses, 7);
+        let text = snap.deterministic_json().to_string();
         assert!(text.contains("\"combinations_tried\":8"), "{text}");
         assert!(text.contains("\"solutions_found\":4"), "{text}");
         assert!(!text.contains("cancel_polls"), "{text}");
+        // The pruning tallies depend on which worker installed a cut first,
+        // so they must never enter the canonical (diffable) document.
+        assert!(!text.contains("cones_cut"), "{text}");
+        assert!(!text.contains("candidates_skipped"), "{text}");
+        assert!(!text.contains("delta_reuses"), "{text}");
     }
 }
